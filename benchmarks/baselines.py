@@ -1,0 +1,159 @@
+"""Monolithic baseline simulators, written the way the paper says
+simulators usually are: "hand-writing monolithic simulators in
+sequential programming languages" (§1).
+
+These serve as the comparator for the CLM-DEFCTL experiment: the same
+systems as hand-mapped sequential code, demonstrating what the
+structural specification replaces (and validating that the structural
+models compute identical results).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+import numpy as np
+
+
+class MonolithicPipeline:
+    """Hand-written source -> bounded queue -> sink simulator.
+
+    Equivalent to the three-instance LSS quickstart system, but with
+    timing, control and functionality intertwined — the style LSE
+    replaces.  Note how the handshake logic (who stalls whom, in which
+    order state updates commit) is hand-scheduled: the author had to
+    map concurrency to sequential code, exactly the error-prone manual
+    process the paper criticizes.
+    """
+
+    def __init__(self, depth: int = 4, rate: float = 1.0,
+                 sink_rate: float = 1.0, seed: int = 0):
+        self.depth = depth
+        self.rate = rate
+        self.sink_rate = sink_rate
+        self.rng_src = np.random.default_rng(seed)
+        self.rng_snk = np.random.default_rng(seed + 1)
+        self.queue: Deque[int] = deque()
+        self.pending: Optional[int] = None
+        self.counter = 0
+        self.emitted = 0
+        self.consumed = 0
+        self.now = 0
+
+    def step(self) -> None:
+        # Hand-ordered evaluation: sink first, then queue head, then
+        # source.  Getting this order wrong silently changes timing —
+        # the class of bug the reactive engine rules out by design.
+        if self.queue:
+            accept = (self.sink_rate >= 1.0
+                      or self.rng_snk.random() < self.sink_rate)
+            if accept:
+                self.queue.popleft()
+                self.consumed += 1
+        if self.pending is None:
+            if self.rate >= 1.0 or self.rng_src.random() < self.rate:
+                self.pending = self.counter
+                self.counter += 1
+        if self.pending is not None and len(self.queue) < self.depth:
+            self.queue.append(self.pending)
+            self.pending = None
+            self.emitted += 1
+        self.now += 1
+
+    def run(self, cycles: int) -> "MonolithicPipeline":
+        for _ in range(cycles):
+            self.step()
+        return self
+
+
+class MonolithicMesh:
+    """Hand-written 2D-mesh packet simulator (XY routing, per-port
+    FIFOs, round-robin output arbitration) — a one-off monolithic NoC
+    model of the kind each research group rewrites (§1 "Rapid Reuse").
+
+    Functionally comparable to ``build_mesh_network`` +
+    ``attach_traffic`` with uniform traffic, but nothing in it can be
+    reused for a bus, a sensor radio, or a processor.
+    """
+
+    def __init__(self, width: int, height: int, rate: float,
+                 depth: int = 4, seed: int = 0):
+        self.width = width
+        self.height = height
+        self.rate = rate
+        self.depth = depth
+        self.rng = np.random.default_rng(seed)
+        self.nodes = [(x, y) for y in range(height) for x in range(width)]
+        # queues[node][direction]: 0-3 = N,S,E,W ; 4 = local inject
+        self.queues = {n: [deque() for _ in range(5)] for n in self.nodes}
+        self.rotor = {n: 0 for n in self.nodes}
+        self.injected = 0
+        self.ejected = 0
+        self.latency_total = 0
+        self.now = 0
+
+    def _route(self, node, dst):
+        x, y = node
+        dx, dy = dst
+        if dx > x:
+            return 2
+        if dx < x:
+            return 3
+        if dy > y:
+            return 1
+        if dy < y:
+            return 0
+        return 4
+
+    def _neighbor(self, node, direction):
+        x, y = node
+        return {0: (x, y - 1), 1: (x, y + 1),
+                2: (x + 1, y), 3: (x - 1, y)}[direction]
+
+    def step(self) -> None:
+        moves = []
+        for node in self.nodes:
+            served = set()
+            rotor = self.rotor[node]
+            for k in range(5):
+                port = (rotor + k) % 5
+                queue = self.queues[node][port]
+                if not queue:
+                    continue
+                dst, born = queue[0]
+                out = self._route(node, dst)
+                if out in served:
+                    continue
+                if out == 4:
+                    queue.popleft()
+                    self.ejected += 1
+                    self.latency_total += self.now - born
+                    served.add(out)
+                    continue
+                peer = self._neighbor(node, out)
+                in_dir = {0: 1, 1: 0, 2: 3, 3: 2}[out]
+                if len(self.queues[peer][in_dir]) < self.depth:
+                    queue.popleft()
+                    moves.append((peer, in_dir, (dst, born)))
+                    served.add(out)
+            self.rotor[node] = (rotor + 1) % 5
+        for peer, in_dir, item in moves:
+            self.queues[peer][in_dir].append(item)
+        for node in self.nodes:
+            if self.rng.random() < self.rate \
+                    and len(self.queues[node][4]) < self.depth:
+                others = [n for n in self.nodes if n != node]
+                dst = others[self.rng.integers(len(others))]
+                self.queues[node][4].append((dst, self.now))
+                self.injected += 1
+        self.now += 1
+
+    def run(self, cycles: int) -> "MonolithicMesh":
+        for _ in range(cycles):
+            self.step()
+        return self
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_total / max(1, self.ejected)

@@ -1,0 +1,68 @@
+"""Analytical-vs-detailed network representation (§3.4 acceleration).
+
+"Simulation acceleration by integrating a detailed simulator of some
+portions with analytical representations of other system components."
+Compares the detailed structural mesh against the workload-driven
+M/M/1 :class:`~repro.ccl.analytical.AnalyticalFabric` on latency shape
+and wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import (AnalyticalFabric, Mesh, attach_analytical_traffic,
+                       attach_traffic, build_mesh_network)
+
+
+def _run(kind: str, rate: float, cycles: int = 400):
+    mesh = Mesh(4, 4)
+    spec = LSS(kind)
+    if kind == "detailed":
+        routers = build_mesh_network(spec, mesh)
+        attach_traffic(spec, mesh, routers, rate=rate, seed=8)
+    else:
+        fabric = spec.instance("net", AnalyticalFabric, topology=mesh)
+        attach_analytical_traffic(spec, mesh, fabric, rate=rate, seed=8)
+    sim = build_simulator(spec, engine="levelized")
+    start = time.perf_counter()
+    sim.run(cycles)
+    elapsed = time.perf_counter() - start
+    hists = sim.stats.histograms_named("latency").values()
+    latency = (sum(h.total for h in hists)
+               / max(1, sum(h.count for h in hists)))
+    return {"latency": latency, "elapsed": elapsed,
+            "ejected": sim.stats.total("ejected"),
+            "leaves": len(sim.design.leaves)}
+
+
+def test_latency_curves_both_representations(benchmark):
+    benchmark.pedantic(lambda: _run("analytical", 0.2, 150),
+                       rounds=1, iterations=1)
+    print("\n[ABL-ANA] load  detailed_lat  analytical_lat")
+    detailed, analytical = [], []
+    for rate in (0.02, 0.20, 0.45):
+        d = _run("detailed", rate)
+        a = _run("analytical", rate)
+        detailed.append(d["latency"])
+        analytical.append(a["latency"])
+        print(f"          {rate:4.2f}  {d['latency']:12.2f}  "
+              f"{a['latency']:14.2f}")
+    assert detailed == sorted(detailed)
+    assert analytical == sorted(analytical)
+
+
+def test_analytical_speedup(benchmark):
+    benchmark.pedantic(lambda: _run("analytical", 0.2, 150),
+                       rounds=1, iterations=1)
+    d = _run("detailed", 0.2)
+    a = _run("analytical", 0.2)
+    speedup = d["elapsed"] / max(1e-9, a["elapsed"])
+    print(f"\n[ABL-ANA] detailed: {d['leaves']} leaves, "
+          f"{d['elapsed']:.2f}s; analytical: {a['leaves']} leaves, "
+          f"{a['elapsed']:.2f}s  ({speedup:.1f}x faster)")
+    assert a["elapsed"] < d["elapsed"]
+    assert a["ejected"] > 0

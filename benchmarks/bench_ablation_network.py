@@ -1,0 +1,86 @@
+"""Ablations over CCL design choices: routing function, buffer depth,
+arbitration policy.
+
+These are the parameter studies LSE's customization model makes
+one-liners: each variant differs from the baseline by a single
+algorithmic or value parameter, never by module code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Mesh, attach_traffic, build_mesh_network
+from repro.pcl import oldest_first, round_robin, fixed_priority
+
+
+def _mesh_run(*, routing="xy", depth=4, policy=round_robin, rate=0.3,
+              pattern="uniform", hotspot=None, cycles=400, seed=5):
+    mesh = Mesh(4, 4)
+    spec = LSS("abl")
+    routers = build_mesh_network(spec, mesh, routing=routing, depth=depth,
+                                 policy=policy)
+    attach_traffic(spec, mesh, routers, pattern=pattern, rate=rate,
+                   hotspot=hotspot, seed=seed)
+    sim = build_simulator(spec, engine="levelized")
+    sim.run(cycles)
+    hists = sim.stats.histograms_named("latency").values()
+    total = sum(h.total for h in hists)
+    count = sum(h.count for h in hists)
+    return {
+        "ejected": sim.stats.total("ejected"),
+        "injected": sim.stats.total("injected"),
+        "mean_latency": total / max(1, count),
+        "misrouted": sim.stats.total("misrouted"),
+    }
+
+
+def test_routing_function_ablation(benchmark):
+    """XY vs YX dimension-ordered routing: both deliver everything
+    correctly; under transpose traffic their link usage mirrors."""
+    benchmark.pedantic(lambda: _mesh_run(routing="xy", cycles=100),
+                       rounds=1, iterations=1)
+    print("\n[ABL-NET] routing  pattern    ejected  mean_latency")
+    for routing in ("xy", "yx"):
+        for pattern in ("uniform", "transpose"):
+            result = _mesh_run(routing=routing, pattern=pattern,
+                               rate=0.15)
+            assert result["misrouted"] == 0
+            print(f"          {routing:7s}  {pattern:9s}  "
+                  f"{result['ejected']:7g}  "
+                  f"{result['mean_latency']:12.2f}")
+
+
+def test_buffer_depth_ablation(benchmark):
+    """Deeper router buffers absorb burstiness: throughput at high load
+    must not decrease with depth."""
+    benchmark.pedantic(lambda: _mesh_run(depth=4, cycles=100),
+                       rounds=1, iterations=1)
+    print("\n[ABL-NET] depth  ejected  mean_latency")
+    ejected = []
+    for depth in (1, 2, 4, 8):
+        result = _mesh_run(depth=depth, rate=0.4)
+        ejected.append(result["ejected"])
+        print(f"          {depth:5d}  {result['ejected']:7g}  "
+              f"{result['mean_latency']:12.2f}")
+    assert ejected[-1] >= ejected[0]
+
+
+def test_arbitration_policy_ablation(benchmark):
+    """Under hotspot contention, round-robin/oldest-first keep serving
+    everyone; fixed priority is legal but unfair.  All conserve
+    packets."""
+    benchmark.pedantic(
+        lambda: _mesh_run(policy=round_robin, cycles=100),
+        rounds=1, iterations=1)
+    print("\n[ABL-NET] policy          ejected  mean_latency")
+    for name, policy in (("fixed_priority", fixed_priority),
+                         ("round_robin", round_robin),
+                         ("oldest_first", oldest_first)):
+        result = _mesh_run(policy=policy, pattern="hotspot",
+                           hotspot=(3, 3), rate=0.25)
+        assert result["misrouted"] == 0
+        assert result["ejected"] > 0
+        print(f"          {name:14s}  {result['ejected']:7g}  "
+              f"{result['mean_latency']:12.2f}")

@@ -1,0 +1,140 @@
+"""CLM-DEFCTL — default control semantics (§2.1).
+
+"Using the default control semantics, working system models can be
+constructed by connecting the datapath and specifying minimal control."
+
+Quantified two ways:
+
+1. a datapath-only textual LSS (zero control statements) builds and
+   runs correctly, and its statement count is compared against the
+   hand-written monolithic equivalent's logical lines;
+2. the structural and monolithic models produce identical cycle-level
+   results, validating that the defaults encode the right control.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import build_simulator, parse_lss
+from repro.pcl import Queue, Sink, Source
+
+from .baselines import MonolithicPipeline
+
+#: The complete specification: datapath connections only, no control.
+DATAPATH_ONLY = """
+system pipeline;
+instance src : Source(pattern="counter");
+instance q1 : Queue(depth=4);
+instance q2 : Queue(depth=4);
+instance snk : Sink();
+connect src.out -> q1.in;
+connect q1.out -> q2.in;
+connect q2.out -> snk.in;
+"""
+
+ENV = {"Source": Source, "Queue": Queue, "Sink": Sink}
+
+
+def _spec_statements(text: str) -> int:
+    return sum(1 for line in text.splitlines()
+               if line.strip() and not line.strip().startswith(("#", "//")))
+
+
+def _loc_of(cls) -> int:
+    source = inspect.getsource(cls)
+    return sum(1 for line in source.splitlines()
+               if line.strip() and not line.strip().startswith("#")
+               and '"""' not in line)
+
+
+def test_datapath_only_spec_works(benchmark):
+    def run():
+        sim = build_simulator(parse_lss(DATAPATH_ONLY, ENV))
+        sim.run(100)
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sim.stats.counter("snk", "consumed") == 98  # 2 cycles fill
+
+
+def test_spec_size_vs_monolithic(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    spec_size = _spec_statements(DATAPATH_ONLY)
+    mono_size = _loc_of(MonolithicPipeline)
+    print(f"\n[CLM-DEFCTL] datapath-only LSS: {spec_size} statements; "
+          f"hand-written monolithic equivalent: ~{mono_size} logical "
+          f"lines (for a simpler, single-queue system)")
+    assert spec_size < mono_size
+
+
+def test_structural_matches_monolithic_exactly(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Same single-queue system both ways, cycle-for-cycle."""
+    text = """
+    instance src : Source(pattern="counter");
+    instance q : Queue(depth=4);
+    instance snk : Sink();
+    connect src.out -> q.in;
+    connect q.out -> snk.in;
+    """
+    sim = build_simulator(parse_lss(text, ENV))
+    sim.run(200)
+    mono = MonolithicPipeline(depth=4).run(200)
+    print(f"\n[CLM-DEFCTL] structural consumed="
+          f"{sim.stats.counter('snk', 'consumed'):g}, monolithic "
+          f"consumed={mono.consumed}")
+    assert sim.stats.counter("snk", "consumed") == mono.consumed
+    assert sim.stats.counter("src", "emitted") == mono.emitted
+
+
+def test_mesh_spec_vs_monolithic_mesh(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The 'Rapid Reuse' complaint (§1) quantified on a NoC: the
+    structural mesh is ~10 builder lines over reusable templates; the
+    monolithic mesh is a ~70-line one-off that shares nothing with a
+    bus, a radio or a processor.  Both produce latency curves of the
+    same shape."""
+    import inspect
+
+    from repro import LSS, build_simulator
+    from repro.ccl import Mesh, attach_traffic, build_mesh_network
+    from .baselines import MonolithicMesh
+
+    def structural_latency(rate):
+        mesh = Mesh(4, 4)
+        spec = LSS("m")
+        routers = build_mesh_network(spec, mesh)
+        attach_traffic(spec, mesh, routers, rate=rate, seed=5)
+        sim = build_simulator(spec, engine="levelized")
+        sim.run(300)
+        hists = sim.stats.histograms_named("latency").values()
+        return (sum(h.total for h in hists)
+                / max(1, sum(h.count for h in hists)))
+
+    def monolithic_latency(rate):
+        return MonolithicMesh(4, 4, rate, seed=5).run(300).mean_latency
+
+    mono_loc = _loc_of(MonolithicMesh)
+    print(f"\n[CLM-DEFCTL] monolithic NoC: ~{mono_loc} logical lines, "
+          f"zero reusable parts; structural NoC: 3 builder calls over "
+          f"shipped templates")
+    print("[CLM-DEFCTL] load  structural_lat  monolithic_lat")
+    for rate in (0.05, 0.45):
+        s = structural_latency(rate)
+        m = monolithic_latency(rate)
+        print(f"             {rate:4.2f}  {s:14.2f}  {m:14.2f}")
+    assert structural_latency(0.45) > structural_latency(0.05)
+    assert monolithic_latency(0.45) > monolithic_latency(0.05)
+
+
+def test_monolithic_is_faster_but_single_purpose(benchmark):
+    """Honest accounting: the monolithic simulator runs faster (the
+    paper never claims otherwise — LSE trades raw speed for structure,
+    reuse and correctness-by-construction)."""
+    mono_result = benchmark.pedantic(
+        lambda: MonolithicPipeline(depth=4).run(2000).consumed,
+        rounds=3, iterations=1)
+    assert mono_result == 1999  # same steady-state rate as the LSS model

@@ -1,0 +1,90 @@
+"""CLM-ORION — Orion's dynamic power, leakage and thermal models (§3.3).
+
+Regenerates the characteristic Orion curves: router power versus
+offered load, versus router geometry, leakage versus temperature, and
+the leakage-thermal feedback equilibrium.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Mesh, attach_traffic, build_mesh_network
+from repro.ccl.orion import (LinkEnergyModel, RouterEnergyModel,
+                             TechParams, ThermalRC, network_power_report)
+
+
+def _network_power(rate, cycles=300):
+    mesh = Mesh(3, 3)
+    spec = LSS("pw")
+    routers = build_mesh_network(spec, mesh)
+    attach_traffic(spec, mesh, routers, pattern="uniform", rate=rate,
+                   seed=11)
+    sim = build_simulator(spec, engine="levelized")
+    sim.run(cycles)
+    model = RouterEnergyModel(ports=5, flit_bits=64, buffer_depth=4)
+    link_model = LinkEnergyModel()
+    paths = [mesh.node_name(n) for n in mesh.nodes()]
+    return network_power_report(sim, paths, model, link_model)
+
+
+def test_power_vs_load_curve(benchmark):
+    benchmark.pedantic(lambda: _network_power(0.15), rounds=1,
+                       iterations=1)
+    print("\n[CLM-ORION] load  router_mW  link_mW  leak_mW  total_mW")
+    totals = []
+    for rate in (0.02, 0.10, 0.20, 0.35):
+        report = _network_power(rate)
+        totals.append(report["total_w"])
+        print(f"            {rate:4.2f}  "
+              f"{report['router_dynamic_w'] * 1e3:9.3f}  "
+              f"{report['link_dynamic_w'] * 1e3:7.3f}  "
+              f"{report['leakage_w'] * 1e3:7.3f}  "
+              f"{report['total_w'] * 1e3:8.3f}")
+    assert totals == sorted(totals)  # monotone in load
+
+
+def test_power_vs_geometry_rows(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n[CLM-ORION] ports  flit_bits  depth  E_buf_wr(pJ)  "
+          "E_xbar(pJ)  leak_mW@350K")
+    energies = []
+    for ports, bits, depth in [(3, 32, 2), (5, 64, 4), (7, 128, 8)]:
+        model = RouterEnergyModel(ports=ports, flit_bits=bits,
+                                  buffer_depth=depth)
+        energies.append(model.e_crossbar)
+        print(f"            {ports:5d}  {bits:9d}  {depth:5d}  "
+              f"{model.e_buffer_write * 1e12:12.3f}  "
+              f"{model.e_crossbar * 1e12:10.3f}  "
+              f"{model.leakage_power_w(350) * 1e3:12.4f}")
+    assert energies == sorted(energies)
+
+
+def test_leakage_vs_temperature_curve(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    model = RouterEnergyModel()
+    print("\n[CLM-ORION] T(K)  leakage_mW")
+    values = []
+    for temp in (300, 320, 340, 360, 380):
+        leak = model.leakage_power_w(temp)
+        values.append(leak)
+        print(f"            {temp:4d}  {leak * 1e3:10.4f}")
+    assert values == sorted(values)
+    # Exponential shape: the last step grows more than the first.
+    assert values[-1] - values[-2] > values[1] - values[0]
+
+
+def test_thermal_equilibrium_with_leakage_feedback(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    model = RouterEnergyModel()
+    print("\n[CLM-ORION] dynamic_W  equilibrium_K  converged")
+    temps = []
+    for dynamic in (0.2, 0.5, 1.0):
+        node = ThermalRC(r_th_k_per_w=60.0)
+        temp, converged = node.settle(
+            lambda T: dynamic + 20 * model.leakage_power_w(T))
+        temps.append(temp)
+        print(f"            {dynamic:9.1f}  {temp:13.1f}  {converged}")
+        assert converged
+    assert temps == sorted(temps)

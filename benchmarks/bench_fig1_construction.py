@@ -1,0 +1,120 @@
+"""FIG1 — the simulator construction pipeline of Figure 1.
+
+Regenerates the paper's overview figure as measurements: for small,
+medium and large specifications, times each constructor phase —
+textual parse, elaboration+flattening, full design build, static
+scheduling, and code generation — and reports the structural sizes at
+each stage (instances -> leaves -> wires -> schedule entries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LSS, build_design, elaborate, parse_lss
+from repro.ccl import Mesh, attach_traffic, build_mesh_network
+from repro.core.codegen import generate_stepper_source
+from repro.core.optimize import build_schedule
+from repro.pcl import Monitor, Queue, Sink, Source
+
+
+def _small_spec() -> LSS:
+    spec = LSS("small")
+    src = spec.instance("src", Source, pattern="counter")
+    q = spec.instance("q", Queue, depth=4)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def _medium_spec() -> LSS:
+    mesh = Mesh(2, 2)
+    spec = LSS("medium")
+    routers = build_mesh_network(spec, mesh)
+    attach_traffic(spec, mesh, routers, rate=0.1)
+    return spec
+
+
+def _large_spec() -> LSS:
+    mesh = Mesh(4, 4)
+    spec = LSS("large")
+    routers = build_mesh_network(spec, mesh)
+    attach_traffic(spec, mesh, routers, rate=0.1)
+    return spec
+
+
+SPECS = {"small": _small_spec, "medium": _medium_spec, "large": _large_spec}
+
+TEXTUAL = """
+system textual;
+template Stage(depth=4) {
+    port in input;
+    port out output;
+    instance q : Queue(depth=depth);
+    instance m : Monitor();
+    connect q.out -> m.in;
+    export in -> q.in;
+    export out -> m.out;
+}
+instance src : Source(pattern="counter");
+instance s1 : Stage(depth=2);
+instance s2 : Stage(depth=4);
+instance s3 : Stage(depth=8);
+instance snk : Sink();
+connect src.out -> s1.in;
+connect s1.out -> s2.in;
+connect s2.out -> s3.in;
+connect s3.out -> snk.in;
+"""
+
+
+@pytest.mark.parametrize("size", ["small", "medium", "large"])
+def test_construction_pipeline_phases(size, benchmark):
+    """Times the full LSS -> executable-design pipeline."""
+    build = SPECS[size]
+
+    def construct():
+        return build_design(build())
+
+    design = benchmark.pedantic(construct, rounds=3, iterations=1)
+    flat = elaborate(build())
+    print(f"\n[FIG1:{size}] instances={len(build().instances)} "
+          f"leaves={len(design.leaves)} wires={len(design.wires)} "
+          f"(stubs={len(design.stub_wires)}) "
+          f"connections={len(flat.connections)}")
+    assert len(design.leaves) >= len(build().instances) - 1
+
+
+@pytest.mark.parametrize("size", ["small", "medium", "large"])
+def test_static_schedule_phase(size, benchmark):
+    """Times the construction-time optimizer (ref [22])."""
+    design = build_design(SPECS[size]())
+    schedule = benchmark.pedantic(lambda: build_schedule(design),
+                                  rounds=3, iterations=1)
+    clusters = sum(1 for e in schedule if e.cluster)
+    print(f"\n[FIG1:{size}] schedule entries={len(schedule)} "
+          f"clusters={clusters}")
+    assert schedule
+
+
+def test_codegen_phase(benchmark):
+    """Times Python code generation for the large design."""
+    design = build_design(_large_spec())
+    schedule = build_schedule(design)
+    source = benchmark.pedantic(
+        lambda: generate_stepper_source(schedule, design.name),
+        rounds=3, iterations=1)
+    print(f"\n[FIG1] generated stepper: {len(source.splitlines())} lines")
+    compile(source, "<bench>", "exec")
+
+
+def test_textual_parse_phase(benchmark):
+    """Times the textual LSS front end (parse -> spec objects)."""
+    env = {"Source": Source, "Queue": Queue, "Monitor": Monitor,
+           "Sink": Sink}
+    spec = benchmark.pedantic(lambda: parse_lss(TEXTUAL, env),
+                              rounds=5, iterations=2)
+    assert len(spec.instances) == 5
+    design = build_design(parse_lss(TEXTUAL, env))
+    print(f"\n[FIG1:textual] 5 instances -> {len(design.leaves)} leaves")

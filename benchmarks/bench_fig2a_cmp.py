@@ -1,0 +1,56 @@
+"""FIG2a — the chip multiprocessor (GP cores + NoC + coherence).
+
+Reproduces Figure 2(a) as a running system and reports the rows a CMP
+evaluation would: completion time, correctness, coherence traffic and
+Orion power, for 2x2 and 3x3 meshes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccl.orion import (LinkEnergyModel, RouterEnergyModel,
+                             network_power_report)
+from repro.systems import run_fig2a
+
+
+@pytest.mark.parametrize("dims", [(2, 2), (3, 3)])
+def test_cmp_parallel_sum(dims, benchmark):
+    width, height = dims
+
+    def run():
+        return run_fig2a(width, height, seg_words=4, max_cycles=40_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result["halted"] and result["correct"]
+    sim = result["sim"]
+    mesh = result["mesh"]
+    model = RouterEnergyModel(ports=5, flit_bits=64, buffer_depth=4)
+    link_model = LinkEnergyModel()
+    power = network_power_report(
+        sim, [mesh.node_name(n) for n in mesh.nodes()], model, link_model)
+    print(f"\n[FIG2a {width}x{height}] cycles={result['cycles']} "
+          f"correct={result['correct']} "
+          f"noc_transfers={result['net_transfers']} "
+          f"read_misses={result['read_misses']:g} "
+          f"invals={result['invals']:g} "
+          f"noc_power={power['total_w'] * 1e3:.2f}mW")
+
+
+def test_cmp_scaling_rows(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The headline table: cores vs completion time (fixed work per
+    core, so ideal scaling is flat; coherence/NoC overhead shows up as
+    growth)."""
+    rows = []
+    for width, height in [(1, 2), (2, 2), (2, 3)]:
+        result = run_fig2a(width, height, seg_words=4, max_cycles=60_000)
+        assert result["correct"]
+        rows.append((width * height, result["cycles"],
+                     result["net_transfers"]))
+    print("\n[FIG2a] cores  cycles  noc_transfers")
+    for cores, cycles, transfers in rows:
+        print(f"        {cores:5d}  {cycles:6d}  {transfers:13d}")
+    # Fixed work per core: adding cores must not help, and contention
+    # at the shared homes should cost something.
+    assert rows[-1][1] >= rows[0][1] * 0.8

@@ -1,0 +1,51 @@
+"""FIG2b — sensor network nodes on a lossy wireless channel.
+
+Reproduces Figure 2(b): programmable-NIC sensor nodes with DSP
+aggregation firmware over the shared CSMA medium.  Reports the
+delivery-vs-loss series and end-to-end timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import run_fig2b
+
+
+def test_sensor_pair(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig2b(2, readings_per_node=8, aggregate_every=4),
+        rounds=1, iterations=1)
+    assert result["halted"]
+    assert result["summaries_received"] == result["expected_summaries"]
+    print(f"\n[FIG2b] 2 nodes: cycles={result['cycles']} "
+          f"readings={result['readings']:g} "
+          f"summaries={result['summaries_received']:g} "
+          f"tx={result['transmissions']:g}")
+
+
+def test_delivery_vs_channel_loss(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The paper's wireless abstraction at work: delivery degrades
+    monotonically (in expectation) with channel loss."""
+    print("\n[FIG2b] loss  delivered/expected")
+    delivered = []
+    for loss in (0.0, 0.2, 0.4, 0.6):
+        result = run_fig2b(3, readings_per_node=8, aggregate_every=4,
+                           loss=loss)
+        delivered.append(result["summaries_received"])
+        print(f"        {loss:4.1f}  {result['summaries_received']:g}/"
+              f"{result['expected_summaries']}")
+    assert delivered[0] == 6
+    assert delivered[-1] < delivered[0]
+
+
+def test_aggregation_reduces_airtime(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """In-network aggregation: coarser aggregation -> fewer radio
+    transmissions for the same readings."""
+    fine = run_fig2b(2, readings_per_node=8, aggregate_every=2)
+    coarse = run_fig2b(2, readings_per_node=8, aggregate_every=8)
+    print(f"\n[FIG2b] aggregate_every=2 -> {fine['transmissions']:g} tx; "
+          f"aggregate_every=8 -> {coarse['transmissions']:g} tx")
+    assert coarse["transmissions"] < fine["transmissions"]

@@ -1,0 +1,57 @@
+"""FIG2c — grids-in-a-box: DMA message passing over the fabric.
+
+Reproduces Figure 2(c): grid nodes (GP + NI + DMA) running a ring
+reduction over a routed board-to-board bus.  Reports the scaling rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.systems import run_fig2c
+
+
+def test_grid_ring_reduce_8(benchmark):
+    result = benchmark.pedantic(lambda: run_fig2c(8, k_words=8),
+                                rounds=1, iterations=1)
+    assert result["halted"] and result["correct"]
+    print(f"\n[FIG2c] 8 nodes: cycles={result['cycles']} "
+          f"messages={result['messages']:g} total={result['total']}")
+
+
+def test_grid_scaling_rows(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\n[FIG2c] nodes  cycles  messages")
+    rows = []
+    for n_nodes in (2, 4, 8):
+        result = run_fig2c(n_nodes, k_words=8)
+        assert result["correct"]
+        rows.append((n_nodes, result["cycles"], result["messages"]))
+        print(f"        {n_nodes:5d}  {result['cycles']:6d}  "
+              f"{result['messages']:8g}")
+    # A ring reduction serializes: time grows ~linearly in nodes.
+    assert rows[2][1] > rows[0][1] * 2
+    assert rows[2][2] == 2 * 7  # (data + doorbell) per forwarding node
+
+
+def test_bus_latency_dominates_critical_path(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro import build_simulator
+    from repro.systems.fig2c import build_fig2c_grid
+
+    def run(bus_latency):
+        spec, info = build_fig2c_grid(4, k_words=4,
+                                      bus_latency=bus_latency)
+        sim = build_simulator(spec, engine="levelized")
+        core = sim.instance("g3/core")
+        for _ in range(30_000):
+            sim.step()
+            if core.halted:
+                break
+        return sim.now
+
+    fast = run(1)
+    slow = run(10)
+    print(f"\n[FIG2c] bus_latency=1 -> {fast} cycles; "
+          f"bus_latency=10 -> {slow} cycles")
+    assert slow > fast

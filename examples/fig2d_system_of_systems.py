@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Figure 2(d): a system of systems, at mixed abstraction levels.
+
+Detailed sensor nodes feed a gateway whose CMP aggregation tier is
+either a statistical stand-in or a detailed programmable NIC DMA-ing
+into base-camp memory — the same upstream specification either way,
+demonstrating §2.2's abstraction swap.
+
+Run:  python examples/fig2d_system_of_systems.py
+"""
+
+from repro.systems import run_fig2d
+
+
+def main() -> None:
+    for backend in ("statistical", "detailed"):
+        result = run_fig2d(2, backend=backend, readings_per_node=8,
+                           aggregate_every=4)
+        print(f"backend={backend:12s} "
+              f"delivered {result['summaries_delivered']:g}/"
+              f"{result['expected_summaries']} summaries in "
+              f"{result['cycles']} cycles "
+              f"(radio transmissions: {result['transmissions']:g})")
+    print("\nThe field tier (sensor nodes + wireless) is byte-identical "
+          "between the two runs;\nonly the gateway subtree was swapped — "
+          "the paper's §2.2 claim.")
+
+
+if __name__ == "__main__":
+    main()

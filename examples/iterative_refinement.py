@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Iterative refinement of a processor model (paper §2.2).
+
+Builds and runs the five refinement stages — fetch+issue, pipeline,
+speculation, predictors, memory hierarchy — showing that *every* stage
+compiles into a working simulator, with unconnected-port defaults
+standing in for the unspecified parts.
+
+Run:  python examples/iterative_refinement.py
+"""
+
+from repro.systems import run_stage
+
+STAGE_NAMES = {
+    1: "fetch + issue only (redirect port unconnected)",
+    2: "full pipeline, straight-line code",
+    3: "+ speculation control (redirect wired)",
+    4: "+ bimodal predictor (parameter change only)",
+    5: "+ L1 cache and memory hierarchy",
+}
+
+
+def main() -> None:
+    for stage in range(1, 6):
+        result = run_stage(stage)
+        detail = ""
+        if stage == 1:
+            detail = f"fetched {result['fetched']:g} instructions"
+        else:
+            detail = (f"a0={result['a0']} (expected "
+                      f"{result['expected_a0']}), "
+                      f"{result['retired']:g} retired, "
+                      f"{result['mispredicts']:g} mispredicts")
+        status = "works" if result["working"] else "BROKEN"
+        print(f"stage {stage} [{status:6s}] {STAGE_NAMES[stage]}")
+        print(f"         {result['cycles']} cycles; {detail}")
+
+
+if __name__ == "__main__":
+    main()

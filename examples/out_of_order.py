@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Out-of-order execution from reusable buffers (UPL §3.2 + §2.1).
+
+The OoO core's instruction window and reorder buffer are both
+instances of the PCL ``Buffer`` template — the paper's reuse claim as
+a working processor.  Compares the three shipped cores on the same
+program and shows superscalar scaling.
+
+Run:  python examples/out_of_order.py
+"""
+
+from repro import LSS, build_simulator
+from repro.pcl import Buffer, MemoryArray
+from repro.upl import (BimodalPredictor, InOrderPipeline, OoOCore,
+                       SimpleCore, programs)
+
+
+def run_core(kind, program, n_alu=1):
+    box = []
+    spec = LSS(kind)
+    if kind == "simple":
+        core = spec.instance("core", SimpleCore, program=program)
+    elif kind == "inorder":
+        core = spec.instance("core", InOrderPipeline, program=program,
+                             predictor_factory=lambda: BimodalPredictor(64),
+                             shared_out=box)
+    else:
+        core = spec.instance("core", OoOCore, program=program,
+                             n_alu=n_alu, window_depth=16, rob_depth=32,
+                             shared_out=box)
+    mem = spec.instance("mem", MemoryArray, size=4096, latency=1)
+    spec.connect(core.port("dmem_req"), mem.port("req"))
+    spec.connect(mem.port("resp"), core.port("dmem_resp"))
+    sim = build_simulator(spec, engine="levelized")
+    for _ in range(100_000):
+        sim.step()
+        if kind == "simple":
+            if sim.instance("core").halted:
+                break
+        elif box[0].halted:
+            break
+    return sim
+
+
+def main() -> None:
+    program = programs.assemble_named("ilp_chains", iters=16)
+    print("ilp_chains (4 independent accumulator chains), cycles:")
+    for kind, n_alu in (("simple", 1), ("inorder", 1),
+                        ("ooo", 1), ("ooo", 2)):
+        sim = run_core(kind, program, n_alu)
+        label = kind if kind != "ooo" else f"ooo({n_alu} ALU)"
+        print(f"  {label:12s} {sim.now:6d}")
+
+    sim = run_core("ooo", program, 2)
+    window = sim.instance("core/window")
+    rob = sim.instance("core/rob")
+    print("\nThe reuse claim, live in this core:")
+    print(f"  instruction window: {type(window).__name__} "
+          f"(select=ready_policy), "
+          f"{sim.stats.counter('core/window', 'inserted'):g} ops issued "
+          f"out of order")
+    print(f"  reorder buffer:     {type(rob).__name__} "
+          f"(select=in_order_completion), "
+          f"{sim.stats.counter('core/rob', 'inserted'):g} ops committed "
+          f"in order")
+    assert isinstance(window, Buffer) and isinstance(rob, Buffer)
+
+
+if __name__ == "__main__":
+    main()

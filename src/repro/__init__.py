@@ -1,0 +1,62 @@
+"""repro — a Python reproduction of the Liberty Simulation Environment.
+
+Implements the structural, composable modeling system described in
+"Achieving Structural and Composable Modeling of Complex Systems"
+(August, Malik, Peh, Pai — IPDPS 2004): module templates connected
+through a three-signal handshake contract under a reactive model of
+computation, a simulator constructor with static-scheduling and
+code-generation optimizations, and the five component libraries the
+paper catalogs (PCL, UPL, CCL incl. Orion power models, MPL, NIL).
+
+Quickstart
+----------
+>>> from repro import LSS, build_simulator
+>>> from repro.pcl import Source, Queue, Sink
+>>> spec = LSS("hello")
+>>> src = spec.instance("src", Source, pattern="always", payload=1)
+>>> q = spec.instance("q", Queue, depth=2)
+>>> snk = spec.instance("snk", Sink)
+>>> spec.connect(src.port("out"), q.port("in"))
+>>> spec.connect(q.port("out"), snk.port("in"))
+>>> sim = build_simulator(spec)
+>>> _ = sim.run(10)
+>>> sim.stats.counter("snk", "consumed") > 0
+True
+"""
+
+from .core import (  # noqa: F401
+    ANY, BITS, FLOAT, INT,
+    CombinationalCycleError, ContractViolationError, ControlFunction,
+    CtrlStatus, DataStatus, FirmwareError, HierBody, HierTemplate,
+    Histogram, LSS, LeafModule, LibertyError, MonotonicityError,
+    OUTPUT, INPUT, Parameter, ParameterError, ParseError, PortDecl,
+    REQUIRED, SimulationError, Simulator, SpecificationError,
+    StatsRegistry, Struct, Token, TypeMismatchError, Wire, WireProbe,
+    WireType, WiringError, ack, always_ack, build_design, build_simulator,
+    compose, elaborate, fwd, gate_enable, in_port, library_env, map_data,
+    never_ack, out_port, parse_lss, squash_when, token,
+)
+
+from .liberation import (  # noqa: F401  (imported late: needs .core)
+    FunctionAdapter, LegacyAdapter, LiberatedModule,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LSS", "LeafModule", "HierTemplate", "HierBody", "Parameter", "REQUIRED",
+    "PortDecl", "in_port", "out_port", "INPUT", "OUTPUT", "fwd", "ack",
+    "WireType", "ANY", "INT", "FLOAT", "BITS", "Token", "Struct", "token",
+    "DataStatus", "CtrlStatus", "Wire",
+    "ControlFunction", "squash_when", "map_data", "always_ack", "never_ack",
+    "gate_enable", "compose",
+    "elaborate", "build_design", "build_simulator", "Simulator",
+    "parse_lss", "library_env",
+    "StatsRegistry", "Histogram", "WireProbe",
+    "LibertyError", "SpecificationError", "ParameterError", "WiringError",
+    "TypeMismatchError", "ParseError", "SimulationError",
+    "MonotonicityError", "CombinationalCycleError",
+    "ContractViolationError", "FirmwareError",
+    "LiberatedModule", "LegacyAdapter", "FunctionAdapter",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""CCL — the Communication Component Library (paper §3.3).
+
+Building blocks of communication fabrics: packets and transactions,
+links, structural routers composed from PCL primitives, mesh/torus/ring
+topologies with dimension-ordered routing, arbitrated/broadcast buses,
+a wireless shared medium for sensor networks, statistical traffic
+generators, and the Orion power/leakage/thermal attribute models.
+"""
+
+from .packet import BusTransaction, Packet
+from .topology import (DIR_NAMES, EAST, LOCAL, Mesh, NORTH, Ring, SOUTH,
+                       Torus, WEST)
+from .link import Link
+from .router import Router, build_mesh_network
+from .bus import Bus
+from .wireless import WirelessMedium
+from .traffic import PacketEjector, PacketInjector, attach_traffic
+from .analytical import AnalyticalFabric, attach_analytical_traffic
+from . import orion
+
+__all__ = [
+    "Packet", "BusTransaction",
+    "Mesh", "Torus", "Ring",
+    "NORTH", "SOUTH", "EAST", "WEST", "LOCAL", "DIR_NAMES",
+    "Link", "Router", "build_mesh_network",
+    "Bus", "WirelessMedium",
+    "PacketInjector", "PacketEjector", "attach_traffic",
+    "AnalyticalFabric", "attach_analytical_traffic",
+    "orion",
+]

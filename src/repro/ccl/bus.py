@@ -1,0 +1,69 @@
+"""Shared buses (CCL §3.3: "buses and routers").
+
+:class:`Bus` is a hierarchical template composed — like the router —
+from PCL primitives: an :class:`~repro.pcl.arbiter.Arbiter` serializes
+masters onto a :class:`~repro.ccl.link.Link`, and delivery is either a
+:class:`~repro.pcl.routing.Demux` steered by each transaction's
+``target`` (``mode='routed'``) or a :class:`~repro.pcl.routing.Tee`
+broadcast (``mode='broadcast'``, the substrate for MPL's snooping
+coherence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import HierBody, HierTemplate, Parameter, PortDecl, INPUT, OUTPUT
+from ..pcl.arbiter import Arbiter, round_robin
+from ..pcl.routing import Demux, Tee
+from .link import Link
+from .packet import BusTransaction
+
+
+def _route_by_target(txn, out_width: int, now: int) -> int:
+    """Routed-mode demux function: steer by ``txn.target``."""
+    target = getattr(txn, "target", 0) or 0
+    return max(0, min(out_width - 1, int(target)))
+
+
+class Bus(HierTemplate):
+    """An arbitrated shared bus.
+
+    Parameters
+    ----------
+    latency:
+        Bus occupancy/propagation latency in cycles.
+    mode:
+        ``'routed'`` — the transaction's ``target`` selects the output
+        index; ``'broadcast'`` — every output sees every transaction
+        (all receivers must accept for the transfer to complete, the
+        behaviour snooping caches rely on).
+    policy:
+        Master arbitration policy (default round-robin).
+
+    Ports: ``in`` (masters, auto-indexed in connection order) and
+    ``out`` (targets/snoopers).
+    """
+
+    PARAMS = (
+        Parameter("latency", 1, validate=lambda v: v >= 1),
+        Parameter("mode", "routed",
+                  validate=lambda v: v in ("routed", "broadcast")),
+        Parameter("policy", round_robin, kind="algorithmic"),
+    )
+    PORTS = (
+        PortDecl("in", INPUT),
+        PortDecl("out", OUTPUT),
+    )
+
+    def build(self, body: HierBody, p: Dict) -> None:
+        arb = body.instance("arb", Arbiter, policy=p["policy"])
+        wire = body.instance("wire", Link, latency=p["latency"])
+        body.connect(arb.port("out"), wire.port("in"))
+        if p["mode"] == "routed":
+            fan = body.instance("fan", Demux, route=_route_by_target)
+        else:
+            fan = body.instance("fan", Tee, mode="all")
+        body.connect(wire.port("out"), fan.port("in"))
+        body.export("in", arb, "in")
+        body.export("out", fan, "out")

@@ -1,0 +1,20 @@
+"""Orion — power/performance attribute models for the CCL (§3.3, [26]).
+
+Dynamic (switched-capacitance), leakage (exponential-in-temperature)
+and thermal (lumped RC) models of network components, driven by the
+activity statistics the structural CCL components collect.
+"""
+
+from .power import (DEFAULT_TECH, LinkEnergyModel, RouterEnergyModel,
+                    TechParams, network_power_report, router_event_counts,
+                    router_power)
+from .thermal import ThermalRC
+from .area import RouterAreaModel, network_area_mm2
+
+__all__ = [
+    "TechParams", "DEFAULT_TECH",
+    "RouterEnergyModel", "LinkEnergyModel",
+    "router_event_counts", "router_power", "network_power_report",
+    "ThermalRC",
+    "RouterAreaModel", "network_area_mm2",
+]

@@ -1,0 +1,73 @@
+"""Router/link area models (the third Orion attribute class).
+
+Orion's attribute models cover "key design parameters in diverse
+applications" (§3.3); besides power and thermals, silicon area is the
+classic constraint for on-chip networks.  Same approach as the power
+models: structural parameter counts times synthetic per-element areas
+(documented substitution — shapes, not absolute microns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .power import DEFAULT_TECH, TechParams
+
+
+class RouterAreaModel:
+    """Area of one router from its geometry.
+
+    Components: buffer cells (6T-ish per bit), crossbar (quadratic in
+    ports, linear in flit width), allocation/arbiter logic (quadratic
+    in ports), and a fixed control overhead.
+    """
+
+    #: Synthetic per-element areas in um^2 (0.18um-flavoured).
+    CELL_UM2 = 4.5
+    XBAR_POINT_UM2 = 2.5
+    ARB_GATE_UM2 = 8.0
+    CONTROL_UM2 = 1500.0
+
+    def __init__(self, ports: int = 5, flit_bits: int = 64,
+                 buffer_depth: int = 4, vcs: int = 1,
+                 tech: TechParams = DEFAULT_TECH):
+        self.ports = ports
+        self.flit_bits = flit_bits
+        self.buffer_depth = buffer_depth
+        self.vcs = vcs
+        self.tech = tech
+
+    @property
+    def buffer_um2(self) -> float:
+        return (self.CELL_UM2 * self.flit_bits * self.buffer_depth
+                * self.vcs * self.ports)
+
+    @property
+    def crossbar_um2(self) -> float:
+        return self.XBAR_POINT_UM2 * self.ports ** 2 * self.flit_bits
+
+    @property
+    def arbiter_um2(self) -> float:
+        return self.ARB_GATE_UM2 * self.ports ** 2 * self.vcs
+
+    @property
+    def total_um2(self) -> float:
+        return (self.buffer_um2 + self.crossbar_um2 + self.arbiter_um2
+                + self.CONTROL_UM2)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component areas in um^2 plus the total."""
+        return {"buffer_um2": self.buffer_um2,
+                "crossbar_um2": self.crossbar_um2,
+                "arbiter_um2": self.arbiter_um2,
+                "control_um2": self.CONTROL_UM2,
+                "total_um2": self.total_um2}
+
+
+def network_area_mm2(n_routers: int, model: RouterAreaModel,
+                     link_mm: float = 1.0, n_links: int = 0,
+                     link_um2_per_mm_bit: float = 0.8) -> float:
+    """Total network area in mm^2 (routers + repeated links)."""
+    routers = n_routers * model.total_um2
+    links = n_links * link_mm * link_um2_per_mm_bit * model.flit_bits
+    return (routers + links) / 1e6

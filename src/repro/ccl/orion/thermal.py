@@ -1,0 +1,60 @@
+"""Thermal impact of networks (§3.3: "Orion characterizes ... the
+thermal impact of networks").
+
+A lumped-RC thermal node per component: temperature relaxes toward
+``ambient + P * r_th`` with time constant ``tau``.  Coupled with the
+leakage model this reproduces the classic positive feedback loop
+(hotter -> leakier -> hotter) and its stable/runaway regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+
+class ThermalRC:
+    """One lumped thermal node.
+
+    Parameters
+    ----------
+    r_th_k_per_w:
+        Thermal resistance junction-to-ambient (K/W).
+    tau_s:
+        Thermal time constant (seconds).
+    ambient_k:
+        Ambient temperature (kelvin).
+    """
+
+    def __init__(self, r_th_k_per_w: float = 40.0, tau_s: float = 0.01,
+                 ambient_k: float = 300.0):
+        self.r_th = r_th_k_per_w
+        self.tau = tau_s
+        self.ambient = ambient_k
+        self.temperature = ambient_k
+
+    def step(self, power_w: float, dt_s: float) -> float:
+        """Advance the node by ``dt_s`` seconds under ``power_w`` watts."""
+        target = self.ambient + power_w * self.r_th
+        alpha = min(1.0, dt_s / self.tau)
+        self.temperature += alpha * (target - self.temperature)
+        return self.temperature
+
+    def settle(self, power_fn: Callable[[float], float],
+               dt_s: float = 1e-3, max_steps: int = 100_000,
+               tol_k: float = 1e-6) -> Tuple[float, bool]:
+        """Iterate ``T -> power_fn(T) -> T`` to a fixed point.
+
+        ``power_fn(temperature) -> watts`` typically combines a constant
+        dynamic term with temperature-dependent leakage.  Returns
+        ``(temperature, converged)``; ``converged=False`` signals
+        thermal runaway (temperature still rising at ``max_steps`` or
+        exceeding 1000 K).
+        """
+        for _ in range(max_steps):
+            before = self.temperature
+            self.step(power_fn(self.temperature), dt_s)
+            if self.temperature > 1000.0:
+                return self.temperature, False
+            if abs(self.temperature - before) < tol_k:
+                return self.temperature, True
+        return self.temperature, False

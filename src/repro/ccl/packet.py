@@ -1,0 +1,82 @@
+"""Network packets and transactions for the CCL."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Tuple
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A network packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint identifiers.  For mesh topologies these are
+        ``(x, y)`` coordinates; for buses, port indices.
+    payload:
+        Arbitrary cargo (often a :class:`~repro.pcl.memory.MemRequest`
+        for NoC-attached memory traffic).
+    size:
+        Packet size in flits; routers charge ``size`` cycles of link
+        occupancy per hop when ``flit_accurate`` service is enabled.
+    created:
+        Birth timestep (set by traffic generators; consumed by
+        latency-measuring sinks).
+    hops:
+        Incremented by each router traversed (for hop-count stats).
+    pid:
+        Globally unique packet id.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size", "created", "hops", "pid",
+                 "meta")
+
+    def __init__(self, src, dst, payload: Any = None, size: int = 1,
+                 created: int = 0, meta: Any = None):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.created = created
+        self.hops = 0
+        self.pid = next(_packet_ids)
+        self.meta = meta
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Packet) and other.pid == self.pid
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+    def __repr__(self) -> str:
+        return (f"Packet#{self.pid}({self.src}->{self.dst}, "
+                f"size={self.size}, hops={self.hops})")
+
+
+class BusTransaction:
+    """A transaction on a shared bus: target port index plus payload."""
+
+    __slots__ = ("initiator", "target", "payload", "created", "tid")
+
+    _ids = itertools.count()
+
+    def __init__(self, initiator: int, target: Optional[int],
+                 payload: Any = None, created: int = 0):
+        self.initiator = initiator
+        self.target = target          # None = broadcast
+        self.payload = payload
+        self.created = created
+        self.tid = next(BusTransaction._ids)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BusTransaction) and other.tid == self.tid
+
+    def __hash__(self) -> int:
+        return hash(self.tid)
+
+    def __repr__(self) -> str:
+        target = "bcast" if self.target is None else self.target
+        return f"BusTxn#{self.tid}({self.initiator}->{target})"

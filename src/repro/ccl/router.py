@@ -1,0 +1,111 @@
+"""Structural packet routers composed from PCL primitives.
+
+:class:`Router` is a hierarchical template assembled *entirely* from
+library primitives, exactly as the paper prescribes (§3.1, §3.3):
+
+* its per-port input buffers are :class:`~repro.pcl.buffer.Buffer`
+  instances — the same template that models instruction windows and
+  reorder buffers in UPL (the §2.1 reuse claim);
+* route computation is a :class:`~repro.pcl.routing.Demux` customized
+  with a topology-supplied routing function (an algorithmic parameter);
+* per-output arbitration is the PCL :class:`~repro.pcl.arbiter.Arbiter`
+  ("the same arbiter module can be used in CCL to control access to
+  network buffers and links").
+
+Dataflow (for a P-port router)::
+
+    in[i] -> Buffer_i -> Demux_i --out[j]--> Arbiter_j -> out[j]
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import HierBody, HierTemplate, Parameter, PortDecl, INPUT, OUTPUT
+from ..pcl.arbiter import Arbiter, round_robin
+from ..pcl.buffer import Buffer, fifo_policy
+from ..pcl.routing import Demux
+from .link import Link
+from .topology import LOCAL, Mesh
+
+
+class Router(HierTemplate):
+    """A P-port packet router built from Buffer + Demux + Arbiter.
+
+    Parameters
+    ----------
+    ports:
+        Number of input/output ports (5 for a mesh router: N/S/E/W/L).
+    depth:
+        Input buffer depth (flits/packets per port).
+    route:
+        Algorithmic: ``route(packet, out_width, now) -> output index``
+        (use ``Mesh.xy_route(node)`` etc.).
+    policy:
+        Output arbitration policy (default round-robin).
+
+    Ports ``in``/``out`` are index-exported: connect with explicit
+    indices (``router.port('in', topology.EAST)``).
+    """
+
+    PARAMS = (
+        Parameter("ports", 5, validate=lambda v: v >= 2),
+        Parameter("depth", 4, validate=lambda v: v >= 1),
+        Parameter("route", None, kind="algorithmic"),
+        Parameter("policy", round_robin, kind="algorithmic"),
+    )
+    PORTS = (
+        PortDecl("in", INPUT),
+        PortDecl("out", OUTPUT),
+    )
+
+    def build(self, body: HierBody, p: Dict) -> None:
+        nports = p["ports"]
+        demuxes = []
+        arbiters = []
+        for i in range(nports):
+            buf = body.instance(f"buf{i}", Buffer, depth=p["depth"],
+                                select_policy=fifo_policy)
+            dmx = body.instance(f"rc{i}", Demux, route=p["route"])
+            body.connect(buf.port("out"), dmx.port("in"))
+            body.export("in", buf, "in", outer_index=i)
+            demuxes.append(dmx)
+        for j in range(nports):
+            arb = body.instance(f"arb{j}", Arbiter, policy=p["policy"])
+            arbiters.append(arb)
+            body.export("out", arb, "out", outer_index=j)
+        for i, dmx in enumerate(demuxes):
+            for j, arb in enumerate(arbiters):
+                body.connect(dmx.port("out", j), arb.port("in", i))
+
+
+def build_mesh_network(body, mesh: Mesh, *, depth: int = 4,
+                       link_latency: int = 1, routing: str = "xy",
+                       policy: Callable = round_robin,
+                       prefix: str = "") -> Dict[Tuple[int, int], object]:
+    """Instantiate a full mesh/torus network into a specification body.
+
+    Creates one :class:`Router` per node and one :class:`Link` per
+    directed edge, wiring ``a.out[dir] -> link -> b.in[opposite]``.
+    Returns ``{node: router handle}``; attach endpoints to each
+    router's LOCAL ports (``router.port('in', LOCAL)`` /
+    ``router.port('out', LOCAL)``).
+
+    ``routing`` selects ``'xy'`` or ``'yx'`` dimension-ordered routing.
+    """
+    route_of = mesh.xy_route if routing == "xy" else mesh.yx_route
+    routers: Dict[Tuple[int, int], object] = {}
+    for node in mesh.nodes():
+        name = prefix + mesh.node_name(node)
+        routers[node] = body.instance(name, Router,
+                                      ports=mesh.ports_per_router,
+                                      depth=depth,
+                                      route=route_of(node),
+                                      policy=policy)
+    for a, out_dir, b, in_dir in mesh.links():
+        link_name = (f"{prefix}l_{a[0]}_{a[1]}_"
+                     f"{'nsew'[out_dir]}")
+        link = body.instance(link_name, Link, latency=link_latency)
+        body.connect(routers[a].port("out", out_dir), link.port("in"))
+        body.connect(link.port("out"), routers[b].port("in", in_dir))
+    return routers

@@ -1,0 +1,174 @@
+"""Network topologies: mesh, torus, ring — geometry and routing.
+
+A topology object answers geometric questions (node enumeration,
+neighbor/port maps, deterministic routes) and provides per-node routing
+functions that are handed to routers as *algorithmic parameters*.
+
+Port numbering convention for grid networks (used by routers, links and
+builders alike)::
+
+    0=NORTH (y-1)   1=SOUTH (y+1)   2=EAST (x+1)   3=WEST (x-1)
+    4=LOCAL (the attached node)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+NORTH, SOUTH, EAST, WEST, LOCAL = 0, 1, 2, 3, 4
+DIR_NAMES = ("N", "S", "E", "W", "L")
+_OPPOSITE = {NORTH: SOUTH, SOUTH: NORTH, EAST: WEST, WEST: EAST}
+
+Coord = Tuple[int, int]
+
+
+class Mesh:
+    """A ``width`` x ``height`` 2D mesh."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+
+    @property
+    def ports_per_router(self) -> int:
+        return 5
+
+    def nodes(self) -> List[Coord]:
+        return [(x, y) for y in range(self.height) for x in range(self.width)]
+
+    def node_name(self, node: Coord) -> str:
+        return f"r_{node[0]}_{node[1]}"
+
+    def neighbor(self, node: Coord, direction: int) -> Optional[Coord]:
+        x, y = node
+        if direction == NORTH and y > 0:
+            return (x, y - 1)
+        if direction == SOUTH and y < self.height - 1:
+            return (x, y + 1)
+        if direction == EAST and x < self.width - 1:
+            return (x + 1, y)
+        if direction == WEST and x > 0:
+            return (x - 1, y)
+        return None
+
+    def links(self) -> List[Tuple[Coord, int, Coord, int]]:
+        """All unidirectional links: (from, out_dir, to, in_dir)."""
+        out = []
+        for node in self.nodes():
+            for direction in (NORTH, SOUTH, EAST, WEST):
+                peer = self.neighbor(node, direction)
+                if peer is not None:
+                    out.append((node, direction, peer, _OPPOSITE[direction]))
+        return out
+
+    def hop_distance(self, a: Coord, b: Coord) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def xy_route(self, node: Coord) -> Callable:
+        """Dimension-ordered (XY) routing function for the router at
+        ``node`` — X first, then Y, then LOCAL.
+
+        Returned callable matches the :class:`~repro.pcl.routing.Demux`
+        algorithmic contract: ``route(packet, out_width, now) -> index``.
+        """
+        x, y = node
+
+        def route(packet, out_width: int, now: int) -> int:
+            dx, dy = packet.dst
+            if dx > x:
+                return EAST
+            if dx < x:
+                return WEST
+            if dy > y:
+                return SOUTH
+            if dy < y:
+                return NORTH
+            return LOCAL
+
+        return route
+
+    def yx_route(self, node: Coord) -> Callable:
+        """Y-then-X dimension-ordered routing (ablation partner of XY)."""
+        x, y = node
+
+        def route(packet, out_width: int, now: int) -> int:
+            dx, dy = packet.dst
+            if dy > y:
+                return SOUTH
+            if dy < y:
+                return NORTH
+            if dx > x:
+                return EAST
+            if dx < x:
+                return WEST
+            return LOCAL
+
+        return route
+
+
+class Torus(Mesh):
+    """A 2D torus: the mesh with wraparound links."""
+
+    def neighbor(self, node: Coord, direction: int) -> Optional[Coord]:
+        x, y = node
+        if direction == NORTH:
+            return (x, (y - 1) % self.height)
+        if direction == SOUTH:
+            return (x, (y + 1) % self.height)
+        if direction == EAST:
+            return ((x + 1) % self.width, y)
+        if direction == WEST:
+            return ((x - 1) % self.width, y)
+        return None
+
+    def hop_distance(self, a: Coord, b: Coord) -> int:
+        dx = abs(a[0] - b[0])
+        dy = abs(a[1] - b[1])
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def xy_route(self, node: Coord) -> Callable:
+        """Minimal dimension-ordered routing with wraparound choice."""
+        x, y = node
+        width, height = self.width, self.height
+
+        def route(packet, out_width: int, now: int) -> int:
+            dx, dy = packet.dst
+            if dx != x:
+                right = (dx - x) % width
+                left = (x - dx) % width
+                return EAST if right <= left else WEST
+            if dy != y:
+                down = (dy - y) % height
+                up = (y - dy) % height
+                return SOUTH if down <= up else NORTH
+            return LOCAL
+
+        return route
+
+
+class Ring:
+    """A unidirectional ring of ``n`` nodes (ports: 0=NEXT, 1=LOCAL)."""
+
+    NEXT, RING_LOCAL = 0, 1
+
+    def __init__(self, n: int):
+        self.n = n
+
+    @property
+    def ports_per_router(self) -> int:
+        return 2
+
+    def nodes(self) -> List[int]:
+        return list(range(self.n))
+
+    def node_name(self, node: int) -> str:
+        return f"r_{node}"
+
+    def hop_distance(self, a: int, b: int) -> int:
+        return (b - a) % self.n
+
+    def route(self, node: int) -> Callable:
+        def route(packet, out_width: int, now: int) -> int:
+            return Ring.RING_LOCAL if packet.dst == node else Ring.NEXT
+
+        return route

@@ -1,0 +1,45 @@
+"""Core of the Liberty Simulation Environment reproduction.
+
+Re-exports the public names of the specification layer (LSS, templates,
+ports, parameters), the communication contract (signal statuses,
+control functions), and the constructor/engine entry points.
+"""
+
+from .collector import Histogram, StatsRegistry, WireProbe
+from .constructor import build_design, build_simulator, elaborate
+from .control import (ControlFunction, always_ack, compose, gate_enable,
+                      map_data, never_ack, squash_when)
+from .engine import Simulator
+from .errors import (CombinationalCycleError, ContractViolationError,
+                     FirmwareError, LibertyError, MonotonicityError,
+                     ParameterError, ParseError, SimulationError,
+                     SpecificationError, TypeMismatchError, WiringError)
+from .lss import LSS
+from .module import HierBody, HierTemplate, LeafModule, ack, fwd
+from .params import Parameter, REQUIRED
+from .parser import library_env, parse_lss
+from .ports import INPUT, OUTPUT, PortDecl, in_port, out_port
+from .signals import CtrlStatus, DataStatus, Wire
+from .typesys import ANY, BITS, FLOAT, INT, Struct, Token, WireType, token
+
+__all__ = [
+    # spec layer
+    "LSS", "LeafModule", "HierTemplate", "HierBody", "Parameter", "REQUIRED",
+    "PortDecl", "in_port", "out_port", "INPUT", "OUTPUT", "fwd", "ack",
+    # types
+    "WireType", "ANY", "INT", "FLOAT", "BITS", "Token", "Struct", "token",
+    # contract
+    "DataStatus", "CtrlStatus", "Wire",
+    "ControlFunction", "squash_when", "map_data", "always_ack", "never_ack",
+    "gate_enable", "compose",
+    # construction & engines
+    "elaborate", "build_design", "build_simulator", "Simulator",
+    "parse_lss", "library_env",
+    # instrumentation
+    "StatsRegistry", "Histogram", "WireProbe",
+    # errors
+    "LibertyError", "SpecificationError", "ParameterError", "WiringError",
+    "TypeMismatchError", "ParseError", "SimulationError",
+    "MonotonicityError", "CombinationalCycleError",
+    "ContractViolationError", "FirmwareError",
+]

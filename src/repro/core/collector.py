@@ -1,0 +1,164 @@
+"""Instrumentation: counters, histograms, and wire probes.
+
+LSE instruments models through *collectors* attached to instances and
+connections without modifying module code.  This module provides the
+runtime statistics registry every simulator carries (``sim.stats``) and
+the probe mechanism used to trace transfers on selected wires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """A streaming histogram/accumulator of numeric samples.
+
+    Tracks count, sum, min, max and the sum of squares so mean and
+    standard deviation are O(1); optionally keeps raw samples when
+    ``keep_samples`` is set (used by latency-distribution reports).
+    """
+
+    __slots__ = ("count", "total", "sq_total", "min", "max", "samples")
+
+    def __init__(self, keep_samples: bool = False):
+        self.count = 0
+        self.total = 0.0
+        self.sq_total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples: Optional[List[float]] = [] if keep_samples else None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.sq_total += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.samples is not None:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        m = self.mean
+        return max(0.0, self.sq_total / self.count - m * m)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """Empirical percentile; requires ``keep_samples=True``."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "Histogram(empty)"
+        return (f"Histogram(n={self.count}, mean={self.mean:.3f}, "
+                f"min={self.min:.3f}, max={self.max:.3f})")
+
+
+class StatsRegistry:
+    """Per-simulator statistics store.
+
+    Counters and histograms are keyed by ``(instance path, name)``.
+    Instance paths use ``/`` separators reflecting the flattened
+    hierarchy (e.g. ``"cpu0/fetch"``).
+    """
+
+    def __init__(self, keep_samples: bool = False):
+        self._counters: Dict[Tuple[str, str], float] = {}
+        self._hists: Dict[Tuple[str, str], Histogram] = {}
+        self._keep_samples = keep_samples
+
+    # -- counters -------------------------------------------------------
+    def add(self, path: str, name: str, n: float = 1) -> None:
+        key = (path, name)
+        self._counters[key] = self._counters.get(key, 0) + n
+
+    def counter(self, path: str, name: str) -> float:
+        return self._counters.get((path, name), 0)
+
+    def counters_named(self, name: str) -> Dict[str, float]:
+        """All instances' values of the counter ``name``."""
+        return {p: v for (p, n), v in self._counters.items() if n == name}
+
+    def total(self, name: str) -> float:
+        """Sum of the counter ``name`` across all instances."""
+        return sum(self.counters_named(name).values())
+
+    # -- histograms ------------------------------------------------------
+    def sample(self, path: str, name: str, value: float) -> None:
+        key = (path, name)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram(keep_samples=self._keep_samples)
+        hist.add(value)
+
+    def histogram(self, path: str, name: str) -> Histogram:
+        key = (path, name)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = Histogram(keep_samples=self._keep_samples)
+        return hist
+
+    def histograms_named(self, name: str) -> Dict[str, Histogram]:
+        return {p: h for (p, n), h in self._hists.items() if n == name}
+
+    # -- reporting --------------------------------------------------------
+    def report(self, prefix: str = "") -> str:
+        """Human-readable multi-line report, optionally path-filtered."""
+        lines: List[str] = []
+        for (path, name), value in sorted(self._counters.items()):
+            if path.startswith(prefix):
+                lines.append(f"{path}:{name} = {value:g}")
+        for (path, name), hist in sorted(self._hists.items()):
+            if path.startswith(prefix):
+                lines.append(f"{path}:{name} ~ {hist!r}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``"path:name" -> value`` dict of all counters."""
+        return {f"{p}:{n}": v for (p, n), v in self._counters.items()}
+
+
+class WireProbe:
+    """Records every transfer on a watched wire.
+
+    Attach with :meth:`repro.core.engine.Simulator.probe`; the engine
+    appends ``(timestep, value)`` tuples as transfers complete.
+    """
+
+    __slots__ = ("label", "log", "limit")
+
+    def __init__(self, label: str, limit: Optional[int] = None):
+        self.label = label
+        self.log: List[Tuple[int, Any]] = []
+        self.limit = limit
+
+    def record(self, now: int, value: Any) -> None:
+        if self.limit is None or len(self.log) < self.limit:
+            self.log.append((now, value))
+
+    @property
+    def count(self) -> int:
+        return len(self.log)
+
+    def values(self) -> List[Any]:
+        return [v for _, v in self.log]
+
+    def __repr__(self) -> str:
+        return f"WireProbe({self.label!r}, {len(self.log)} transfers)"

@@ -1,0 +1,179 @@
+"""Control functions: per-connection overrides of default control (§2.1).
+
+LSE's default control semantics let users wire only the datapath; when a
+system needs non-default control, the user attaches a *control function*
+to a connection.  A control function transforms signals **as they are
+committed to the wire**, without either endpoint module knowing:
+
+* the **forward transform** rewrites ``(data_status, value, enable)``
+  between the source's drive and the wire (it runs once both forward
+  signals have been driven, so it always sees a consistent pair);
+* the **backward transform** rewrites ``ack`` between the destination's
+  drive and the wire.
+
+Each endpoint's ``took()`` is judged against its *own* raw drive plus
+the transformed signals it observes (see :mod:`repro.core.signals`),
+so e.g. ``squash_when`` drops data (source advances, destination sees
+nothing) and ``never_ack`` stalls (source retries, destination consumes
+nothing) — both without perturbing either module's code.
+
+To preserve the monotone reactive semantics, a transform must be
+*strict in UNKNOWN*: an UNKNOWN input signal must map to UNKNOWN (the
+wrappers here raise on violations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from .errors import SpecificationError
+from .signals import CtrlStatus, DataStatus
+
+ForwardTransform = Callable[[DataStatus, Any, CtrlStatus],
+                            Tuple[DataStatus, Any, CtrlStatus]]
+BackwardTransform = Callable[[CtrlStatus], CtrlStatus]
+
+
+def _identity_forward(ds: DataStatus, dv: Any, en: CtrlStatus):
+    return ds, dv, en
+
+
+def _identity_backward(ack: CtrlStatus) -> CtrlStatus:
+    return ack
+
+
+class ControlFunction:
+    """A pair of signal transforms attached to one connection.
+
+    Parameters
+    ----------
+    forward:
+        Rewrites the destination's view of ``(data, value, enable)``.
+    backward:
+        Rewrites the source's view of ``ack``.
+    name:
+        Label used in diagnostics and the visualizer.
+    """
+
+    __slots__ = ("forward", "backward", "name")
+
+    def __init__(self,
+                 forward: Optional[ForwardTransform] = None,
+                 backward: Optional[BackwardTransform] = None,
+                 name: str = "control"):
+        self.forward = forward or _identity_forward
+        self.backward = backward or _identity_backward
+        self.name = name
+
+    def transform_forward(self, ds: DataStatus, dv: Any, en: CtrlStatus):
+        if ds is DataStatus.UNKNOWN and en is CtrlStatus.UNKNOWN:
+            return ds, dv, en  # strictness fast-path
+        out = self.forward(ds, dv, en)
+        if ds is DataStatus.UNKNOWN and out[0] is not DataStatus.UNKNOWN:
+            raise SpecificationError(
+                f"control function {self.name!r} is not strict in UNKNOWN data")
+        if en is CtrlStatus.UNKNOWN and out[2] is not CtrlStatus.UNKNOWN:
+            raise SpecificationError(
+                f"control function {self.name!r} is not strict in UNKNOWN enable")
+        return out
+
+    def transform_backward(self, ack: CtrlStatus) -> CtrlStatus:
+        if ack is CtrlStatus.UNKNOWN:
+            return ack
+        return self.backward(ack)
+
+    def __repr__(self) -> str:
+        return f"ControlFunction({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Built-in control functions (a small standard library of overrides)
+# ----------------------------------------------------------------------
+
+def squash_when(predicate: Callable[[Any], bool],
+                name: str = "squash_when") -> ControlFunction:
+    """Drop (turn into NOTHING) any datum for which ``predicate`` holds.
+
+    A classic use in the paper's domain: squashing wrong-path
+    instructions between pipeline stages without modifying either stage.
+    """
+
+    def fwd(ds, dv, en):
+        if ds is DataStatus.SOMETHING and predicate(dv):
+            return DataStatus.NOTHING, None, CtrlStatus.DEASSERTED
+        return ds, dv, en
+
+    return ControlFunction(forward=fwd, name=name)
+
+
+def map_data(fn: Callable[[Any], Any], name: str = "map_data") -> ControlFunction:
+    """Apply ``fn`` to every datum crossing the connection."""
+
+    def fwd(ds, dv, en):
+        if ds is DataStatus.SOMETHING:
+            return ds, fn(dv), en
+        return ds, dv, en
+
+    return ControlFunction(forward=fwd, name=name)
+
+
+def always_ack(name: str = "always_ack") -> ControlFunction:
+    """Make the source see every resolved ack as ASSERTED.
+
+    Turns a backpressured connection into a fire-and-forget one (data
+    the destination refuses is silently dropped from the source's point
+    of view).
+    """
+
+    def bwd(ack):
+        return CtrlStatus.ASSERTED
+
+    return ControlFunction(backward=bwd, name=name)
+
+
+def never_ack(name: str = "never_ack") -> ControlFunction:
+    """Block the connection: stall the source, starve the destination.
+
+    The source sees every resolved ack as DEASSERTED (so it retries
+    forever) and the destination sees every datum as uncommitted (so it
+    never consumes) — a wire held in reset.
+    """
+
+    def fwd(ds, dv, en):
+        if en is CtrlStatus.ASSERTED:
+            return ds, dv, CtrlStatus.DEASSERTED
+        return ds, dv, en
+
+    def bwd(ack):
+        return CtrlStatus.DEASSERTED
+
+    return ControlFunction(forward=fwd, backward=bwd, name=name)
+
+
+def gate_enable(flag: Callable[[], bool], name: str = "gate_enable") -> ControlFunction:
+    """Force enable DEASSERTED (datum not committed) while ``flag()`` is False.
+
+    The callable is sampled when the destination reads the connection;
+    it must not depend on unresolved signals of the same timestep.
+    """
+
+    def fwd(ds, dv, en):
+        if en is CtrlStatus.ASSERTED and not flag():
+            return ds, dv, CtrlStatus.DEASSERTED
+        return ds, dv, en
+
+    return ControlFunction(forward=fwd, name=name)
+
+
+def compose(first: ControlFunction, second: ControlFunction,
+            name: Optional[str] = None) -> ControlFunction:
+    """Compose two control functions (``first`` applied nearest the wire)."""
+
+    def fwd(ds, dv, en):
+        return second.forward(*first.forward(ds, dv, en))
+
+    def bwd(ack):
+        return first.backward(second.backward(ack))
+
+    return ControlFunction(forward=fwd, backward=bwd,
+                           name=name or f"{second.name}∘{first.name}")

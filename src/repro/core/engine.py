@@ -1,0 +1,267 @@
+"""The reactive simulation engine (paper §2.3).
+
+LSE fixes its model of computation to a reactive one: within each
+timestep, every signal resolves monotonically from UNKNOWN to a known
+value; modules react as their inputs resolve; when all signals are
+known, sequential state commits and time advances.  This module
+implements the reference **worklist** engine:
+
+* at the start of a timestep all non-constant signals become UNKNOWN
+  and every instance is scheduled once (modules may drive outputs from
+  internal state alone);
+* whenever a signal becomes known, the instance that *reads* it is
+  rescheduled (the destination for forward signals, the source for
+  ack);
+* when the worklist drains with signals still UNKNOWN, the configured
+  ``cycle_policy`` applies: ``'error'`` raises
+  :class:`~repro.core.errors.CombinationalCycleError` with a diagnostic
+  of the unresolved wires; ``'relax'`` forces the lowest-numbered
+  unresolved signal to its pessimistic default (NOTHING/DEASSERTED) and
+  resumes — forced signals can never produce a transfer, so relaxation
+  is conservative;
+* once everything is resolved the engine logs transfers, fires wire
+  probes, calls every instance's ``update()`` and advances ``now``.
+
+The statically-scheduled engines in :mod:`repro.core.optimize` and
+:mod:`repro.core.codegen` implement identical semantics with less
+runtime scheduling overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .collector import StatsRegistry, WireProbe
+from .errors import CombinationalCycleError, SimulationError
+from .netlist import Design
+from .signals import (ALL_SIGNALS, CtrlStatus, DataStatus, SIG_ACK, SIG_DATA,
+                      SIG_ENABLE, Wire)
+
+#: Upper bound on relaxations per timestep before declaring livelock.
+_MAX_RELAX_FACTOR = 3
+
+
+class SimulatorBase:
+    """State and services shared by all engine implementations."""
+
+    def __init__(self, design: Design, *, cycle_policy: str = "relax",
+                 seed: Optional[int] = None, keep_samples: bool = False):
+        if design._owned:
+            raise SimulationError(
+                "this Design is already animated by another simulator; "
+                "build a fresh one per simulator")
+        design._owned = True
+        if cycle_policy not in ("relax", "error"):
+            raise SimulationError(
+                f"cycle_policy must be 'relax' or 'error', got {cycle_policy!r}")
+        self.design = design
+        self.cycle_policy = cycle_policy
+        self.now = 0
+        self.stats = StatsRegistry(keep_samples=keep_samples)
+        self.rng = np.random.default_rng(seed)
+        self.transfers_total = 0
+        self.relaxations_total = 0
+        self._probes: Dict[int, WireProbe] = {}
+        self._observers: List = []
+        self._instances: List = list(design.leaves.values())
+        self._wires: List[Wire] = design.wires
+        self._unknown = 0
+        self._initialized = False
+        for wire in self._wires:
+            wire.engine = self
+        for inst in self._instances:
+            inst.sim = self
+        # Cache which instances override update() to skip no-op calls.
+        default_update = _find_base_method("update")
+        self._updaters = [i for i in self._instances
+                          if type(i).update is not default_update]
+        # Initialize every instance eagerly: ports are already bound and
+        # ``sim`` is set, so module state (memories, rings, FSMs) is
+        # inspectable before the first timestep runs.
+        self._do_init()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def instances(self) -> Dict[str, object]:
+        """``path -> LeafModule`` mapping of the animated design."""
+        return self.design.leaves
+
+    def instance(self, path: str):
+        try:
+            return self.design.leaves[path]
+        except KeyError:
+            raise SimulationError(
+                f"no instance {path!r}; known: {sorted(self.design.leaves)[:10]}...")
+
+    def probe(self, wire: Wire, label: Optional[str] = None,
+              limit: Optional[int] = None) -> WireProbe:
+        """Attach a transfer probe to ``wire`` and return it."""
+        probe = WireProbe(label or repr(wire), limit=limit)
+        self._probes[wire.wid] = probe
+        wire.watched = True
+        return probe
+
+    def probe_between(self, src_path: str, src_port: str,
+                      dst_path: str, dst_port: str, nth: int = 0,
+                      **kw) -> WireProbe:
+        """Probe the ``nth`` wire between two named ports."""
+        return self.probe(self.design.wire_between(
+            src_path, src_port, dst_path, dst_port, nth), **kw)
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(sim)`` to run after each timestep resolves.
+
+        Observers fire once every signal is known but before sequential
+        state commits — the right moment to sample wire values (used by
+        the VCD tracer in :mod:`repro.core.trace`).
+        """
+        self._observers.append(fn)
+
+    def run(self, cycles: int) -> "SimulatorBase":
+        """Advance the simulation by ``cycles`` timesteps."""
+        if not self._initialized:
+            self._do_init()
+        for _ in range(cycles):
+            self._step()
+        return self
+
+    def step(self) -> "SimulatorBase":
+        """Advance by exactly one timestep."""
+        return self.run(1)
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+    def _do_init(self) -> None:
+        if self._initialized:
+            return
+        for inst in self._instances:
+            inst.init()
+        self._initialized = True
+
+    def _begin_step(self) -> None:
+        unknown = 0
+        for wire in self._wires:
+            unknown += wire.begin_step()
+        self._unknown = unknown
+
+    def _end_step(self) -> None:
+        transfers = 0
+        now = self.now
+        probes = self._probes
+        for wire in self._wires:
+            if wire.transfer_happened():
+                transfers += 1
+                wire.transfers += 1
+                if wire.watched:
+                    probe = probes.get(wire.wid)
+                    if probe is not None:
+                        probe.record(now, wire.data_value)
+        self.transfers_total += transfers
+        for observer in self._observers:
+            observer(self)
+        for inst in self._updaters:
+            inst.update()
+        self.now += 1
+
+    def _unresolved_report(self, limit: int = 12) -> str:
+        lines = []
+        for wire in self._wires:
+            missing = wire.unresolved()
+            if missing:
+                lines.append(f"  {wire!r}: {', '.join(missing)} unresolved")
+                if len(lines) >= limit:
+                    lines.append("  ...")
+                    break
+        return "\n".join(lines)
+
+    def _signal_known(self, wire: Wire, signal: str) -> None:
+        raise NotImplementedError
+
+    def _step(self) -> None:
+        raise NotImplementedError
+
+
+def _find_base_method(name: str):
+    from .module import LeafModule
+    return getattr(LeafModule, name)
+
+
+class Simulator(SimulatorBase):
+    """The reference worklist engine (dynamic reactive scheduling)."""
+
+    def __init__(self, design: Design, **kw):
+        super().__init__(design, **kw)
+        self._queue: deque = deque()
+        self._queued: Dict[int, bool] = {}
+        # Map wires to the instances sensitive to each signal's arrival.
+        self._fwd_reader = [None] * len(self._wires)
+        self._ack_reader = [None] * len(self._wires)
+        for wire in self._wires:
+            if wire.dst is not None:
+                self._fwd_reader[wire.wid] = wire.dst.instance
+            if wire.src is not None:
+                self._ack_reader[wire.wid] = wire.src.instance
+
+    # -- scheduling ------------------------------------------------------
+    def _enqueue(self, inst) -> None:
+        if inst is not None and not self._queued.get(id(inst), False):
+            self._queued[id(inst)] = True
+            self._queue.append(inst)
+
+    def _signal_known(self, wire: Wire, signal: str) -> None:
+        self._unknown -= 1
+        if signal == SIG_ACK:
+            self._enqueue(self._ack_reader[wire.wid])
+        else:
+            self._enqueue(self._fwd_reader[wire.wid])
+
+    # -- timestep --------------------------------------------------------
+    def _step(self) -> None:
+        self._begin_step()
+        queue = self._queue
+        queued = self._queued
+        for inst in self._instances:
+            queued[id(inst)] = True
+            queue.append(inst)
+
+        relax_budget = _MAX_RELAX_FACTOR * max(1, len(self._wires) * 3)
+        while self._unknown > 0:
+            while queue:
+                inst = queue.popleft()
+                queued[id(inst)] = False
+                inst.react()
+            if self._unknown <= 0:
+                break
+            # Worklist drained with unresolved signals: cycle policy.
+            if self.cycle_policy == "error":
+                raise CombinationalCycleError(
+                    f"timestep {self.now}: signal resolution reached a fixed "
+                    f"point with {self._unknown} signal(s) unresolved:\n"
+                    + self._unresolved_report())
+            self._relax_one()
+            relax_budget -= 1
+            if relax_budget <= 0:  # pragma: no cover - defensive
+                raise CombinationalCycleError(
+                    f"timestep {self.now}: relaxation did not converge")
+        # Drain any reactions scheduled by the final resolutions.
+        while queue:
+            inst = queue.popleft()
+            queued[id(inst)] = False
+            inst.react()
+        self._end_step()
+
+    def _relax_one(self) -> None:
+        """Force the first unresolved signal to its pessimistic default."""
+        for wire in self._wires:
+            for signal in (SIG_DATA, SIG_ENABLE, SIG_ACK):
+                if signal in wire.unresolved():
+                    wire.force_default(signal)
+                    self.relaxations_total += 1
+                    return
+        raise SimulationError("relax requested but no unresolved signal found")

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the Liberty Simulation Environment reproduction.
+
+Every error raised by the framework derives from :class:`LibertyError` so
+callers can catch framework problems without masking ordinary Python bugs
+inside user module code.
+"""
+
+from __future__ import annotations
+
+
+class LibertyError(Exception):
+    """Base class of all errors raised by the framework."""
+
+
+class SpecificationError(LibertyError):
+    """A Liberty Simulator Specification (LSS) is malformed.
+
+    Raised for duplicate instance names, references to unknown templates,
+    ports, or instances, and illegal export/connect statements.
+    """
+
+
+class ParameterError(SpecificationError):
+    """A template parameter binding is missing, unknown, or invalid."""
+
+
+class WiringError(SpecificationError):
+    """A connection is structurally illegal.
+
+    Examples: connecting two input ports, connecting a port index twice,
+    or exceeding a port's declared maximum width.
+    """
+
+
+class TypeMismatchError(SpecificationError):
+    """The wire types of two connected ports cannot be unified."""
+
+
+class ParseError(SpecificationError):
+    """The textual LSS source could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token in the source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SimulationError(LibertyError):
+    """Base class for errors raised while a simulator is running."""
+
+
+class MonotonicityError(SimulationError):
+    """A module attempted to change an already-resolved signal.
+
+    The reactive model of computation requires each signal to move from
+    UNKNOWN to a known value exactly once per timestep; re-driving the
+    same value is tolerated (idempotent handlers are encouraged), but
+    driving a *different* value is a semantic violation.
+    """
+
+
+class CombinationalCycleError(SimulationError):
+    """Signal resolution reached a fixed point with UNKNOWN signals left.
+
+    Raised only when the engine's ``cycle_policy`` is ``'error'``; with
+    ``'relax'`` the engine instead forces pessimistic defaults onto the
+    unresolved signals one at a time.
+    """
+
+
+class ContractViolationError(SimulationError):
+    """A module used the port API in a way the contract forbids.
+
+    Examples: acknowledging an output port, or sending on an input port.
+    """
+
+
+class FirmwareError(LibertyError):
+    """An error raised while assembling or executing LibertyRISC code."""

@@ -1,0 +1,88 @@
+"""The Liberty Simulator Specification (LSS) — the top-level system spec.
+
+An :class:`LSS` is the root specification body of Figure 1: the user
+instantiates customized module templates and connects their ports; the
+simulator constructor (:mod:`repro.core.constructor`) then elaborates,
+flattens, type-checks and schedules it into an executable simulator.
+
+Two front ends produce :class:`LSS` objects:
+
+* this Python-embedded DSL (``spec.instance(...)``, ``spec.connect(...)``);
+* the textual LSS language (:mod:`repro.core.parser`), which parses to
+  exactly the same objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .module import _Body, _SpecInstance, _SpecPortRef
+
+
+class LSS(_Body):
+    """A Liberty Simulator Specification.
+
+    Parameters
+    ----------
+    name:
+        Name of the specified system (used in diagnostics, codegen
+        module names and the visualizer).
+
+    Examples
+    --------
+    >>> from repro import LSS, build_simulator
+    >>> from repro.pcl import Source, Queue, Sink
+    >>> spec = LSS("pipeline")
+    >>> src = spec.instance("src", Source, pattern="always", payload=1)
+    >>> q = spec.instance("q", Queue, depth=4)
+    >>> snk = spec.instance("snk", Sink)
+    >>> spec.connect(src.port("out"), q.port("in"))
+    >>> spec.connect(q.port("out"), snk.port("in"))
+    >>> sim = build_simulator(spec)
+    >>> sim.run(10)  # doctest: +SKIP
+    """
+
+    def __init__(self, name: str):
+        super().__init__(label=f"LSS {name!r}")
+        self.name = name
+        #: Free-form metadata (the textual parser stores pragmas here).
+        self.meta: Dict[str, Any] = {}
+
+    def get_instance(self, name: str) -> _SpecInstance:
+        """Look up a previously created instance handle by name."""
+        try:
+            return self.instances[name]
+        except KeyError:
+            from .errors import SpecificationError
+            raise SpecificationError(
+                f"{self.label}: no instance named {name!r} "
+                f"(known: {sorted(self.instances)})") from None
+
+    def ref(self, dotted: str) -> _SpecPortRef:
+        """Resolve ``"inst.port"`` or ``"inst.port[3]"`` to a port ref.
+
+        Convenience mainly used by the textual front end and tests.
+        """
+        from .errors import SpecificationError
+        index: Optional[int] = None
+        text = dotted.strip()
+        if text.endswith("]"):
+            text, _, idx = text[:-1].rpartition("[")
+            try:
+                index = int(idx)
+            except ValueError:
+                raise SpecificationError(f"bad port index in {dotted!r}")
+        if text.count(".") != 1:
+            raise SpecificationError(
+                f"port reference {dotted!r} must look like 'instance.port'")
+        inst_name, port = text.split(".")
+        inst = self.get_instance(inst_name)
+        return _SpecPortRef(inst, port, index)
+
+    def summary(self) -> str:
+        """One-line structural summary (instances / connections)."""
+        return (f"LSS {self.name!r}: {len(self.instances)} instances, "
+                f"{len(self.connections)} connections")
+
+    def __repr__(self) -> str:
+        return f"<{self.summary()}>"

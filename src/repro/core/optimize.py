@@ -1,0 +1,251 @@
+"""Construction-time optimization: static signal scheduling (ref [22]).
+
+Because LSE fixes its model of computation, the specification can be
+*analyzed at construction time* (paper §2.3, citing Penry & August,
+DAC'03).  This module implements the flagship such optimization: a
+**levelized static schedule**.
+
+Every wire contributes two *signal groups*: its forward group
+(data+enable, driven by the source instance) and its ack group (driven
+by the destination).  Each leaf module's ``DEPS`` declaration tells us
+which input signal groups each driven group combinationally depends on
+(``DEPS = {}`` declares a fully registered module; ``DEPS = None`` is
+conservative: everything depends on everything).  From these we build a
+dependency graph over signal groups, condense its strongly connected
+components with :mod:`networkx`, and topologically order them.
+
+The resulting schedule replaces the dynamic worklist with a fixed
+sequence of ``react()`` calls — one per instance occurrence, with
+consecutive duplicates collapsed — plus small iterative *clusters* for
+any genuine combinational cycles.  Semantics are identical to the
+worklist engine; only scheduling overhead is removed.  The
+:mod:`repro.core.codegen` engine further compiles the schedule into
+generated Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .engine import SimulatorBase
+from .errors import CombinationalCycleError
+from .netlist import Design
+from .signals import SIG_ACK, SIG_DATA, SIG_ENABLE, Wire
+
+#: A signal group: ("fwd"|"ack", wire id)
+Group = Tuple[str, int]
+
+
+class ScheduleEntry:
+    """One step of the static schedule.
+
+    ``instances`` holds a single instance for acyclic steps, or the
+    members of a combinational cluster (an SCC of the signal graph) that
+    must be iterated to a fixed point.
+    """
+
+    __slots__ = ("instances", "cluster", "groups")
+
+    def __init__(self, instances: Sequence, cluster: bool,
+                 groups: Sequence[Group]):
+        self.instances = list(instances)
+        self.cluster = cluster
+        self.groups = list(groups)
+
+    def __repr__(self) -> str:
+        kind = "cluster" if self.cluster else "react"
+        names = ",".join(i.path for i in self.instances)
+        return f"<{kind} {names}>"
+
+
+def build_signal_graph(design: Design) -> nx.DiGraph:
+    """The signal-group dependency graph of a wired design.
+
+    Nodes are groups; an edge ``g1 -> g2`` means g2's driver may read
+    g1.  Constant (stub-driven) groups have no incoming edges.
+    """
+    graph = nx.DiGraph()
+    # Index wires per (instance, port) for dependency expansion.
+    by_port: Dict[Tuple[int, str], List[Wire]] = {}
+    for wire in design.wires:
+        if wire.src is not None:
+            by_port.setdefault((id(wire.src.instance), wire.src.port), []).append(wire)
+        if wire.dst is not None:
+            by_port.setdefault((id(wire.dst.instance), wire.dst.port), []).append(wire)
+
+    def groups_for(inst, key: Tuple[str, str]) -> List[Group]:
+        kind, port = key
+        out: List[Group] = []
+        for wire in by_port.get((id(inst), port), []):
+            if kind == "fwd":
+                out.append(("fwd", wire.wid))
+            else:
+                out.append(("ack", wire.wid))
+        return out
+
+    def driver_dep_keys(inst, driven_key: Tuple[str, str]) -> List[Tuple[str, str]]:
+        deps = inst.deps()
+        if deps is None:
+            # Conservative: all input fwd groups and all output ack groups.
+            keys: List[Tuple[str, str]] = []
+            for decl in inst.PORTS:
+                if decl.direction == "input":
+                    keys.append(("fwd", decl.name))
+                else:
+                    keys.append(("ack", decl.name))
+            return keys
+        return list(deps.get(driven_key, ()))
+
+    for wire in design.wires:
+        fwd_g: Group = ("fwd", wire.wid)
+        ack_g: Group = ("ack", wire.wid)
+        graph.add_node(fwd_g, wire=wire,
+                       driver=wire.src.instance if wire.src else None,
+                       const=wire.src is None)
+        graph.add_node(ack_g, wire=wire,
+                       driver=wire.dst.instance if wire.dst else None,
+                       const=wire.dst is None)
+
+    for wire in design.wires:
+        if wire.src is not None:
+            inst = wire.src.instance
+            for key in driver_dep_keys(inst, ("fwd", wire.src.port)):
+                for dep in groups_for(inst, key):
+                    graph.add_edge(dep, ("fwd", wire.wid))
+        if wire.dst is not None:
+            inst = wire.dst.instance
+            for key in driver_dep_keys(inst, ("ack", wire.dst.port)):
+                for dep in groups_for(inst, key):
+                    graph.add_edge(dep, ("ack", wire.wid))
+    return graph
+
+
+def build_schedule(design: Design) -> List[ScheduleEntry]:
+    """Condense the signal graph and emit the static schedule."""
+    graph = build_signal_graph(design)
+    condensed = nx.condensation(graph)
+    order = list(nx.topological_sort(condensed))
+    entries: List[ScheduleEntry] = []
+    for scc_id in order:
+        members: Set[Group] = set(condensed.nodes[scc_id]["members"])
+        drivers = []
+        seen_ids = set()
+        for group in sorted(members, key=lambda g: (g[1], g[0])):
+            node = graph.nodes[group]
+            if node["const"]:
+                continue
+            driver = node["driver"]
+            if id(driver) not in seen_ids:
+                seen_ids.add(id(driver))
+                drivers.append(driver)
+        if not drivers:
+            continue  # purely constant groups resolve at begin_step
+        cluster = len(members) > 1
+        if not cluster:
+            # Collapse runs of the same instance.
+            if entries and not entries[-1].cluster \
+                    and entries[-1].instances[0] is drivers[0]:
+                entries[-1].groups.extend(members)
+                continue
+        entries.append(ScheduleEntry(drivers, cluster, sorted(members)))
+    return entries
+
+
+class LevelizedSimulator(SimulatorBase):
+    """Statically scheduled engine; see module docstring.
+
+    Attributes
+    ----------
+    schedule:
+        The :class:`ScheduleEntry` list executed each timestep.
+    fallback_steps:
+        Number of timesteps in which the static schedule failed to
+        resolve every signal (symptom of an over-optimistic ``DEPS``
+        declaration) and the engine fell back to worklist-style
+        iteration.  0 for correct declarations.
+    """
+
+    def __init__(self, design: Design, **kw):
+        super().__init__(design, **kw)
+        self.schedule = build_schedule(design)
+        self.fallback_steps = 0
+        # Pre-resolve wire-id -> unresolved check sets per cluster.
+        self._cluster_wires: List[List[Wire]] = []
+        wire_by_id = {w.wid: w for w in self._wires}
+        for entry in self.schedule:
+            if entry.cluster:
+                wires = sorted({wire_by_id[wid] for _, wid in entry.groups},
+                               key=lambda w: w.wid)
+                self._cluster_wires.append(wires)
+            else:
+                self._cluster_wires.append([])
+
+    def _signal_known(self, wire: Wire, signal: str) -> None:
+        self._unknown -= 1
+
+    def _run_cluster(self, entry: ScheduleEntry, wires: List[Wire]) -> None:
+        """Iterate a combinational cluster to a fixed point."""
+        pending = True
+        guard = 3 * len(entry.groups) + 3
+        while pending and guard > 0:
+            guard -= 1
+            before = self._unknown
+            for inst in entry.instances:
+                inst.react()
+            pending = any(w.unresolved() for w in wires)
+            if pending and self._unknown == before:
+                # No progress: apply the cycle policy inside the cluster.
+                if self.cycle_policy == "error":
+                    raise CombinationalCycleError(
+                        f"timestep {self.now}: combinational cluster "
+                        f"{entry!r} did not converge:\n"
+                        + self._unresolved_report())
+                for wire in wires:
+                    missing = wire.unresolved()
+                    if missing:
+                        wire.force_default(missing[0])
+                        self.relaxations_total += 1
+                        break
+
+    def _step(self) -> None:
+        self._begin_step()
+        for entry, wires in zip(self.schedule, self._cluster_wires):
+            if entry.cluster:
+                self._run_cluster(entry, wires)
+            else:
+                entry.instances[0].react()
+        if self._unknown > 0:
+            self._fallback()
+        self._end_step()
+
+    def _fallback(self) -> None:
+        """Worklist-style safety net for mis-declared dependencies."""
+        self.fallback_steps += 1
+        guard = 3 * len(self._wires) * 3 + 3
+        while self._unknown > 0 and guard > 0:
+            guard -= 1
+            before = self._unknown
+            for inst in self._instances:
+                inst.react()
+            if self._unknown == before:
+                if self.cycle_policy == "error":
+                    raise CombinationalCycleError(
+                        f"timestep {self.now}: static schedule incomplete "
+                        f"and iteration stuck:\n" + self._unresolved_report())
+                for wire in self._wires:
+                    missing = wire.unresolved()
+                    if missing:
+                        wire.force_default(missing[0])
+                        self.relaxations_total += 1
+                        break
+
+    # ------------------------------------------------------------------
+    def schedule_report(self) -> str:
+        """Human-readable schedule listing (for docs and debugging)."""
+        lines = [f"static schedule for {self.design.name!r}: "
+                 f"{len(self.schedule)} entries"]
+        for i, entry in enumerate(self.schedule):
+            lines.append(f"  [{i:3d}] {entry!r} ({len(entry.groups)} groups)")
+        return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Template parameters: value parameters and *algorithmic* parameters.
+
+The paper (§2.1) distinguishes plain value parameters (a queue's depth)
+from **algorithmic parameters**, "parameters whose values describe
+functionality" — user-supplied functions through which a template's
+behaviour is adapted without touching its code.  Both kinds are modeled
+by :class:`Parameter`; algorithmic ones set ``kind='algorithmic'`` and
+are bound to callables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+
+from .errors import ParameterError
+
+
+class _Required:
+    """Sentinel marking a parameter with no default (must be bound)."""
+
+    def __repr__(self) -> str:
+        return "<required>"
+
+
+REQUIRED = _Required()
+
+
+class Parameter:
+    """Declaration of one template parameter.
+
+    Parameters
+    ----------
+    name:
+        Binding name used in LSS instantiations.
+    default:
+        Default value, or :data:`REQUIRED` to force explicit binding.
+    kind:
+        ``'value'`` or ``'algorithmic'``.  Algorithmic parameters must be
+        bound to callables.
+    validate:
+        Optional predicate applied to the bound value; a falsy result
+        raises :class:`~repro.core.errors.ParameterError`.
+    doc:
+        Human-readable description (surfaced by library catalogs).
+    """
+
+    __slots__ = ("name", "default", "kind", "validate", "doc")
+
+    def __init__(self, name: str, default: Any = REQUIRED, *,
+                 kind: str = "value",
+                 validate: Optional[Callable[[Any], bool]] = None,
+                 doc: str = ""):
+        if kind not in ("value", "algorithmic"):
+            raise ParameterError(f"parameter {name!r}: unknown kind {kind!r}")
+        self.name = name
+        self.default = default
+        self.kind = kind
+        self.validate = validate
+        self.doc = doc
+
+    @property
+    def required(self) -> bool:
+        return self.default is REQUIRED
+
+    def check(self, value: Any) -> Any:
+        """Validate a binding for this parameter and return it."""
+        if self.kind == "algorithmic" and not callable(value):
+            raise ParameterError(
+                f"algorithmic parameter {self.name!r} must be callable, "
+                f"got {type(value).__name__}")
+        if self.validate is not None and not self.validate(value):
+            raise ParameterError(
+                f"parameter {self.name!r}: value {value!r} failed validation")
+        return value
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, default={self.default!r}, kind={self.kind!r})"
+
+
+def resolve_bindings(params: Iterable[Parameter],
+                     bindings: Dict[str, Any],
+                     owner: str = "template") -> Dict[str, Any]:
+    """Merge user bindings with declared defaults.
+
+    Raises :class:`ParameterError` for unknown binding names, missing
+    required parameters, or validation failures.  Returns a fresh dict
+    mapping every declared parameter name to its resolved value.
+    """
+    decls = {p.name: p for p in params}
+    unknown = set(bindings) - set(decls)
+    if unknown:
+        raise ParameterError(
+            f"{owner}: unknown parameter(s) {sorted(unknown)!r}; "
+            f"declared: {sorted(decls)!r}")
+    resolved: Dict[str, Any] = {}
+    for name, decl in decls.items():
+        if name in bindings:
+            resolved[name] = decl.check(bindings[name])
+        elif decl.required:
+            raise ParameterError(f"{owner}: required parameter {name!r} not bound")
+        else:
+            resolved[name] = decl.default
+    return resolved

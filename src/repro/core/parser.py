@@ -1,0 +1,466 @@
+"""Textual LSS front end.
+
+The paper's Figure 1 shows users writing a *Liberty Simulator
+Specification* in a dedicated language.  This module implements a small
+textual LSS that parses to exactly the same :class:`~repro.core.lss.LSS`
+objects the Python-embedded DSL produces, so either front end feeds the
+same constructor.
+
+Grammar (EBNF-ish)::
+
+    spec        := { statement }
+    statement   := system | instance | connect | template | pragma
+    system      := "system" IDENT ";"
+    pragma      := "pragma" IDENT value ";"
+    instance    := "instance" IDENT ":" expr "(" [bindings] ")" ";"
+    bindings    := binding { "," binding }
+    binding     := IDENT "=" expr
+    connect     := "connect" portref "->" portref [attrs] ";"
+    attrs       := "[" bindings "]"
+    portref     := IDENT "." IDENT [ "[" INT "]" ]
+    template    := "template" IDENT "(" [tparams] ")" "{" { titem } "}"
+    tparams     := tparam { "," tparam }
+    tparam      := IDENT [ "=" expr ]
+    titem       := port | instance | connect | export
+    port        := "port" IDENT ("input"|"output") [IDENT] ";"
+    export      := "export" IDENT "->" IDENT "." IDENT ";"
+    expr        := arithmetic over NUMBER | STRING | true | false |
+                   IDENT (looked up in the caller-supplied environment,
+                   then in template parameters) | "(" expr ")"
+
+Comments run from ``//`` or ``#`` to end of line.
+
+Identifiers in expressions resolve against the *environment*: a dict the
+caller passes to :func:`parse_lss`, typically containing template
+classes and algorithmic parameter values.  :func:`library_env` builds
+one from the shipped component libraries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from .errors import ParseError, SpecificationError
+from .lss import LSS
+from .module import HierBody, HierTemplate, LeafModule
+from .params import Parameter, REQUIRED
+from .ports import INPUT, OUTPUT, PortDecl
+from .typesys import NAMED_TYPES, ANY
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>(//|\#)[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<arrow>->)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<punct>[;:,=(){}\[\].+\-*/%])
+""", re.VERBOSE)
+
+_KEYWORDS = {"system", "instance", "connect", "template", "port", "export",
+             "input", "output", "pragma", "true", "false"}
+
+
+class Token:
+    __slots__ = ("kind", "value", "line", "col")
+
+    def __init__(self, kind: str, value: str, line: int, col: int):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r} @{self.line}:{self.col})"
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line, col)
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            if kind == "ident" and value in _KEYWORDS:
+                tokens.append(Token(value, value, line, col))
+            elif kind == "punct" or kind == "arrow":
+                tokens.append(Token(value, value, line, col))
+            else:
+                tokens.append(Token(kind, value, line, col))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            col = len(value) - value.rfind("\n")
+        else:
+            col += len(value)
+        pos = match.end()
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Expression AST and evaluation
+# ----------------------------------------------------------------------
+
+def _eval_expr(node, env: Dict[str, Any], where: str):
+    kind = node[0]
+    if kind == "num":
+        return node[1]
+    if kind == "str":
+        return node[1]
+    if kind == "bool":
+        return node[1]
+    if kind == "name":
+        name = node[1]
+        if name in env:
+            return env[name]
+        raise SpecificationError(
+            f"{where}: name {name!r} is not defined in the environment")
+    if kind == "binop":
+        _, op, left, right = node
+        lv = _eval_expr(left, env, where)
+        rv = _eval_expr(right, env, where)
+        if op == "+":
+            return lv + rv
+        if op == "-":
+            return lv - rv
+        if op == "*":
+            return lv * rv
+        if op == "/":
+            return lv / rv
+        if op == "%":
+            return lv % rv
+    raise SpecificationError(f"{where}: bad expression node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Token], env: Dict[str, Any]):
+        self.tokens = tokens
+        self.pos = 0
+        self.env = dict(env)
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind!r}, found {tok.value!r}",
+                             tok.line, tok.col)
+        return tok
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self):
+        return self._parse_additive()
+
+    def _parse_additive(self):
+        node = self._parse_multiplicative()
+        while self.peek().kind in ("+", "-"):
+            op = self.next().kind
+            node = ("binop", op, node, self._parse_multiplicative())
+        return node
+
+    def _parse_multiplicative(self):
+        node = self._parse_atom()
+        while self.peek().kind in ("*", "/", "%"):
+            op = self.next().kind
+            node = ("binop", op, node, self._parse_atom())
+        return node
+
+    def _parse_atom(self):
+        tok = self.next()
+        if tok.kind == "number":
+            value = float(tok.value) if "." in tok.value else int(tok.value)
+            return ("num", value)
+        if tok.kind == "string":
+            return ("str", tok.value[1:-1].encode().decode("unicode_escape"))
+        if tok.kind == "true":
+            return ("bool", True)
+        if tok.kind == "false":
+            return ("bool", False)
+        if tok.kind == "ident":
+            return ("name", tok.value)
+        if tok.kind == "(":
+            node = self.parse_expr()
+            self.expect(")")
+            return node
+        if tok.kind == "-":
+            inner = self._parse_atom()
+            return ("binop", "-", ("num", 0), inner)
+        raise ParseError(f"unexpected token {tok.value!r} in expression",
+                         tok.line, tok.col)
+
+    def parse_bindings(self, closer: str) -> List[Tuple[str, Any]]:
+        """Parse ``name=expr`` pairs up to (not consuming) ``closer``."""
+        bindings: List[Tuple[str, Any]] = []
+        if self.peek().kind == closer:
+            return bindings
+        while True:
+            name = self.expect("ident").value
+            self.expect("=")
+            bindings.append((name, self.parse_expr()))
+            if not self.accept(","):
+                break
+        return bindings
+
+    # -- port references ---------------------------------------------------
+    def parse_portref(self) -> Tuple[str, str, Optional[int]]:
+        inst = self.expect("ident").value
+        self.expect(".")
+        port = self.expect("ident").value
+        index: Optional[int] = None
+        # '[' opens a port index only when a number follows; otherwise
+        # it is a connect attribute block ('[control=...]').
+        if self.peek().kind == "[" \
+                and self.tokens[self.pos + 1].kind == "number":
+            self.next()
+            tok = self.expect("number")
+            if "." in tok.value:
+                raise ParseError("port index must be an integer",
+                                 tok.line, tok.col)
+            index = int(tok.value)
+            self.expect("]")
+        return inst, port, index
+
+    # -- statements ----------------------------------------------------------
+    def parse_spec(self) -> LSS:
+        name = "anonymous"
+        if self.peek().kind == "system":
+            self.next()
+            name = self.expect("ident").value
+            self.expect(";")
+        spec = LSS(name)
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if tok.kind == "instance":
+                self._parse_instance_into(spec)
+            elif tok.kind == "connect":
+                self._parse_connect_into(spec)
+            elif tok.kind == "template":
+                self._parse_template()
+            elif tok.kind == "pragma":
+                self.next()
+                key = self.expect("ident").value
+                value = _eval_expr(self.parse_expr(), self.env, "pragma")
+                self.expect(";")
+                spec.meta[key] = value
+            else:
+                raise ParseError(f"unexpected {tok.value!r} at top level",
+                                 tok.line, tok.col)
+        return spec
+
+    def _parse_instance_decl(self):
+        self.expect("instance")
+        name = self.expect("ident").value
+        self.expect(":")
+        template_expr = self.parse_expr()
+        self.expect("(")
+        bindings = self.parse_bindings(")")
+        self.expect(")")
+        self.expect(";")
+        return name, template_expr, bindings
+
+    def _parse_instance_into(self, body) -> None:
+        name, template_expr, bindings = self._parse_instance_decl()
+        template = _eval_expr(template_expr, self.env, f"instance {name!r}")
+        resolved = {k: _eval_expr(v, self.env, f"instance {name!r}")
+                    for k, v in bindings}
+        body.instance(name, template, **resolved)
+
+    def _parse_connect_decl(self):
+        self.expect("connect")
+        src = self.parse_portref()
+        self.expect("->")
+        dst = self.parse_portref()
+        attrs: List[Tuple[str, Any]] = []
+        if self.accept("["):
+            attrs = self.parse_bindings("]")
+            self.expect("]")
+        self.expect(";")
+        return src, dst, attrs
+
+    def _parse_connect_into(self, body) -> None:
+        src, dst, attrs = self._parse_connect_decl()
+        control = None
+        for key, expr in attrs:
+            if key == "control":
+                control = _eval_expr(expr, self.env, "connect")
+            else:
+                raise SpecificationError(
+                    f"connect: unknown attribute {key!r}")
+        src_ref = body.instances[src[0]].port(src[1], src[2]) \
+            if src[0] in body.instances else self._missing(src[0])
+        dst_ref = body.instances[dst[0]].port(dst[1], dst[2]) \
+            if dst[0] in body.instances else self._missing(dst[0])
+        body.connect(src_ref, dst_ref, control=control)
+
+    @staticmethod
+    def _missing(name: str):
+        raise SpecificationError(
+            f"connect references unknown instance {name!r}")
+
+    # -- textual hierarchical templates ---------------------------------------
+    def _parse_template(self) -> None:
+        self.expect("template")
+        tname = self.expect("ident").value
+        self.expect("(")
+        tparams: List[Tuple[str, Optional[Any]]] = []
+        if self.peek().kind != ")":
+            while True:
+                pname = self.expect("ident").value
+                default = None
+                has_default = False
+                if self.accept("="):
+                    default = _eval_expr(self.parse_expr(), self.env,
+                                         f"template {tname!r}")
+                    has_default = True
+                tparams.append((pname, default if has_default else REQUIRED))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        self.expect("{")
+
+        ports: List[PortDecl] = []
+        items: List[Tuple] = []  # ("instance", ...) / ("connect", ...) / ("export", ...)
+        while self.peek().kind != "}":
+            tok = self.peek()
+            if tok.kind == "port":
+                self.next()
+                pname = self.expect("ident").value
+                dir_tok = self.next()
+                if dir_tok.kind not in ("input", "output"):
+                    raise ParseError("port direction must be input or output",
+                                     dir_tok.line, dir_tok.col)
+                wtype = ANY
+                type_tok = self.accept("ident")
+                if type_tok is not None:
+                    wtype = NAMED_TYPES.get(type_tok.value)
+                    if wtype is None:
+                        raise ParseError(f"unknown type {type_tok.value!r}",
+                                         type_tok.line, type_tok.col)
+                self.expect(";")
+                ports.append(PortDecl(pname, INPUT if dir_tok.kind == "input"
+                                      else OUTPUT, wtype))
+            elif tok.kind == "instance":
+                items.append(("instance",) + self._parse_instance_decl())
+            elif tok.kind == "connect":
+                items.append(("connect",) + self._parse_connect_decl())
+            elif tok.kind == "export":
+                self.next()
+                outer = self.expect("ident").value
+                self.expect("->")
+                inner_inst = self.expect("ident").value
+                self.expect(".")
+                inner_port = self.expect("ident").value
+                self.expect(";")
+                items.append(("export", outer, inner_inst, inner_port))
+            else:
+                raise ParseError(f"unexpected {tok.value!r} in template body",
+                                 tok.line, tok.col)
+        self.expect("}")
+
+        template_cls = _make_textual_template(
+            tname, tparams, ports, items, dict(self.env))
+        self.env[tname] = template_cls
+
+
+def _make_textual_template(tname: str, tparams, ports, items,
+                           env: Dict[str, Any]):
+    """Create a HierTemplate subclass replaying a parsed template body."""
+
+    params = tuple(Parameter(n, d) for n, d in tparams)
+
+    def build(self, body: HierBody, p: Dict[str, Any]) -> None:
+        local_env = dict(env)
+        local_env.update(p)
+        where = f"template {tname!r}"
+        for item in items:
+            if item[0] == "instance":
+                _, name, template_expr, bindings = item
+                template = _eval_expr(template_expr, local_env, where)
+                resolved = {k: _eval_expr(v, local_env, where)
+                            for k, v in bindings}
+                body.instance(name, template, **resolved)
+            elif item[0] == "connect":
+                _, src, dst, attrs = item
+                control = None
+                for key, expr in attrs:
+                    if key == "control":
+                        control = _eval_expr(expr, local_env, where)
+                src_ref = body.instances[src[0]].port(src[1], src[2])
+                dst_ref = body.instances[dst[0]].port(dst[1], dst[2])
+                body.connect(src_ref, dst_ref, control=control)
+            elif item[0] == "export":
+                _, outer, inner_inst, inner_port = item
+                body.export(outer, body.instances[inner_inst], inner_port)
+
+    cls = type(tname, (HierTemplate,), {
+        "PARAMS": params,
+        "PORTS": tuple(ports),
+        "build": build,
+        "__doc__": f"Hierarchical template {tname!r} parsed from textual LSS.",
+    })
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+def parse_lss(text: str, env: Optional[Dict[str, Any]] = None) -> LSS:
+    """Parse textual LSS source into an :class:`~repro.core.lss.LSS`.
+
+    ``env`` supplies the names visible to the specification: template
+    classes, control functions, and values for algorithmic parameters.
+    Use :func:`library_env` for the shipped libraries.
+    """
+    parser = _Parser(tokenize(text), env or {})
+    return parser.parse_spec()
+
+
+def library_env() -> Dict[str, Any]:
+    """An environment exposing every shipped library template by name.
+
+    Pulls the public templates of PCL, UPL, CCL, MPL and NIL plus the
+    built-in control-function factories.
+    """
+    import repro.pcl as pcl
+    import repro.upl as upl
+    import repro.ccl as ccl
+    import repro.mpl as mpl
+    import repro.nil as nil
+    from . import control
+
+    env: Dict[str, Any] = {}
+    for lib in (pcl, upl, ccl, mpl, nil):
+        for name in getattr(lib, "__all__", []):
+            obj = getattr(lib, name)
+            if isinstance(obj, type) and issubclass(obj, (LeafModule, HierTemplate)):
+                env[name] = obj
+    for name in ("always_ack", "never_ack"):
+        env[name] = getattr(control, name)()
+    return env

@@ -1,0 +1,263 @@
+"""Port declarations and the runtime port views module code uses.
+
+A module template declares its interface as a tuple of :class:`PortDecl`
+objects.  Ports have *variable width*: "each port ... may have multiple
+connections so that users can easily scale the bandwidth a module
+instance has" (paper §2.1).  The actual width of a port on a given
+instance is determined by how many connections the specification makes
+to it (plus declared minimums, padded with default-driven stub wires).
+
+At runtime each leaf instance exposes one :class:`InView` per input port
+and one :class:`OutView` per output port.  The views are the *only*
+sanctioned way for module code to touch wires; they
+
+* enforce the direction rules of the contract (you cannot ``send`` on an
+  input port or ``ack`` an output port),
+* route reads through any control function attached to the wire, and
+* keep per-wire bookkeeping (e.g. ``took()``) used in ``update()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from .errors import ContractViolationError, WiringError
+from .signals import CtrlStatus, DataStatus, Wire
+from .typesys import ANY, WireType
+
+INPUT = "input"
+OUTPUT = "output"
+
+
+class PortDecl:
+    """Declaration of one port on a module template.
+
+    Parameters
+    ----------
+    name:
+        Port name used in ``connect`` statements.
+    direction:
+        :data:`INPUT` or :data:`OUTPUT`.
+    wtype:
+        Wire type of every connection made to the port.
+    min_width, max_width:
+        Bounds on the number of connections.  ``max_width=None`` means
+        unbounded.  If a specification leaves indices below ``min_width``
+        unconnected, the constructor pads them with default-driven stub
+        wires, which is what makes *partial specification* (paper §2.2)
+        work: the module still sees a fully-resolved port.
+    default_data / default_value:
+        Data status (and value) an unconnected *input* index sees.
+    default_enable:
+        Enable status an unconnected *input* index sees.
+    default_ack:
+        Ack status an unconnected *output* index sees.  The usual default
+        of ``ASSERTED`` means "an absent consumer accepts everything",
+        so dangling producers never deadlock a partial model.
+    doc:
+        Human-readable description.
+    """
+
+    __slots__ = ("name", "direction", "wtype", "min_width", "max_width",
+                 "default_data", "default_value", "default_enable",
+                 "default_ack", "doc")
+
+    def __init__(self, name: str, direction: str, wtype: WireType = ANY, *,
+                 min_width: int = 0, max_width: Optional[int] = None,
+                 default_data: DataStatus = DataStatus.NOTHING,
+                 default_value: Any = None,
+                 default_enable: CtrlStatus = CtrlStatus.DEASSERTED,
+                 default_ack: CtrlStatus = CtrlStatus.ASSERTED,
+                 doc: str = ""):
+        if direction not in (INPUT, OUTPUT):
+            raise WiringError(f"port {name!r}: bad direction {direction!r}")
+        if max_width is not None and max_width < min_width:
+            raise WiringError(f"port {name!r}: max_width < min_width")
+        self.name = name
+        self.direction = direction
+        self.wtype = wtype
+        self.min_width = min_width
+        self.max_width = max_width
+        self.default_data = default_data
+        self.default_value = default_value
+        self.default_enable = default_enable
+        self.default_ack = default_ack
+        self.doc = doc
+
+    def __repr__(self) -> str:
+        return f"PortDecl({self.name!r}, {self.direction}, {self.wtype!r})"
+
+
+def in_port(name: str, wtype: WireType = ANY, **kw) -> PortDecl:
+    """Shorthand for an input :class:`PortDecl`."""
+    return PortDecl(name, INPUT, wtype, **kw)
+
+
+def out_port(name: str, wtype: WireType = ANY, **kw) -> PortDecl:
+    """Shorthand for an output :class:`PortDecl`."""
+    return PortDecl(name, OUTPUT, wtype, **kw)
+
+
+class _ViewBase:
+    """Common machinery of the two port views."""
+
+    __slots__ = ("decl", "wires")
+
+    def __init__(self, decl: PortDecl, wires: List[Wire]):
+        self.decl = decl
+        self.wires = wires
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def width(self) -> int:
+        """Number of connections (including default-driven stubs)."""
+        return len(self.wires)
+
+    def __len__(self) -> int:
+        return len(self.wires)
+
+    def _wire(self, i: int) -> Wire:
+        try:
+            return self.wires[i]
+        except IndexError:
+            raise ContractViolationError(
+                f"port {self.decl.name!r}: index {i} out of range "
+                f"(width {len(self.wires)})") from None
+
+
+class InView(_ViewBase):
+    """Runtime view of an input port.
+
+    Reads of ``data``/``enable`` see the wire's committed (post-control)
+    values; the only writable signal is ``ack``.
+    """
+
+    __slots__ = ()
+
+    # -- reads ---------------------------------------------------------
+    def _fwd(self, i: int) -> Tuple[DataStatus, Any, CtrlStatus]:
+        w = self._wire(i)
+        return w.data_status, w.data_value, w.enable
+
+    def status(self, i: int = 0) -> DataStatus:
+        """Data status as seen by this destination."""
+        return self._fwd(i)[0]
+
+    def value(self, i: int = 0) -> Any:
+        """The offered datum (None unless status is SOMETHING)."""
+        return self._fwd(i)[1]
+
+    def enable(self, i: int = 0) -> CtrlStatus:
+        """Enable status as seen by this destination."""
+        return self._fwd(i)[2]
+
+    def known(self, i: int = 0) -> bool:
+        """True when both forward signals have resolved."""
+        ds, _, en = self._fwd(i)
+        return ds is not DataStatus.UNKNOWN and en is not CtrlStatus.UNKNOWN
+
+    def present(self, i: int = 0) -> bool:
+        """True when a committed datum is being offered."""
+        ds, _, en = self._fwd(i)
+        return ds is DataStatus.SOMETHING and en is CtrlStatus.ASSERTED
+
+    def absent(self, i: int = 0) -> bool:
+        """True when the source has resolved to *not* offering a datum."""
+        ds, _, en = self._fwd(i)
+        if ds is DataStatus.UNKNOWN or en is CtrlStatus.UNKNOWN:
+            return False
+        return ds is not DataStatus.SOMETHING or en is not CtrlStatus.ASSERTED
+
+    # -- writes --------------------------------------------------------
+    def set_ack(self, i: int = 0, accept: bool = True) -> None:
+        """Resolve this index's ack signal (monotone)."""
+        self._wire(i).drive_ack(accept)
+
+    def ack_known(self, i: int = 0) -> bool:
+        return self._wire(i).ack is not CtrlStatus.UNKNOWN
+
+    def took(self, i: int = 0) -> bool:
+        """True iff this destination consumed a datum on index ``i``.
+
+        Destination-relative: delivered (post-control) data that this
+        port's own ack accepted.  Meaningful once the timestep has
+        resolved — i.e. from ``update()`` handlers.
+        """
+        return self._wire(i).took_dst()
+
+    # -- convenience over all indices ----------------------------------
+    def indices_present(self):
+        """Indices currently offering a committed datum."""
+        return [i for i in range(len(self.wires)) if self.present(i)]
+
+    def all_known(self) -> bool:
+        return all(self.known(i) for i in range(len(self.wires)))
+
+    # Guard against contract misuse -------------------------------------
+    def send(self, *a, **kw):
+        raise ContractViolationError(
+            f"cannot send on input port {self.decl.name!r}")
+
+
+class OutView(_ViewBase):
+    """Runtime view of an output port.
+
+    Writable signals are ``data`` and ``enable``; reads of ``ack`` pass
+    through the wire's control function (source side).
+    """
+
+    __slots__ = ()
+
+    # -- writes --------------------------------------------------------
+    def send(self, i: int = 0, value: Any = None) -> None:
+        """Offer ``value`` and assert enable — the common case."""
+        w = self._wire(i)
+        w.drive_data(DataStatus.SOMETHING, value)
+        w.drive_enable(True)
+
+    def send_nothing(self, i: int = 0) -> None:
+        """Affirmatively send no datum this timestep."""
+        w = self._wire(i)
+        w.drive_data(DataStatus.NOTHING)
+        w.drive_enable(False)
+
+    def drive_data(self, i: int, status: DataStatus, value: Any = None) -> None:
+        """Low-level data drive (for modules separating data/enable)."""
+        self._wire(i).drive_data(status, value)
+
+    def drive_enable(self, i: int, asserted: bool) -> None:
+        """Low-level enable drive."""
+        self._wire(i).drive_enable(asserted)
+
+    # -- reads ---------------------------------------------------------
+    def ack(self, i: int = 0) -> CtrlStatus:
+        """Committed (post-control) ack status as seen by this source."""
+        return self._wire(i).ack
+
+    def ack_known(self, i: int = 0) -> bool:
+        return self.ack(i) is not CtrlStatus.UNKNOWN
+
+    def accepted(self, i: int = 0) -> bool:
+        return self.ack(i) is CtrlStatus.ASSERTED
+
+    def data_known(self, i: int = 0) -> bool:
+        return self._wire(i).data_status is not DataStatus.UNKNOWN
+
+    def took(self, i: int = 0) -> bool:
+        """True iff this source's offer was accepted on index ``i``.
+
+        Source-relative: the raw offer this port made, judged against
+        the (post-control) ack it observes.
+        """
+        return self._wire(i).took_src()
+
+    def indices_accepted(self):
+        return [i for i in range(len(self.wires)) if self.accepted(i)]
+
+    # Guard against contract misuse -------------------------------------
+    def set_ack(self, *a, **kw):
+        raise ContractViolationError(
+            f"cannot ack output port {self.decl.name!r}")

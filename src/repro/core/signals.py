@@ -1,0 +1,327 @@
+"""The three-signal component communication contract (paper §2.1).
+
+Every LSE connection is a :class:`Wire` carrying three signals:
+
+``data``
+    Flows forward (source to destination).  Its per-timestep status is
+    one of ``UNKNOWN``, ``NOTHING`` (the source affirmatively sends no
+    datum this cycle) or ``SOMETHING`` (a value is offered, stored in
+    ``data_value``).
+
+``enable``
+    Flows forward.  The source asserts it to commit the transmission.
+    Most modules drive ``data`` and ``enable`` together through the
+    convenience helpers on the port views, but they are independent
+    signals so control can be layered on separately, exactly as in LSE.
+
+``ack``
+    Flows backward (destination to source).  The destination asserts it
+    to accept the datum.
+
+Within a timestep each signal moves monotonically from ``UNKNOWN`` to a
+known value exactly once.  Rewriting the identical value is a no-op so
+that reactive handlers may be written idempotently; writing a different
+value raises :class:`~repro.core.errors.MonotonicityError`.
+
+Control functions (paper §2.1's control overrides) transform signals
+**at write time**: the source's raw forward drive passes through the
+control's forward transform before it is committed to the wire (both
+forward signals commit together, so the transform sees a consistent
+pair), and the destination's raw ack passes through the backward
+transform.  The wire thus holds a single consistent post-control
+reality; the *raw* drives are retained so each endpoint's ``took()``
+is judged against what that endpoint itself did:
+
+* **source-side transfer** (:meth:`Wire.took_src`): the source offered
+  a committed datum and the (transformed) ack it observes is asserted
+  — "my datum was taken, I may advance";
+* **destination-side transfer** (:meth:`Wire.took_dst`): the
+  (transformed) forward signals deliver a datum and the destination's
+  own raw ack accepted it — "I consumed a datum".
+
+Without a control function the two coincide with the classic rule
+``data=SOMETHING ∧ enable=ASSERTED ∧ ack=ASSERTED``.  With one they can
+deliberately diverge — e.g. ``squash_when`` makes the source advance
+while the destination sees nothing (a drop), and ``never_ack`` stalls
+the source while hiding the consumer's acceptance (so nothing is
+consumed either).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from .errors import MonotonicityError
+
+
+class DataStatus(enum.IntEnum):
+    """Status of the forward ``data`` signal within one timestep."""
+
+    UNKNOWN = 0
+    NOTHING = 1
+    SOMETHING = 2
+
+
+class CtrlStatus(enum.IntEnum):
+    """Status of the ``enable`` and ``ack`` signals within one timestep."""
+
+    UNKNOWN = 0
+    DEASSERTED = 1
+    ASSERTED = 2
+
+
+#: Signal slot identifiers (used in diagnostics and the dependency graph).
+SIG_DATA = "data"
+SIG_ENABLE = "enable"
+SIG_ACK = "ack"
+ALL_SIGNALS = (SIG_DATA, SIG_ENABLE, SIG_ACK)
+
+
+class Endpoint:
+    """One end of a wire: a (leaf instance, port name, port index) triple."""
+
+    __slots__ = ("instance", "port", "index")
+
+    def __init__(self, instance, port: str, index: int):
+        self.instance = instance
+        self.port = port
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.instance, "path", "?")
+        return f"{name}.{self.port}[{self.index}]"
+
+
+class Wire:
+    """A runtime connection between one source and one destination port.
+
+    The engine owns the wires; module code only touches them through the
+    :class:`~repro.core.ports.InView` / :class:`~repro.core.ports.OutView`
+    port views, which enforce direction rules and route writes through
+    the monotonicity checks here.
+
+    The committed (post-control) signal values live in ``data_status``
+    / ``data_value`` / ``enable`` / ``ack``; the endpoints' raw drives
+    (pre-control) live in the ``raw_*`` fields.  Without a control
+    function raw and committed are identical.
+    """
+
+    __slots__ = (
+        "wid",
+        "src",
+        "dst",
+        "wtype",
+        "control",
+        "data_status",
+        "data_value",
+        "enable",
+        "ack",
+        "raw_data_status",
+        "raw_data_value",
+        "raw_enable",
+        "raw_ack",
+        "const_data",
+        "const_enable",
+        "const_ack",
+        "const_value",
+        "engine",
+        "transfers",
+        "watched",
+    )
+
+    def __init__(self, wid: int, src: Optional[Endpoint], dst: Optional[Endpoint],
+                 wtype=None, control=None):
+        self.wid = wid
+        self.src = src
+        self.dst = dst
+        self.wtype = wtype
+        self.control = control
+        self.data_status = DataStatus.UNKNOWN
+        self.data_value: Any = None
+        self.enable = CtrlStatus.UNKNOWN
+        self.ack = CtrlStatus.UNKNOWN
+        self.raw_data_status = DataStatus.UNKNOWN
+        self.raw_data_value: Any = None
+        self.raw_enable = CtrlStatus.UNKNOWN
+        self.raw_ack = CtrlStatus.UNKNOWN
+        # Constant pre-resolution for stub wires on unconnected ports.
+        self.const_data: Optional[DataStatus] = None
+        self.const_value: Any = None
+        self.const_enable: Optional[CtrlStatus] = None
+        self.const_ack: Optional[CtrlStatus] = None
+        self.engine = None
+        self.transfers = 0
+        self.watched = False
+
+    # ------------------------------------------------------------------
+    # Per-timestep lifecycle
+    # ------------------------------------------------------------------
+    def begin_step(self) -> int:
+        """Reset signals for a new timestep.
+
+        Stub constants re-resolve immediately.  Returns the number of
+        signals left UNKNOWN (0-3) so the engine can track resolution.
+        """
+        unknown = 3
+        self.raw_data_status = DataStatus.UNKNOWN
+        self.raw_data_value = None
+        self.raw_enable = CtrlStatus.UNKNOWN
+        self.raw_ack = CtrlStatus.UNKNOWN
+        if self.const_data is None:
+            self.data_status = DataStatus.UNKNOWN
+            self.data_value = None
+        else:
+            self.data_status = self.const_data
+            self.data_value = self.const_value
+            self.raw_data_status = self.const_data
+            self.raw_data_value = self.const_value
+            unknown -= 1
+        if self.const_enable is None:
+            self.enable = CtrlStatus.UNKNOWN
+        else:
+            self.enable = self.const_enable
+            self.raw_enable = self.const_enable
+            unknown -= 1
+        if self.const_ack is None:
+            self.ack = CtrlStatus.UNKNOWN
+        else:
+            self.ack = self.const_ack
+            self.raw_ack = self.const_ack
+            unknown -= 1
+        return unknown
+
+    def unresolved(self) -> list:
+        """Names of committed signals still UNKNOWN (diagnostics)."""
+        out = []
+        if self.data_status is DataStatus.UNKNOWN:
+            out.append(SIG_DATA)
+        if self.enable is CtrlStatus.UNKNOWN:
+            out.append(SIG_ENABLE)
+        if self.ack is CtrlStatus.UNKNOWN:
+            out.append(SIG_ACK)
+        return out
+
+    # ------------------------------------------------------------------
+    # Monotone writes (called from the port views)
+    # ------------------------------------------------------------------
+    def _commit_data(self, status: DataStatus, value: Any) -> None:
+        self.data_status = status
+        self.data_value = value if status is DataStatus.SOMETHING else None
+        if self.engine is not None:
+            self.engine._signal_known(self, SIG_DATA)
+
+    def _commit_enable(self, status: CtrlStatus) -> None:
+        self.enable = status
+        if self.engine is not None:
+            self.engine._signal_known(self, SIG_ENABLE)
+
+    def _maybe_commit_forward(self) -> None:
+        """With a control function, commit once both raw signals exist."""
+        if (self.raw_data_status is DataStatus.UNKNOWN
+                or self.raw_enable is CtrlStatus.UNKNOWN):
+            return
+        ds, dv, en = self.control.transform_forward(
+            self.raw_data_status, self.raw_data_value, self.raw_enable)
+        if self.data_status is DataStatus.UNKNOWN:
+            self._commit_data(ds, dv)
+        if self.enable is CtrlStatus.UNKNOWN:
+            self._commit_enable(en)
+
+    def drive_data(self, status: DataStatus, value: Any = None) -> None:
+        if status is DataStatus.UNKNOWN:
+            raise MonotonicityError(f"wire {self!r}: cannot drive data to UNKNOWN")
+        cur = self.raw_data_status
+        if cur is not DataStatus.UNKNOWN:
+            if cur is status and (status is not DataStatus.SOMETHING
+                                  or self.raw_data_value == value):
+                return  # idempotent re-drive
+            raise MonotonicityError(
+                f"wire {self!r}: data already {cur.name}"
+                f"({self.raw_data_value!r}), re-driven as "
+                f"{status.name}({value!r})")
+        self.raw_data_status = status
+        self.raw_data_value = value if status is DataStatus.SOMETHING else None
+        if self.control is None:
+            self._commit_data(status, self.raw_data_value)
+        else:
+            self._maybe_commit_forward()
+
+    def drive_enable(self, asserted: bool) -> None:
+        want = CtrlStatus.ASSERTED if asserted else CtrlStatus.DEASSERTED
+        cur = self.raw_enable
+        if cur is not CtrlStatus.UNKNOWN:
+            if cur is want:
+                return
+            raise MonotonicityError(
+                f"wire {self!r}: enable already {cur.name}, re-driven {want.name}")
+        self.raw_enable = want
+        if self.control is None:
+            self._commit_enable(want)
+        else:
+            self._maybe_commit_forward()
+
+    def drive_ack(self, asserted: bool) -> None:
+        want = CtrlStatus.ASSERTED if asserted else CtrlStatus.DEASSERTED
+        cur = self.raw_ack
+        if cur is not CtrlStatus.UNKNOWN:
+            if cur is want:
+                return
+            raise MonotonicityError(
+                f"wire {self!r}: ack already {cur.name}, re-driven {want.name}")
+        self.raw_ack = want
+        committed = want if self.control is None \
+            else self.control.transform_backward(want)
+        self.ack = committed
+        if self.engine is not None:
+            self.engine._signal_known(self, SIG_ACK)
+
+    def force_default(self, signal: str) -> None:
+        """Resolve one UNKNOWN committed signal to its pessimistic default.
+
+        Used by the engine's ``'relax'`` cycle policy: ``data`` becomes
+        NOTHING, ``enable`` and ``ack`` become DEASSERTED.  Commits
+        directly (bypassing any control function) — forced signals can
+        never produce a transfer, so relaxation stays conservative.
+        """
+        if signal == SIG_DATA and self.data_status is DataStatus.UNKNOWN:
+            if self.raw_data_status is DataStatus.UNKNOWN:
+                self.raw_data_status = DataStatus.NOTHING
+            self._commit_data(DataStatus.NOTHING, None)
+        elif signal == SIG_ENABLE and self.enable is CtrlStatus.UNKNOWN:
+            if self.raw_enable is CtrlStatus.UNKNOWN:
+                self.raw_enable = CtrlStatus.DEASSERTED
+            self._commit_enable(CtrlStatus.DEASSERTED)
+        elif signal == SIG_ACK and self.ack is CtrlStatus.UNKNOWN:
+            if self.raw_ack is CtrlStatus.UNKNOWN:
+                self.raw_ack = CtrlStatus.DEASSERTED
+            self.ack = CtrlStatus.DEASSERTED
+            if self.engine is not None:
+                self.engine._signal_known(self, SIG_ACK)
+
+    # ------------------------------------------------------------------
+    # Transfer predicates
+    # ------------------------------------------------------------------
+    def took_src(self) -> bool:
+        """Source-relative transfer: my offer was accepted, I advance."""
+        return (self.raw_data_status is DataStatus.SOMETHING
+                and self.raw_enable is CtrlStatus.ASSERTED
+                and self.ack is CtrlStatus.ASSERTED)
+
+    def took_dst(self) -> bool:
+        """Destination-relative transfer: a datum I accepted arrived."""
+        return (self.data_status is DataStatus.SOMETHING
+                and self.enable is CtrlStatus.ASSERTED
+                and self.raw_ack is CtrlStatus.ASSERTED)
+
+    def transfer_happened(self) -> bool:
+        """Delivery actually observed at the destination (engine view)."""
+        return self.took_dst()
+
+    def fully_resolved(self) -> bool:
+        return (self.data_status is not DataStatus.UNKNOWN
+                and self.enable is not CtrlStatus.UNKNOWN
+                and self.ack is not CtrlStatus.UNKNOWN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Wire#{self.wid}({self.src!r}->{self.dst!r})"

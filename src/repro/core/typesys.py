@@ -1,0 +1,144 @@
+"""Port/wire type system with inference across connections (paper §2.1).
+
+LSE guarantees component interoperability partly through a typed port
+contract.  This reproduction uses a small structural type system:
+
+* :data:`ANY` unifies with every type (a polymorphic port, the common
+  case for generic primitives like queues and arbiters);
+* named scalar types (:data:`INT`, :data:`FLOAT`, :data:`BITS`);
+* :class:`Token` types for domain payloads (``Token('packet')``,
+  ``Token('instruction')``, ...), nominally typed;
+* :class:`Struct` record types, structurally typed field-by-field.
+
+The constructor runs :func:`infer_types` over the flattened netlist:
+every connection's endpoint types are unified, ANY endpoints adopt the
+concrete type of their peer, and irreconcilable pairs raise
+:class:`~repro.core.errors.TypeMismatchError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .errors import TypeMismatchError
+
+
+class WireType:
+    """Base class of all wire types.  Instances are immutable."""
+
+    name = "type"
+
+    def unify(self, other: "WireType") -> "WireType":
+        """Return the most specific common type, or raise TypeMismatchError."""
+        if isinstance(self, AnyType):
+            return other
+        if isinstance(other, AnyType):
+            return self
+        merged = self._unify_concrete(other)
+        if merged is None:
+            raise TypeMismatchError(f"cannot unify {self} with {other}")
+        return merged
+
+    def _unify_concrete(self, other: "WireType") -> Optional["WireType"]:
+        if self == other:
+            return self
+        return None
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class AnyType(WireType):
+    """The polymorphic top type; unifies with everything."""
+
+    name = "any"
+
+
+class ScalarType(WireType):
+    """A named scalar type (int, float, bits)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class Token(WireType):
+    """A nominally-typed domain payload, e.g. ``Token('packet')``."""
+
+    def __init__(self, name: str):
+        self.name = f"token:{name}"
+        self.tag = name
+
+
+class Struct(WireType):
+    """A structural record type; unifies field-by-field.
+
+    Two structs unify when they have identical field names and each
+    pair of field types unifies.
+    """
+
+    def __init__(self, name: str, fields: Dict[str, WireType]):
+        self.name = f"struct:{name}"
+        self.tag = name
+        self.fields: Tuple[Tuple[str, WireType], ...] = tuple(sorted(fields.items()))
+
+    def _unify_concrete(self, other: WireType) -> Optional[WireType]:
+        if not isinstance(other, Struct):
+            return None
+        if [f for f, _ in self.fields] != [f for f, _ in other.fields]:
+            return None
+        merged = {}
+        for (fname, ftype), (_, otype) in zip(self.fields, other.fields):
+            try:
+                merged[fname] = ftype.unify(otype)
+            except TypeMismatchError:
+                return None
+        return Struct(self.tag, merged)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Struct) and self.fields == other.fields \
+            and self.tag == other.tag
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.fields))
+
+
+#: Singleton instances of the common types.
+ANY = AnyType()
+INT = ScalarType("int")
+FLOAT = ScalarType("float")
+BITS = ScalarType("bits")
+
+#: Registry used by the textual LSS parser to resolve type names.
+NAMED_TYPES: Dict[str, WireType] = {
+    "any": ANY,
+    "int": INT,
+    "float": FLOAT,
+    "bits": BITS,
+}
+
+
+def token(name: str) -> Token:
+    """Convenience constructor for (interned) token types."""
+    key = f"token:{name}"
+    existing = NAMED_TYPES.get(key)
+    if existing is None:
+        existing = Token(name)
+        NAMED_TYPES[key] = existing
+    return existing
+
+
+def infer_types(connections) -> None:
+    """Unify endpoint types across a list of connection records in place.
+
+    Each record must expose ``src_type`` and ``dst_type`` attributes and
+    a writable ``wtype``.  After inference ``wtype`` holds the unified
+    type of the wire.
+    """
+    for conn in connections:
+        conn.wtype = conn.src_type.unify(conn.dst_type)

@@ -1,0 +1,25 @@
+"""MPL — the Multiprocessor Component Library (paper §3.4).
+
+Components for multiprocessor architectures: bus-based snooping and
+directory-based cache coherence controllers, DMA engines for
+message-passing systems, pluggable memory-ordering (SC/TSO)
+controllers, and builders that glue UPL cores over CCL fabrics into
+complete shared-memory systems.
+"""
+
+from .snoop import BusMemoryController, CoherentOp, SnoopingCache
+from .msi import MSICache, MSIMemoryController, MSIOp, build_msi_smp
+from .directory import (CoherenceMsg, DirCacheCtl, DirectoryHome,
+                        is_home_bound)
+from .dma import DMAController, DMADone, DMARequest
+from .ordering import StoreBuffer
+from .smp import build_directory_cmp, build_snooping_smp
+
+__all__ = [
+    "SnoopingCache", "BusMemoryController", "CoherentOp",
+    "MSICache", "MSIMemoryController", "MSIOp", "build_msi_smp",
+    "DirCacheCtl", "DirectoryHome", "CoherenceMsg", "is_home_bound",
+    "DMAController", "DMARequest", "DMADone",
+    "StoreBuffer",
+    "build_snooping_smp", "build_directory_cmp",
+]

@@ -1,0 +1,125 @@
+"""System builders for shared-memory multiprocessors (MPL §3.4).
+
+Glue functions composing UPL cores, MPL coherence controllers and CCL
+fabrics into complete systems — the plug-and-play assembly Figure 2
+sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ccl.bus import Bus
+from ..ccl.router import build_mesh_network
+from ..ccl.topology import LOCAL, Mesh
+from ..pcl.arbiter import Arbiter
+from ..pcl.routing import Demux
+from ..upl.core import SimpleCore
+from ..upl.isa import Program
+from .directory import (CoherenceMsg, DirCacheCtl, DirectoryHome,
+                        is_home_bound)
+from .snoop import BusMemoryController, SnoopingCache
+
+
+def build_snooping_smp(body, programs: Sequence[Program], *,
+                       mem_latency: int = 4, cache_lines: int = 64,
+                       bus_latency: int = 1, init_mem: Optional[dict] = None,
+                       prefix: str = "") -> Dict[str, List]:
+    """A bus-based SMP: N cores, N snooping caches, one memory.
+
+    Returns handle lists: ``{"cores": [...], "caches": [...],
+    "memctl": [handle]}``.  Each core runs its own program against the
+    coherent shared data memory.
+    """
+    ncores = len(programs)
+    bus = body.instance(f"{prefix}bus", Bus, latency=bus_latency,
+                        mode="broadcast")
+    memctl = body.instance(f"{prefix}memctl", BusMemoryController,
+                           latency=mem_latency, init=init_mem)
+    cores, caches = [], []
+    for i, program in enumerate(programs):
+        core = body.instance(f"{prefix}core{i}", SimpleCore, program=program)
+        cache = body.instance(f"{prefix}cache{i}", SnoopingCache,
+                              lines=cache_lines, idx=i)
+        body.connect(core.port("dmem_req"), cache.port("cpu_req"))
+        body.connect(cache.port("cpu_resp"), core.port("dmem_resp"))
+        body.connect(cache.port("bus_req"), bus.port("in"))
+        body.connect(bus.port("out", i), cache.port("snoop"))
+        body.connect(memctl.port("resp", i), cache.port("mem_resp"))
+        cores.append(core)
+        caches.append(cache)
+    # The memory controller is the last snooper on the broadcast.
+    body.connect(bus.port("out", ncores), memctl.port("snoop"))
+    return {"cores": cores, "caches": caches, "memctl": [memctl]}
+
+
+def _route_local(packet, out_width: int, now: int) -> int:
+    """LOCAL-port demux: index 0 = home directory, 1 = cache controller."""
+    return 0 if is_home_bound(packet) else 1
+
+
+def build_directory_cmp(body, mesh: Mesh, programs: Sequence[Program], *,
+                        cache_lines: int = 64, home_latency: int = 2,
+                        depth: int = 4, link_latency: int = 1,
+                        init_mem: Optional[dict] = None,
+                        prefix: str = "") -> Dict[str, List]:
+    """A directory-coherent chip multiprocessor over a mesh (Fig. 2a).
+
+    Each mesh node hosts a core + directory-protocol cache controller
+    and a home-directory slice (addresses interleaved across nodes by
+    ``addr % nodes``).  The node's LOCAL router ports are shared
+    between the two agents through a Demux (inbound, steered by message
+    kind) and an Arbiter (outbound) — more cross-library reuse.
+
+    ``programs`` supplies one program per node, in ``mesh.nodes()``
+    order (``None`` entries get no core).  Returns handles:
+    ``{"cores": [...], "caches": [...], "homes": [...],
+    "routers": {...}}``.
+    """
+    nodes = mesh.nodes()
+    if len(programs) != len(nodes):
+        raise ValueError(f"need {len(nodes)} programs (None allowed), "
+                         f"got {len(programs)}")
+    routers = build_mesh_network(body, mesh, depth=depth,
+                                 link_latency=link_latency, prefix=prefix)
+    node_list = list(nodes)
+
+    def home_of(addr: int):
+        return node_list[addr % len(node_list)]
+
+    # Interleave initial memory across the homes that own each address.
+    init_by_node: Dict = {node: {} for node in nodes}
+    if init_mem:
+        for addr, value in init_mem.items():
+            init_by_node[home_of(addr)][addr] = value
+
+    cores, caches, homes = [], [], []
+    for idx, node in enumerate(nodes):
+        x, y = node
+        home = body.instance(f"{prefix}home_{x}_{y}", DirectoryHome,
+                             node=node, latency=home_latency,
+                             init=init_by_node[node])
+        homes.append(home)
+        inbound = body.instance(f"{prefix}nin_{x}_{y}", Demux,
+                                route=_route_local)
+        outbound = body.instance(f"{prefix}nout_{x}_{y}", Arbiter)
+        body.connect(routers[node].port("out", LOCAL), inbound.port("in"))
+        body.connect(inbound.port("out", 0), home.port("net_in"))
+        body.connect(outbound.port("out"), routers[node].port("in", LOCAL))
+        body.connect(home.port("net_out"), outbound.port("in", 0))
+        program = programs[idx]
+        if program is None:
+            continue
+        core = body.instance(f"{prefix}core_{x}_{y}", SimpleCore,
+                             program=program)
+        cache = body.instance(f"{prefix}cc_{x}_{y}", DirCacheCtl,
+                              node=node, home_of=home_of,
+                              lines=cache_lines)
+        body.connect(core.port("dmem_req"), cache.port("cpu_req"))
+        body.connect(cache.port("cpu_resp"), core.port("dmem_resp"))
+        body.connect(inbound.port("out", 1), cache.port("net_in"))
+        body.connect(cache.port("net_out"), outbound.port("in", 1))
+        cores.append(core)
+        caches.append(cache)
+    return {"cores": cores, "caches": caches, "homes": homes,
+            "routers": routers}

@@ -1,0 +1,29 @@
+"""NIL — the Network Interface Component Library (paper §3.5).
+
+Components bridging processors and network fabrics: Ethernet/PCI
+formats and converters, receive/transmit MAC assists, NIC register
+files, firmware, and the Tigon-2-style :class:`ProgrammableNIC`
+assembled from UPL, MPL and PCL modules.
+"""
+
+from .formats import (EthernetFrame, FormatConverter, PCITransaction,
+                      PCIUnpacker)
+from .mac import MACAssist, MACTx
+from .registers import (DMA_BELL, DMA_BELLVAL, DMA_DONE, DMA_DST, DMA_GO,
+                        DMA_LEN, DMA_SRC, NICRegisters, NUM_REGISTERS,
+                        RX_CONS, RX_PROD, SCRATCH, TX_DONE, TX_GO, TX_SLOT,
+                        TX_WORDS)
+from .firmware import (HOST_PROD_COUNTER, HOST_RING_OFFSET, HOST_WINDOW,
+                       RX_RING_BASE, echo_transmit, receive_forward,
+                       sensor_aggregate)
+from .tigon import ProgrammableNIC
+
+__all__ = [
+    "EthernetFrame", "PCITransaction", "FormatConverter", "PCIUnpacker",
+    "MACAssist", "MACTx", "NICRegisters", "ProgrammableNIC",
+    "receive_forward", "echo_transmit", "sensor_aggregate",
+    "HOST_WINDOW", "HOST_PROD_COUNTER", "HOST_RING_OFFSET", "RX_RING_BASE",
+    "RX_PROD", "RX_CONS", "DMA_SRC", "DMA_DST", "DMA_LEN", "DMA_GO",
+    "DMA_DONE", "DMA_BELL", "DMA_BELLVAL", "TX_SLOT", "TX_WORDS", "TX_GO",
+    "TX_DONE", "SCRATCH", "NUM_REGISTERS",
+]

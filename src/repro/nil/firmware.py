@@ -1,0 +1,176 @@
+"""Firmware for the programmable NIC (NIL §3.5).
+
+The paper's NIL track targets "a level of detail sufficient to simulate
+the firmware that supports its deployment as a Gigabit Ethernet
+interface".  This module provides that firmware, written in LibertyRISC
+assembly and executed by the NIC's embedded
+:class:`~repro.upl.core.SimpleCore`:
+
+* :func:`receive_forward` — the canonical receive path: poll the MAC's
+  producer pointer, and for each received frame program the DMA engine
+  to copy the frame from the NIC receive ring into the host's ring,
+  ring the host doorbell (producer counter), and retire the slot.
+
+Address-map constants here must match :class:`repro.nil.tigon.ProgrammableNIC`.
+"""
+
+from __future__ import annotations
+
+from ..upl.assembler import assemble
+from ..upl.isa import MMIO_BASE, Program
+
+#: Host memory window base in the NIC's address space (lui-loadable).
+HOST_WINDOW = 0x10 << 16
+
+#: Word offset of the host-visible producer counter in host memory.
+HOST_PROD_COUNTER = 0
+
+#: Word offset where the host receive ring starts in host memory.
+HOST_RING_OFFSET = 16
+
+#: Default NIC receive-ring placement in NIC-local memory.
+RX_RING_BASE = 64
+
+
+def receive_forward(max_frames: int, *, slots: int = 8,
+                    slot_words: int = 16,
+                    rx_ring: int = RX_RING_BASE,
+                    host_slots: int = 8) -> Program:
+    """Firmware: forward ``max_frames`` frames from MAC ring to host.
+
+    ``slots`` and ``host_slots`` must be powers of two (slot indices
+    are computed with ``andi`` masks, as real firmware would).
+    """
+    for value, name in ((slots, "slots"), (host_slots, "host_slots")):
+        if value & (value - 1):
+            raise ValueError(f"{name} must be a power of two, got {value}")
+    return assemble(f"""
+        lui  s0, 0x40            # MMIO window base (0x400000)
+        lui  s1, 0x10            # host window base  (0x100000)
+        li   s2, 0               # consumer count
+        li   s3, {max_frames}
+    poll:
+        lw   t0, 0(s0)           # RX_PROD
+        beq  t0, s2, poll        # ring empty
+        # source = rx_ring + (cons & (slots-1)) * slot_words
+        andi t1, s2, {slots - 1}
+        li   t2, {slot_words}
+        mul  t1, t1, t2
+        addi t1, t1, {rx_ring}
+        # dest = host_ring + (cons & (host_slots-1)) * slot_words
+        andi t3, s2, {host_slots - 1}
+        mul  t3, t3, t2
+        add  t3, t3, s1
+        addi t3, t3, {HOST_RING_OFFSET}
+        sw   t1, 2(s0)           # DMA_SRC
+        sw   t3, 3(s0)           # DMA_DST
+        sw   t2, 4(s0)           # DMA_LEN (whole slot)
+        sw   s1, 7(s0)           # DMA_BELL -> host producer counter
+        addi t4, s2, 1
+        sw   t4, 8(s0)           # DMA_BELLVAL = frames forwarded
+        li   t5, 1
+        sw   t5, 5(s0)           # DMA_GO
+    wait:
+        lw   t5, 6(s0)           # DMA_DONE
+        beq  t5, zero, wait
+        addi s2, s2, 1
+        sw   s2, 1(s0)           # RX_CONS (frees the MAC slot)
+        bne  s2, s3, poll
+        halt
+    """)
+
+
+def sensor_aggregate(max_readings: int, *, every: int = 4, slots: int = 8,
+                     slot_words: int = 16, node_id: int = 1,
+                     rx_ring: int = RX_RING_BASE) -> Program:
+    """DSP firmware for a sensor node (Figure 2b).
+
+    Readings arrive as single-payload frames in the receive ring (the
+    sensor's acquisition assist is a reused
+    :class:`~repro.nil.mac.MACAssist`).  The firmware accumulates them
+    and, every ``every`` readings (a power of two), overwrites the
+    just-consumed slot with a summary frame ``payload=(sum, count)``
+    addressed to the base station (dst 0) and hands it to the transmit
+    MAC — in-network aggregation, the canonical sensor-network DSP task.
+    """
+    for value, name in ((slots, "slots"), (every, "every")):
+        if value & (value - 1):
+            raise ValueError(f"{name} must be a power of two, got {value}")
+    return assemble(f"""
+        lui  s0, 0x40            # MMIO window base
+        li   s2, 0               # readings consumed
+        li   s3, {max_readings}
+        li   t6, 0               # accumulator
+    poll:
+        lw   t0, 0(s0)           # RX_PROD
+        beq  t0, s2, poll
+        # reading = payload word 0 of slot (cons & mask):
+        #   slot base + 3  (header, src, dst, payload...)
+        andi t1, s2, {slots - 1}
+        li   t2, {slot_words}
+        mul  t1, t1, t2
+        addi t1, t1, {rx_ring}
+        lw   t3, 3(t1)
+        add  t6, t6, t3
+        addi s2, s2, 1
+        sw   s2, 1(s0)           # RX_CONS (free the slot)
+        andi t4, s2, {every - 1}
+        bne  t4, zero, poll
+        # Build the summary frame in the consumed slot:
+        #   header = len 2 | ethertype 0x0800<<16
+        lui  t5, 0x0800
+        ori  t5, t5, 2
+        sw   t5, 0(t1)           # header
+        li   t5, {node_id}
+        sw   t5, 1(t1)           # src = this node
+        sw   zero, 2(t1)         # dst = base station (0)
+        sw   t6, 3(t1)           # payload[0] = sum
+        li   t5, {every}
+        sw   t5, 4(t1)           # payload[1] = count
+        # Transmit slot (cons-1) & mask with 5 words.
+        addi t4, s2, -1
+        andi t4, t4, {slots - 1}
+        sw   t4, 9(s0)           # TX_SLOT
+        li   t5, 5
+        sw   t5, 10(s0)          # TX_WORDS
+        li   t5, 1
+        sw   t5, 11(s0)          # TX_GO
+        li   t6, 0               # reset accumulator
+        bne  s2, s3, poll
+        halt
+    """)
+
+
+def echo_transmit(max_frames: int, *, slots: int = 8,
+                  slot_words: int = 16,
+                  rx_ring: int = RX_RING_BASE) -> Program:
+    """Firmware: re-transmit each received frame (an L2 echo/bridge).
+
+    For every frame in the receive ring, hand the same NIC-memory slot
+    to the transmit MAC, wait until the transmitted-frame counter
+    advances, then retire the receive slot.
+    """
+    if slots & (slots - 1):
+        raise ValueError(f"slots must be a power of two, got {slots}")
+    return assemble(f"""
+        lui  s0, 0x40            # MMIO window base
+        li   s2, 0               # consumer count
+        li   s3, {max_frames}
+    poll:
+        lw   t0, 0(s0)           # RX_PROD
+        beq  t0, s2, poll
+        andi t1, s2, {slots - 1}
+        sw   t1, 9(s0)           # TX_SLOT
+        li   t2, {slot_words}
+        sw   t2, 10(s0)          # TX_WORDS
+        li   t5, 1
+        sw   t5, 11(s0)          # TX_GO
+        addi t4, s2, 1           # expected TX_DONE
+    wait:
+        lw   t5, 12(s0)          # TX_DONE
+        bne  t5, t4, wait
+        addi s2, s2, 1
+        sw   s2, 1(s0)           # RX_CONS
+        bne  s2, s3, poll
+        halt
+    """)

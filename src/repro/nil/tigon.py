@@ -1,0 +1,154 @@
+"""The programmable network interface (NIL §3.5).
+
+:class:`ProgrammableNIC` is the reproduction's Tigon-2-style device: a
+LibertyRISC :class:`~repro.upl.core.SimpleCore` running real firmware,
+NIC-local memory, receive/transmit MAC assists, a DMA engine toward the
+host, and a memory-mapped register file tying them together — "a
+heterogeneous set of components, including DMA and MAC assist logic",
+assembled purely by wiring existing UPL/MPL/PCL templates (the
+cross-library leverage the paper promises: "development of the
+programmable network interface in NIL will leverage on modules of UPL
+and MPL").
+
+Address map (the firmware's view):
+
+* ``0 .. nicmem_size-1`` — NIC-local memory (receive/transmit rings);
+* ``0x100000 + k`` — host memory window (DMA only);
+* ``0x400000 + r`` — MMIO registers (:mod:`repro.nil.registers`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (HierBody, HierTemplate, Parameter, PortDecl, INPUT,
+                    OUTPUT, map_data)
+from ..mpl.dma import DMAController
+from ..pcl.arbiter import Arbiter, fixed_priority
+from ..pcl.memory import MemoryArray, MemRequest
+from ..pcl.monitor import Monitor
+from ..pcl.routing import Demux
+from ..upl.core import SimpleCore
+from ..upl.isa import MMIO_BASE
+from .firmware import HOST_WINDOW, RX_RING_BASE
+from .mac import MACAssist, MACTx
+from .registers import NICRegisters
+
+
+def _route_core(request: MemRequest, out_width: int, now: int) -> int:
+    """Core address decode: MMIO window -> 1, NIC memory -> 0."""
+    return 1 if request.addr >= MMIO_BASE else 0
+
+
+def _route_dma(request: MemRequest, out_width: int, now: int) -> int:
+    """DMA address decode: host window -> 1, NIC memory -> 0."""
+    return 1 if request.addr >= HOST_WINDOW else 0
+
+
+def _rebase(base: int):
+    """Control function rewriting request addresses relative to a base."""
+    def rewrite(request: MemRequest) -> MemRequest:
+        return MemRequest(request.op, request.addr - base,
+                          value=request.value, tag=request.tag,
+                          meta=request.meta)
+    return map_data(rewrite, name=f"rebase-{base:#x}")
+
+
+class ProgrammableNIC(HierTemplate):
+    """A firmware-driven NIC between an Ethernet wire and a host bus.
+
+    Parameters
+    ----------
+    firmware:
+        The :class:`~repro.upl.isa.Program` the embedded core runs
+        (see :mod:`repro.nil.firmware`).
+    nicmem_size:
+        NIC-local memory size in words.
+    rx_slots, slot_words:
+        Receive-ring geometry (must match the firmware's constants).
+    with_tx:
+        Instantiate the transmit MAC (needed by echo firmware).
+
+    Ports
+    -----
+    ``wire_in`` (input): Ethernet frames arriving from the medium.
+    ``wire_out`` (output): frames transmitted by the TX MAC.
+    ``host_req`` (output) / ``host_resp`` (input): the PCI-side memory
+    interface (host addresses, already rebased).
+    """
+
+    PARAMS = (
+        Parameter("firmware", None),
+        Parameter("nicmem_size", 1024, validate=lambda v: v >= 256),
+        Parameter("rx_slots", 8),
+        Parameter("slot_words", 16),
+        Parameter("with_tx", True),
+        Parameter("mac_full_policy", "stall",
+                  validate=lambda v: v in ("stall", "drop"),
+                  doc="receive-MAC behaviour on a full ring"),
+    )
+    PORTS = (
+        PortDecl("wire_in", INPUT),
+        PortDecl("wire_out", OUTPUT),
+        PortDecl("host_req", OUTPUT),
+        PortDecl("host_resp", INPUT),
+    )
+
+    def build(self, body: HierBody, p: Dict) -> None:
+        core = body.instance("core", SimpleCore, program=p["firmware"])
+        nicmem = body.instance("nicmem", MemoryArray,
+                               size=p["nicmem_size"], latency=1)
+        regs = body.instance("regs", NICRegisters)
+        dma = body.instance("dma", DMAController, burst=1)
+        mac = body.instance("mac", MACAssist, ring_base=RX_RING_BASE,
+                            slots=p["rx_slots"], slot_words=p["slot_words"],
+                            full_policy=p["mac_full_policy"])
+
+        # --- core address decode: NIC memory vs. MMIO registers -------
+        cdec = body.instance("cdec", Demux, route=_route_core)
+        cmerge = body.instance("cmerge", Arbiter, policy=fixed_priority)
+        body.connect(core.port("dmem_req"), cdec.port("in"))
+        body.connect(cdec.port("out", 0), nicmem.port("req", 0))
+        body.connect(cdec.port("out", 1), regs.port("req"),
+                     control=_rebase(MMIO_BASE))
+        body.connect(nicmem.port("resp", 0), cmerge.port("in", 0))
+        body.connect(regs.port("resp"), cmerge.port("in", 1))
+        body.connect(cmerge.port("out"), core.port("dmem_resp"))
+
+        # --- receive MAC <-> NIC memory + register events -------------
+        body.connect(mac.port("mem_req"), nicmem.port("req", 1))
+        body.connect(nicmem.port("resp", 1), mac.port("mem_resp"))
+        body.connect(mac.port("ev_out"), regs.port("ev_in"))
+        body.connect(regs.port("cons_out"), mac.port("cons_in"))
+        body.export("wire_in", mac, "wire_in")
+
+        # --- DMA engine: NIC memory reads, host window writes ----------
+        body.connect(regs.port("dma_cmd"), dma.port("cmd"))
+        body.connect(dma.port("done"), regs.port("dma_done"))
+        ddec = body.instance("ddec", Demux, route=_route_dma)
+        dmerge = body.instance("dmerge", Arbiter, policy=fixed_priority)
+        body.connect(dma.port("mem_req"), ddec.port("in"))
+        body.connect(ddec.port("out", 0), nicmem.port("req", 2))
+        hostside = body.instance("hostside", Monitor, record_numeric=False)
+        body.connect(ddec.port("out", 1), hostside.port("in"),
+                     control=_rebase(HOST_WINDOW))
+        body.connect(nicmem.port("resp", 2), dmerge.port("in", 0))
+        body.connect(dmerge.port("out"), dma.port("mem_resp"))
+        body.export("host_req", hostside, "out")
+        body.export("host_resp", dmerge, "in", inner_index=1)
+
+        # --- transmit MAC ----------------------------------------------
+        if p["with_tx"]:
+            mactx = body.instance("mactx", MACTx, ring_base=RX_RING_BASE,
+                                  slots=p["rx_slots"],
+                                  slot_words=p["slot_words"])
+            body.connect(regs.port("tx_out"), mactx.port("tx_in"))
+            body.connect(mactx.port("mem_req"), nicmem.port("req", 3))
+            body.connect(nicmem.port("resp", 3), mactx.port("mem_resp"))
+            body.connect(mactx.port("ev_out"), regs.port("ev_in"))
+            body.export("wire_out", mactx, "wire_out")
+        else:
+            # Keep the port wired so partial models still build: an
+            # always-idle source of nothing via an unconnected Monitor.
+            stub = body.instance("txstub", Monitor)
+            body.export("wire_out", stub, "out")

@@ -1,0 +1,31 @@
+"""PCL — the Primitive Component Library (paper §3.1).
+
+"Primitive building blocks that are likely to be used across a wide
+range of applications": sources, sinks, queues and buffers, arbiters,
+memory arrays, and dataflow plumbing (tee, mux, demux, combine).  Every
+other library (UPL, CCL, MPL, NIL) builds on these templates, which is
+exactly the reuse story of the paper — e.g. the :class:`Buffer`
+template is instantiated as a processor's instruction window, its
+reorder buffer, and a router's I/O buffers.
+"""
+
+from .source import Source, TraceSource
+from .sink import Sink, LatencySink
+from .queue import Queue, PipelineReg, Delay
+from .buffer import Buffer, BufferEntry, fifo_policy, ready_policy, in_order_completion_policy
+from .arbiter import Arbiter, round_robin, fixed_priority, oldest_first
+from .routing import Tee, Mux, Demux, Combine, Splitter
+from .memory import MemoryArray, MemRequest, MemResponse
+from .monitor import Monitor, Gate
+
+__all__ = [
+    "Source", "TraceSource",
+    "Sink", "LatencySink",
+    "Queue", "PipelineReg", "Delay",
+    "Buffer", "BufferEntry", "fifo_policy", "ready_policy",
+    "in_order_completion_policy",
+    "Arbiter", "round_robin", "fixed_priority", "oldest_first",
+    "Tee", "Mux", "Demux", "Combine", "Splitter",
+    "MemoryArray", "MemRequest", "MemResponse",
+    "Monitor", "Gate",
+]

@@ -1,0 +1,24 @@
+"""Assembled systems from the paper's Figure 2 and §2.2.
+
+Each module builds one of the paper's showcase systems out of the five
+component libraries, plus a ``run_*`` driver returning a result/metric
+dict.  Examples and benchmarks are thin wrappers over these builders —
+the systems themselves are library code, as a real LSE distribution
+would ship them.
+"""
+
+from .fig2a import build_fig2a_cmp, run_fig2a, worker_program
+from .fig2b import build_fig2b_sensors, run_fig2b
+from .fig2c import (GridNI, GridNode, build_fig2c_grid, ring_reduce_program,
+                    run_fig2c)
+from .fig2d import build_fig2d, run_fig2d
+from .refinement import build_stage, run_stage
+
+__all__ = [
+    "build_fig2a_cmp", "run_fig2a", "worker_program",
+    "build_fig2b_sensors", "run_fig2b",
+    "build_fig2c_grid", "run_fig2c", "GridNode", "GridNI",
+    "ring_reduce_program",
+    "build_fig2d", "run_fig2d",
+    "build_stage", "run_stage",
+]

@@ -1,0 +1,127 @@
+"""Figure 2(d): a complex system of systems, at mixed abstraction.
+
+"We envision small sensor nodes peppered around an area, collecting and
+communicating data wirelessly back to coarser-grain nodes with chip
+multiprocessors ... finally, analyzed data is aggregated back to a base
+camp where there are petaflops grids-in-a-box ... It also allows users
+to work at different levels of abstraction."
+
+The composition: detailed Figure-2b sensor nodes transmit summaries
+over the wireless medium to a *gateway*; the gateway's backend — the
+CMP aggregation tier — is instantiated at the abstraction level the
+caller picks (§2.2's swap):
+
+* ``backend='statistical'`` — a Bernoulli-accepting sink stands in for
+  the busy CMP (the "abstract statistical model");
+* ``backend='detailed'`` — a :class:`~repro.nil.tigon.ProgrammableNIC`
+  running real receive firmware forwards every frame into the base
+  camp's host memory by DMA (the "detailed model"), where the grid tier
+  would pick it up.
+
+Both variants are the *same specification* except for the swapped
+subtree — demonstrating that the upstream network model is reused
+untouched across abstraction levels.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.lss import LSS
+from ..ccl.wireless import WirelessMedium
+from ..nil.firmware import receive_forward, sensor_aggregate
+from ..nil.formats import EthernetFrame
+from ..nil.tigon import ProgrammableNIC
+from ..pcl.memory import MemoryArray
+from ..pcl.queue import Queue
+from ..pcl.sink import Sink
+from ..pcl.source import Source
+from .fig2b import _sensor_generator
+
+
+def build_fig2d(n_sensors: int = 2, *, readings_per_node: int = 8,
+                aggregate_every: int = 4, backend: str = "statistical",
+                backend_rate: float = 0.5, seed: int = 0,
+                spec_name: str = "fig2d_sos") -> Tuple[LSS, dict]:
+    """Build the system-of-systems with the chosen gateway backend."""
+    if backend not in ("statistical", "detailed"):
+        raise ValueError(f"unknown backend {backend!r}")
+    spec = LSS(spec_name)
+    medium = spec.instance("air", WirelessMedium, mac="csma", seed=seed)
+    # Field tier: detailed sensor nodes (identical to Figure 2b).
+    for k in range(1, n_sensors + 1):
+        firmware = sensor_aggregate(readings_per_node,
+                                    every=aggregate_every, node_id=k)
+        sensor = spec.instance(f"sensor{k}", Source, pattern="custom",
+                               generator=_sensor_generator(k, 6),
+                               seed=seed + k)
+        node = spec.instance(f"node{k}", ProgrammableNIC,
+                             firmware=firmware, with_tx=True)
+        spec.connect(sensor.port("out"), node.port("wire_in"))
+        spec.connect(node.port("wire_out"), medium.port("in", k))
+        ear = spec.instance(f"ear{k}", Sink)
+        spec.connect(medium.port("out", k), ear.port("in"))
+        scratch = spec.instance(f"scratch{k}", MemoryArray, size=64)
+        spec.connect(node.port("host_req"), scratch.port("req"))
+        spec.connect(scratch.port("resp"), node.port("host_resp"))
+    # Gateway radio on channel 0, buffered.
+    idle = spec.instance("gw_tx", Source, pattern="custom", generator=None)
+    spec.connect(idle.port("out"), medium.port("in", 0))
+    gw_queue = spec.instance("gw_queue", Queue, depth=8)
+    spec.connect(medium.port("out", 0), gw_queue.port("in"))
+
+    expected = n_sensors * (readings_per_node // aggregate_every)
+    if backend == "statistical":
+        # Abstract CMP tier: consumes summaries stochastically.
+        cmp_tier = spec.instance("cmp_tier", Sink, accept="bernoulli",
+                                 rate=backend_rate, seed=seed)
+        spec.connect(gw_queue.port("out"), cmp_tier.port("in"))
+    else:
+        # Detailed CMP-tier front end: a programmable NIC DMAs every
+        # summary into base-camp host memory.
+        gw_fw = receive_forward(expected, slots=8, slot_words=16)
+        gateway = spec.instance("gateway", ProgrammableNIC,
+                                firmware=gw_fw, with_tx=False)
+        camp_mem = spec.instance("camp_mem", MemoryArray, size=4096,
+                                 latency=2)
+        spec.connect(gw_queue.port("out"), gateway.port("wire_in"))
+        spec.connect(gateway.port("host_req"), camp_mem.port("req"))
+        spec.connect(camp_mem.port("resp"), gateway.port("host_resp"))
+    info = {"expected_summaries": expected, "backend": backend,
+            "n_sensors": n_sensors}
+    return spec, info
+
+
+def run_fig2d(n_sensors: int = 2, *, backend: str = "statistical",
+              readings_per_node: int = 8, aggregate_every: int = 4,
+              engine: str = "levelized", max_cycles: int = 20_000) -> dict:
+    """Build, run until field cores halt (plus drain time), summarize."""
+    from ..core.constructor import build_simulator
+    spec, info = build_fig2d(n_sensors, readings_per_node=readings_per_node,
+                             aggregate_every=aggregate_every,
+                             backend=backend)
+    sim = build_simulator(spec, engine=engine)
+    cores = [sim.instance(f"node{k}/core")
+             for k in range(1, n_sensors + 1)]
+    drained = 0
+    for _ in range(max_cycles):
+        sim.step()
+        if all(core.halted for core in cores):
+            drained += 1
+            if drained > 600:
+                break
+    out = {
+        "sim": sim,
+        "cycles": sim.now,
+        "halted": all(core.halted for core in cores),
+        "backend": backend,
+        "expected_summaries": info["expected_summaries"],
+        "transmissions": sim.stats.counter("air", "transmissions"),
+    }
+    if backend == "statistical":
+        out["summaries_delivered"] = sim.stats.counter("cmp_tier", "consumed")
+    else:
+        camp = sim.instance("camp_mem")
+        out["summaries_delivered"] = camp.peek(0)  # host producer counter
+        out["gateway_halted"] = sim.instance("gateway/core").halted
+    return out

@@ -1,0 +1,221 @@
+"""Two-pass assembler for LibertyRISC assembly text.
+
+Syntax
+------
+::
+
+    # comment / ; comment
+        .text              # switch to instruction segment (default)
+        .data              # switch to data segment
+        .org  ADDR         # set current data address
+        .word V [, V...]   # emit data words
+    label:
+        addi  r1, r0, 10
+        loop: add r2, r2, r1
+        addi  r1, r1, -1
+        bne   r1, r0, loop
+        sw    r2, 0(r3)    # store: offset(base)
+        lw    r4, 4(r3)
+        jal   r31, func    # label targets resolved (branches are relative)
+        halt
+
+Registers are ``r0``-``r31`` with ABI aliases ``zero`` (r0), ``ra``
+(r31), ``sp`` (r30), ``a0``-``a7`` (r10-r17), ``t0``-``t6`` (r5, r6,
+r7, r28, r29, r18, r19), ``s0``-``s3`` (r20-r23).  Immediates accept
+decimal, hex (``0x``), negative values, and ``%lo(label)`` /
+``label`` (absolute address) in data-manipulation contexts.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import FirmwareError
+from .isa import FORMATS, Instruction, OPCODES, Program
+
+_ALIASES: Dict[str, int] = {"zero": 0, "ra": 31, "sp": 30}
+_ALIASES.update({f"a{i}": 10 + i for i in range(8)})
+for _name, _num in zip(("t0", "t1", "t2", "t3", "t4", "t5", "t6"),
+                       (5, 6, 7, 28, 29, 18, 19)):
+    _ALIASES[_name] = _num
+_ALIASES.update({f"s{i}": 20 + i for i in range(4)})
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z_0-9.$]*$")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_reg(text: str, where: str) -> int:
+    text = text.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        num = int(text[1:])
+        if 0 <= num < 32:
+            return num
+    raise FirmwareError(f"{where}: bad register {text!r}")
+
+
+def _parse_imm(text: str, symbols: Dict[str, int], where: str,
+               relative_to: Optional[int] = None) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    if text in symbols:
+        addr = symbols[text]
+        if relative_to is not None:
+            return addr - relative_to
+        return addr
+    raise FirmwareError(f"{where}: cannot resolve immediate {text!r}")
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(source: str) -> Program:
+    """Assemble LibertyRISC assembly text into a :class:`Program`."""
+    # ---- pass 1: strip, collect labels, measure segments ------------------
+    lines: List[Tuple[int, str]] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        code = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        if code:
+            lines.append((lineno, code))
+
+    symbols: Dict[str, int] = {}
+    segment = "text"
+    pc = 0
+    data_addr = 0
+    statements: List[Tuple[int, str, str]] = []  # (lineno, segment, code)
+
+    def take_labels(code: str, lineno: int) -> str:
+        while ":" in code:
+            label, _, rest = code.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                break
+            addr = pc if segment == "text" else data_addr
+            if label in symbols:
+                raise FirmwareError(f"line {lineno}: duplicate label {label!r}")
+            symbols[label] = addr
+            code = rest.strip()
+        return code
+
+    for lineno, code in lines:
+        code = take_labels(code, lineno)
+        if not code:
+            continue
+        lowered = code.lower()
+        if lowered.startswith(".text"):
+            segment = "text"
+            continue
+        if lowered.startswith(".data"):
+            segment = "data"
+            continue
+        if lowered.startswith(".org"):
+            arg = code.split(None, 1)[1]
+            data_addr = int(arg, 0)
+            statements.append((lineno, "org", arg))
+            continue
+        if lowered.startswith(".word"):
+            count = len(_split_operands(code.split(None, 1)[1]))
+            statements.append((lineno, "data", code))
+            data_addr += count
+            continue
+        if segment != "text":
+            raise FirmwareError(
+                f"line {lineno}: instruction in .data segment: {code!r}")
+        statements.append((lineno, "text", code))
+        pc += 1
+
+    # ---- pass 2: emit --------------------------------------------------
+    insts: List[Instruction] = []
+    data: Dict[int, int] = {}
+    pc = 0
+    data_addr = 0
+    for lineno, kind, code in statements:
+        where = f"line {lineno}"
+        if kind == "org":
+            data_addr = int(code, 0)
+            continue
+        if kind == "data":
+            for part in _split_operands(code.split(None, 1)[1]):
+                data[data_addr] = _parse_imm(part, symbols, where)
+                data_addr += 1
+            continue
+        parts = code.split(None, 1)
+        op = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        insts.append(_assemble_inst(op, rest, symbols, pc, where))
+        pc += 1
+    return Program(insts, data=data, symbols=symbols)
+
+
+def _assemble_inst(op: str, rest: str, symbols: Dict[str, int], pc: int,
+                   where: str) -> Instruction:
+    # Pseudo-instructions first.
+    ops = _split_operands(rest)
+    if op == "li":  # li rd, imm  ->  addi rd, r0, imm (16-bit range)
+        rd = _parse_reg(ops[0], where)
+        imm = _parse_imm(ops[1], symbols, where)
+        return Instruction("addi", rd=rd, rs1=0, imm=imm)
+    if op == "mv":  # mv rd, rs  ->  add rd, rs, r0
+        return Instruction("add", rd=_parse_reg(ops[0], where),
+                           rs1=_parse_reg(ops[1], where), rs2=0)
+    if op == "j":  # j label  ->  jal r0, label
+        return Instruction("jal", rd=0,
+                           imm=_parse_imm(ops[0], symbols, where,
+                                          relative_to=pc))
+    if op == "ret":  # ret -> jalr r0, ra, 0
+        return Instruction("jalr", rd=0, rs1=_ALIASES["ra"], imm=0)
+
+    if op not in OPCODES:
+        raise FirmwareError(f"{where}: unknown mnemonic {op!r}")
+    fmt = FORMATS[op]
+    if fmt == "N":
+        return Instruction(op)
+    if fmt == "R":
+        return Instruction(op, rd=_parse_reg(ops[0], where),
+                           rs1=_parse_reg(ops[1], where),
+                           rs2=_parse_reg(ops[2], where))
+    if fmt == "I":
+        if op == "lw":
+            rd = _parse_reg(ops[0], where)
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise FirmwareError(f"{where}: lw expects offset(base)")
+            return Instruction("lw", rd=rd, rs1=_parse_reg(match.group(2), where),
+                               imm=_parse_imm(match.group(1), symbols, where))
+        if op == "jalr":
+            return Instruction("jalr", rd=_parse_reg(ops[0], where),
+                               rs1=_parse_reg(ops[1], where),
+                               imm=_parse_imm(ops[2], symbols, where)
+                               if len(ops) > 2 else 0)
+        return Instruction(op, rd=_parse_reg(ops[0], where),
+                           rs1=_parse_reg(ops[1], where),
+                           imm=_parse_imm(ops[2], symbols, where))
+    if fmt == "B":
+        if op == "sw":
+            rs2 = _parse_reg(ops[0], where)
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise FirmwareError(f"{where}: sw expects offset(base)")
+            return Instruction("sw", rs1=_parse_reg(match.group(2), where),
+                               rs2=rs2,
+                               imm=_parse_imm(match.group(1), symbols, where))
+        # Branches: target is a label or immediate, PC-relative.
+        return Instruction(op, rs1=_parse_reg(ops[0], where),
+                           rs2=_parse_reg(ops[1], where),
+                           imm=_parse_imm(ops[2], symbols, where,
+                                          relative_to=pc))
+    if fmt == "J":
+        if op == "lui":
+            return Instruction("lui", rd=_parse_reg(ops[0], where),
+                               imm=_parse_imm(ops[1], symbols, where))
+        # jal rd, target (PC-relative)
+        return Instruction("jal", rd=_parse_reg(ops[0], where),
+                           imm=_parse_imm(ops[1], symbols, where,
+                                          relative_to=pc))
+    raise FirmwareError(f"{where}: unhandled format for {op!r}")

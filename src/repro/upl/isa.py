@@ -1,0 +1,270 @@
+"""LibertyRISC — the instruction set used by all UPL processor models.
+
+The paper's UPL modeled IA-64 and Alpha processors; running those
+binaries is out of scope for a self-contained reproduction, so UPL here
+targets **LibertyRISC**, a small 32-bit load/store ISA (documented in
+DESIGN.md as a substitution).  It is deliberately RISC-V-flavoured so
+the microarchitectural structure being modeled — fetch, decode,
+register dataflow, branches, memory operations — matches what the
+paper's processor components exercise.
+
+Machine model
+-------------
+* 32 general registers ``r0``-``r31``; ``r0`` is hard-wired to zero.
+* 32-bit words, word-addressed memory (address = word index).
+* Program counter advances by 1 per instruction (word addressing).
+* Memory-mapped I/O lives at addresses >= ``MMIO_BASE``.
+
+Instruction formats (fields in the 32-bit encoding)::
+
+    [31:26] opcode   [25:21] rd   [20:16] rs1   [15:11] rs2
+    [15:0] / [10:0]  imm (sign-extended 16-bit for I-format)
+
+This module defines the instruction set table, an :class:`Instruction`
+record, and bit-exact ``encode``/``decode`` functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import FirmwareError
+
+#: First memory-mapped I/O word address.
+MMIO_BASE = 0x0040_0000
+
+#: Number of architectural registers.
+NUM_REGS = 32
+
+# opcode -> (mnemonic, format)
+# formats: R (rd, rs1, rs2), I (rd, rs1, imm), B (rs1, rs2, imm),
+#          J (rd, imm), N (no operands)
+_OP_TABLE: List[Tuple[str, str]] = [
+    ("nop", "N"),      # 0
+    ("add", "R"),      # 1
+    ("sub", "R"),      # 2
+    ("mul", "R"),      # 3
+    ("div", "R"),      # 4
+    ("and", "R"),      # 5
+    ("or", "R"),       # 6
+    ("xor", "R"),      # 7
+    ("sll", "R"),      # 8
+    ("srl", "R"),      # 9
+    ("sra", "R"),      # 10
+    ("slt", "R"),      # 11
+    ("sltu", "R"),     # 12
+    ("addi", "I"),     # 13
+    ("andi", "I"),     # 14
+    ("ori", "I"),      # 15
+    ("xori", "I"),     # 16
+    ("slti", "I"),     # 17
+    ("slli", "I"),     # 18
+    ("srli", "I"),     # 19
+    ("lui", "J"),      # 20
+    ("lw", "I"),       # 21  rd <- mem[rs1 + imm]
+    ("sw", "B"),       # 22  mem[rs1 + imm] <- rs2
+    ("beq", "B"),      # 23  if rs1 == rs2: pc += imm
+    ("bne", "B"),      # 24
+    ("blt", "B"),      # 25
+    ("bge", "B"),      # 26
+    ("jal", "J"),      # 27  rd <- pc + 1; pc += imm
+    ("jalr", "I"),     # 28  rd <- pc + 1; pc <- rs1 + imm
+    ("halt", "N"),     # 29
+    ("ecall", "N"),    # 30  environment call (number in r17, arg in r10)
+]
+
+OPCODES: Dict[str, int] = {name: code for code, (name, _) in enumerate(_OP_TABLE)}
+FORMATS: Dict[str, str] = {name: fmt for name, fmt in _OP_TABLE}
+
+#: Opcode groups used by decoders and pipelines.
+ALU_OPS = frozenset(["add", "sub", "mul", "div", "and", "or", "xor", "sll",
+                     "srl", "sra", "slt", "sltu", "addi", "andi", "ori",
+                     "xori", "slti", "slli", "srli", "lui", "nop"])
+BRANCH_OPS = frozenset(["beq", "bne", "blt", "bge", "jal", "jalr"])
+LOAD_OPS = frozenset(["lw"])
+STORE_OPS = frozenset(["sw"])
+SYS_OPS = frozenset(["halt", "ecall"])
+
+_MASK32 = 0xFFFF_FFFF
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap ``value`` into [0, 2^32)."""
+    return value & _MASK32
+
+
+def sign_extend16(value: int) -> int:
+    value &= 0xFFFF
+    return value - (1 << 16) if value & 0x8000 else value
+
+
+class Instruction:
+    """One decoded LibertyRISC instruction.
+
+    Attributes mirror the fields relevant to the instruction's format;
+    unused fields are 0.  ``imm`` is kept sign-extended.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm")
+
+    def __init__(self, op: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+                 imm: int = 0):
+        if op not in OPCODES:
+            raise FirmwareError(f"unknown opcode {op!r}")
+        for reg, what in ((rd, "rd"), (rs1, "rs1"), (rs2, "rs2")):
+            if not 0 <= reg < NUM_REGS:
+                raise FirmwareError(f"{op}: register {what}={reg} out of range")
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+
+    # -- classification -------------------------------------------------
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in LOAD_OPS or self.op in STORE_OPS
+
+    @property
+    def writes_reg(self) -> Optional[int]:
+        """Destination register number, or None when nothing is written."""
+        fmt = FORMATS[self.op]
+        if self.op in STORE_OPS or self.op in ("beq", "bne", "blt", "bge",
+                                               "nop", "halt", "ecall"):
+            return None
+        if fmt in ("R", "I", "J") and self.rd != 0:
+            return self.rd
+        return None
+
+    @property
+    def reads_regs(self) -> Tuple[int, ...]:
+        """Source register numbers actually read (r0 excluded)."""
+        fmt = FORMATS[self.op]
+        regs: Tuple[int, ...]
+        if fmt == "R":
+            regs = (self.rs1, self.rs2)
+        elif fmt == "I":
+            regs = (self.rs1,)
+        elif fmt == "B":
+            regs = (self.rs1, self.rs2)
+        elif self.op == "ecall":
+            regs = (10, 17)
+        else:
+            regs = ()
+        return tuple(r for r in regs if r != 0)
+
+    # -- encoding ---------------------------------------------------------
+    def encode(self) -> int:
+        """Bit-exact 32-bit encoding (see module-level :func:`encode`)."""
+        return encode(self)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Instruction)
+                and (self.op, self.rd, self.rs1, self.rs2, self.imm)
+                == (other.op, other.rd, other.rs1, other.rs2, other.imm))
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))
+
+    def __repr__(self) -> str:
+        fmt = FORMATS[self.op]
+        if fmt == "R":
+            return f"{self.op} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if fmt == "I":
+            return f"{self.op} r{self.rd}, r{self.rs1}, {self.imm}"
+        if fmt == "B":
+            if self.op == "sw":
+                return f"sw r{self.rs2}, {self.imm}(r{self.rs1})"
+            return f"{self.op} r{self.rs1}, r{self.rs2}, {self.imm}"
+        if fmt == "J":
+            return f"{self.op} r{self.rd}, {self.imm}"
+        return self.op
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit encoding back into an :class:`Instruction`."""
+    word &= _MASK32
+    opcode = (word >> 26) & 0x3F
+    if opcode >= len(_OP_TABLE):
+        raise FirmwareError(f"illegal opcode {opcode} in word {word:#010x}")
+    op, fmt = _OP_TABLE[opcode]
+    rd = (word >> 21) & 0x1F
+    rs1 = (word >> 16) & 0x1F
+    if fmt == "R":
+        rs2 = (word >> 11) & 0x1F
+        return Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+    imm = sign_extend16(word & 0xFFFF)
+    if fmt == "I":
+        return Instruction(op, rd=rd, rs1=rs1, imm=imm)
+    if fmt == "B":
+        # B-format reuses rd as rs2 for sw/branches.
+        return Instruction(op, rs1=rs1, rs2=rd, imm=imm)
+    if fmt == "J":
+        return Instruction(op, rd=rd, imm=imm)
+    return Instruction(op)
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an instruction to its 32-bit word (B-format packs rs2 in rd)."""
+    opcode = OPCODES[inst.op]
+    fmt = FORMATS[inst.op]
+    imm16 = inst.imm & 0xFFFF
+    if fmt == "R":
+        return ((opcode & 0x3F) << 26) | ((inst.rd & 0x1F) << 21) | \
+               ((inst.rs1 & 0x1F) << 16) | ((inst.rs2 & 0x1F) << 11)
+    if fmt == "B":
+        return ((opcode & 0x3F) << 26) | ((inst.rs2 & 0x1F) << 21) | \
+               ((inst.rs1 & 0x1F) << 16) | imm16
+    # I, J, N
+    return ((opcode & 0x3F) << 26) | ((inst.rd & 0x1F) << 21) | \
+           ((inst.rs1 & 0x1F) << 16) | imm16
+
+
+class Program:
+    """An assembled program: instructions plus initial data segment.
+
+    Attributes
+    ----------
+    insts:
+        Instruction list; instruction at index ``i`` lives at word
+        address ``i`` of instruction memory.
+    data:
+        ``{word address: value}`` initial data memory contents.
+    symbols:
+        Label -> address map produced by the assembler.
+    """
+
+    def __init__(self, insts: List[Instruction],
+                 data: Optional[Dict[int, int]] = None,
+                 symbols: Optional[Dict[str, int]] = None):
+        self.insts = insts
+        self.data = data or {}
+        self.symbols = symbols or {}
+
+    def words(self) -> List[int]:
+        """The encoded instruction words."""
+        return [encode(inst) for inst in self.insts]
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __repr__(self) -> str:
+        return f"<Program: {len(self.insts)} insts, {len(self.data)} data words>"

@@ -1,0 +1,147 @@
+"""Branch prediction units (UPL §3.2).
+
+Predictors are plain objects with a ``predict``/``train`` protocol and
+are passed to fetch units as *algorithmic parameters* — the paper's
+mechanism for adapting a template's behaviour without new module code.
+
+Protocol
+--------
+``predict(pc, inst) -> int``
+    Predicted next fetch PC for the instruction at ``pc``.
+``train(pc, inst, taken, target) -> None``
+    Outcome feedback from branch resolution.
+
+All predictors fall back to ``pc + 1`` for non-branches and predict
+direct jumps (``jal``) perfectly; indirect jumps (``jalr``) predict
+not-taken (``pc + 1``) unless the return-address stack knows better.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .isa import Instruction
+
+
+class StaticPredictor:
+    """Always-taken or always-not-taken static prediction."""
+
+    def __init__(self, taken: bool = False):
+        self.taken = taken
+        self.predictions = 0
+
+    def predict(self, pc: int, inst: Instruction) -> int:
+        self.predictions += 1
+        if inst.op == "jal":
+            return pc + inst.imm
+        if inst.op == "jalr":
+            return pc + 1
+        if inst.is_branch:  # conditional
+            return pc + inst.imm if self.taken else pc + 1
+        return pc + 1
+
+    def train(self, pc: int, inst: Instruction, taken: bool,
+              target: int) -> None:
+        """Static predictors do not learn."""
+
+
+class BimodalPredictor:
+    """A table of 2-bit saturating counters indexed by PC.
+
+    Counter values: 0,1 predict not-taken; 2,3 predict taken.
+    """
+
+    def __init__(self, size: int = 256, init: int = 1):
+        self.size = size
+        self.table: List[int] = [init] * size
+        self.predictions = 0
+
+    def _index(self, pc: int) -> int:
+        return pc % self.size
+
+    def predict(self, pc: int, inst: Instruction) -> int:
+        self.predictions += 1
+        if inst.op == "jal":
+            return pc + inst.imm
+        if inst.op == "jalr":
+            return pc + 1
+        if not inst.is_branch:
+            return pc + 1
+        return pc + inst.imm if self.table[self._index(pc)] >= 2 else pc + 1
+
+    def train(self, pc: int, inst: Instruction, taken: bool,
+              target: int) -> None:
+        if inst.op in ("jal", "jalr") or not inst.is_branch:
+            return
+        index = self._index(pc)
+        if taken:
+            self.table[index] = min(3, self.table[index] + 1)
+        else:
+            self.table[index] = max(0, self.table[index] - 1)
+
+
+class GSharePredictor:
+    """Global-history predictor: PC xor global history indexes the table."""
+
+    def __init__(self, size: int = 1024, history_bits: int = 8):
+        self.size = size
+        self.history_bits = history_bits
+        self.history = 0
+        self.table: List[int] = [1] * size
+        self.predictions = 0
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.history_bits) - 1
+        return (pc ^ (self.history & mask)) % self.size
+
+    def predict(self, pc: int, inst: Instruction) -> int:
+        self.predictions += 1
+        if inst.op == "jal":
+            return pc + inst.imm
+        if inst.op == "jalr":
+            return pc + 1
+        if not inst.is_branch:
+            return pc + 1
+        return pc + inst.imm if self.table[self._index(pc)] >= 2 else pc + 1
+
+    def train(self, pc: int, inst: Instruction, taken: bool,
+              target: int) -> None:
+        if inst.op in ("jal", "jalr") or not inst.is_branch:
+            return
+        index = self._index(pc)
+        if taken:
+            self.table[index] = min(3, self.table[index] + 1)
+        else:
+            self.table[index] = max(0, self.table[index] - 1)
+        self.history = ((self.history << 1) | int(taken)) \
+            & ((1 << self.history_bits) - 1)
+
+
+class ReturnStackPredictor:
+    """Wraps another predictor with a return-address stack for jalr.
+
+    ``jal`` with a link register pushes the return address; ``jalr``
+    pops it, giving near-perfect call/return prediction.
+    """
+
+    def __init__(self, base, depth: int = 16):
+        self.base = base
+        self.depth = depth
+        self.stack: List[int] = []
+        self.predictions = 0
+
+    def predict(self, pc: int, inst: Instruction) -> int:
+        self.predictions += 1
+        if inst.op == "jal":
+            if inst.rd != 0 and len(self.stack) < self.depth:
+                self.stack.append(pc + 1)
+            return pc + inst.imm
+        if inst.op == "jalr":
+            if self.stack:
+                return self.stack.pop()
+            return pc + 1
+        return self.base.predict(pc, inst)
+
+    def train(self, pc: int, inst: Instruction, taken: bool,
+              target: int) -> None:
+        self.base.train(pc, inst, taken, target)

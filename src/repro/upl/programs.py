@@ -1,0 +1,222 @@
+"""Sample LibertyRISC programs used by tests, examples and benchmarks.
+
+Each function returns assembly text; assemble with
+:func:`repro.upl.assembler.assemble`.  All programs ``halt`` and leave
+their primary result in ``a0`` (r10) and/or memory, so structural
+models can be validated against the functional emulator.
+"""
+
+from __future__ import annotations
+
+from .assembler import assemble
+from .isa import Program
+
+
+def sum_to_n(n: int = 10) -> str:
+    """Sum 1..n into a0.  Exercises a simple counted loop."""
+    return f"""
+        li   a0, 0          # acc
+        li   t0, {n}        # i = n
+    loop:
+        add  a0, a0, t0
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+    """
+
+
+def fibonacci(n: int = 10) -> str:
+    """Iterative Fibonacci: a0 = fib(n).  Branch-heavy."""
+    return f"""
+        li   t0, {n}
+        li   a0, 0          # fib(0)
+        li   t1, 1          # fib(1)
+        beq  t0, zero, done
+    loop:
+        add  t2, a0, t1     # next
+        mv   a0, t1
+        mv   t1, t2
+        addi t0, t0, -1
+        bne  t0, zero, loop
+    done:
+        halt
+    """
+
+
+def memcpy(src: int = 64, dst: int = 128, words: int = 8) -> str:
+    """Copy ``words`` words from ``src`` to ``dst``.  Load/store heavy."""
+    return f"""
+        li   t0, {src}      # source pointer
+        li   t1, {dst}      # destination pointer
+        li   t2, {words}    # count
+    loop:
+        lw   t3, 0(t0)
+        sw   t3, 0(t1)
+        addi t0, t0, 1
+        addi t1, t1, 1
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        halt
+    """
+
+
+def vector_sum(base: int = 64, words: int = 16) -> str:
+    """a0 = sum of ``words`` words starting at ``base``."""
+    return f"""
+        li   t0, {base}
+        li   t1, {words}
+        li   a0, 0
+    loop:
+        lw   t2, 0(t0)
+        add  a0, a0, t2
+        addi t0, t0, 1
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+    """
+
+
+def store_pattern(base: int = 64, words: int = 8, stride: int = 1,
+                  seedval: int = 3) -> str:
+    """Write ``seedval * (i+1)`` to ``base + i*stride``.  Store-heavy."""
+    return f"""
+        li   t0, {base}
+        li   t1, {words}
+        li   t2, {seedval}
+        li   t3, {seedval}
+    loop:
+        sw   t3, 0(t0)
+        add  t3, t3, t2
+        addi t0, t0, {stride}
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+    """
+
+
+def call_return(depth: int = 4, stack: int = 512) -> str:
+    """Nested calls via jal/jalr; a0 counts the call depth reached."""
+    return f"""
+        li   sp, {stack}    # stack grows down from here
+        li   a0, 0
+        li   t0, {depth}
+        jal  ra, func
+        halt
+    func:
+        addi a0, a0, 1
+        beq  a0, t0, unwind
+        addi sp, sp, -1
+        sw   ra, 0(sp)
+        jal  ra, func
+        lw   ra, 0(sp)
+        addi sp, sp, 1
+    unwind:
+        ret
+    """
+
+
+def sieve(limit: int = 30, base: int = 256) -> str:
+    """Sieve of Eratosthenes; a0 = number of primes < limit.
+
+    Flags live at ``base + i`` (0 = prime).  Mixed control and memory.
+    """
+    return f"""
+        li   s0, {base}
+        li   s1, {limit}
+        li   t0, 2          # i
+    outer:
+        bge  t0, s1, count
+        add  t1, s0, t0
+        lw   t2, 0(t1)
+        bne  t2, zero, next # already composite
+        add  t3, t0, t0     # j = 2i
+    inner:
+        bge  t3, s1, next
+        add  t4, s0, t3
+        li   t5, 1
+        sw   t5, 0(t4)
+        add  t3, t3, t0
+        j    inner
+    next:
+        addi t0, t0, 1
+        j    outer
+    count:
+        li   a0, 0
+        li   t0, 2
+    cloop:
+        bge  t0, s1, done
+        add  t1, s0, t0
+        lw   t2, 0(t1)
+        bne  t2, zero, skip
+        addi a0, a0, 1
+    skip:
+        addi t0, t0, 1
+        j    cloop
+    done:
+        halt
+    """
+
+
+def ilp_chains(iters: int = 8, mul_heavy: bool = True) -> str:
+    """Four independent accumulator chains — instruction-level
+    parallelism for superscalar/out-of-order models to exploit.
+
+    Each loop iteration updates four registers with no cross-chain
+    dependencies (optionally with multiplies, so multi-cycle units
+    overlap); the final ``a0`` folds the chains together.
+    """
+    op = "mul" if mul_heavy else "add"
+    return f"""
+        li   s0, 0
+        li   s1, 1
+        li   s2, 2
+        li   s3, 3
+        li   t0, {iters}
+    loop:
+        addi s0, s0, 3
+        {op}  s1, s1, s1
+        addi s2, s2, 7
+        {op}  s3, s3, s3
+        andi s1, s1, 1023
+        andi s3, s3, 1023
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        add  a0, s0, s1
+        add  a0, a0, s2
+        add  a0, a0, s3
+        halt
+    """
+
+
+def spin_on_flag(flag_addr: int, result_addr: int) -> str:
+    """Wait for ``mem[flag_addr] != 0`` then copy it to ``result_addr``.
+
+    Used by multiprocessor synchronization tests (MPL).
+    """
+    return f"""
+        li   t0, {flag_addr}
+    wait:
+        lw   t1, 0(t0)
+        beq  t1, zero, wait
+        li   t2, {result_addr}
+        sw   t1, 0(t2)
+        halt
+    """
+
+
+#: Named catalog used by benchmarks and parameter sweeps.
+CATALOG = {
+    "sum_to_n": sum_to_n,
+    "fibonacci": fibonacci,
+    "memcpy": memcpy,
+    "vector_sum": vector_sum,
+    "store_pattern": store_pattern,
+    "call_return": call_return,
+    "sieve": sieve,
+    "ilp_chains": ilp_chains,
+}
+
+
+def assemble_named(name: str, **kw) -> Program:
+    """Assemble a catalog program by name with keyword overrides."""
+    return assemble(CATALOG[name](**kw))

@@ -1,0 +1,124 @@
+"""Unit tests for the Bus and WirelessMedium fabrics."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Bus, BusTransaction, WirelessMedium
+from repro.ccl.packet import Packet
+from repro.pcl import Sink, Source
+
+
+def _bus_system(mode, n=3, cycles=40, latency=1, engine="worklist",
+                target_of=None):
+    spec = LSS("bus")
+    bus = spec.instance("bus", Bus, latency=latency, mode=mode)
+    target_of = target_of or (lambda i: (i + 1) % n)
+
+    def generator(i):
+        def gen(now, idx, rng):
+            return BusTransaction(i, target_of(i), payload=(i, now),
+                                  created=now)
+        return gen
+
+    for i in range(n):
+        src = spec.instance(f"m{i}", Source, pattern="custom",
+                            generator=generator(i), seed=i)
+        spec.connect(src.port("out"), bus.port("in"))
+    for j in range(n):
+        snk = spec.instance(f"t{j}", Sink)
+        spec.connect(bus.port("out", j), snk.port("in"))
+    sim = build_simulator(spec, engine=engine)
+    sim.run(cycles)
+    return sim
+
+
+class TestRoutedBus:
+    def test_transactions_reach_targets(self, engine):
+        sim = _bus_system("routed", engine=engine)
+        for j in range(3):
+            assert sim.stats.counter(f"t{j}", "consumed") > 0
+
+    def test_serialization_one_per_cycle(self):
+        sim = _bus_system("routed", cycles=30)
+        total = sum(sim.stats.counter(f"t{j}", "consumed")
+                    for j in range(3))
+        assert total <= 30  # the shared wire is the bottleneck
+
+    def test_latency_parameter_delays_delivery(self):
+        fast = _bus_system("routed", latency=1, cycles=40)
+        slow = _bus_system("routed", latency=8, cycles=40)
+        fast_total = sum(fast.stats.counter(f"t{j}", "consumed")
+                         for j in range(3))
+        slow_total = sum(slow.stats.counter(f"t{j}", "consumed")
+                         for j in range(3))
+        assert slow_total < fast_total
+
+    def test_fixed_target(self):
+        sim = _bus_system("routed", target_of=lambda i: 0, cycles=20)
+        assert sim.stats.counter("t0", "consumed") > 0
+        assert sim.stats.counter("t1", "consumed") == 0
+
+
+class TestBroadcastBus:
+    def test_every_snooper_sees_every_transaction(self, engine):
+        sim = _bus_system("broadcast", engine=engine, cycles=30)
+        counts = [sim.stats.counter(f"t{j}", "consumed") for j in range(3)]
+        assert counts[0] == counts[1] == counts[2] > 0
+
+
+class TestWireless:
+    def _radio(self, mac="csma", loss=0.0, tx_rates=(0.9, 0.9, 0.0),
+               cycles=200, engine="worklist"):
+        spec = LSS("air")
+        medium = spec.instance("air", WirelessMedium, mac=mac, loss=loss,
+                               seed=3)
+        for i, rate in enumerate(tx_rates):
+            def mk(i):
+                def gen(now, idx, rng):
+                    if rng.random() < tx_rates[i]:
+                        return Packet(i, (i + 1) % len(tx_rates),
+                                      created=now)
+                    return None
+                return gen
+            src = spec.instance(f"tx{i}", Source, pattern="custom",
+                                generator=mk(i), seed=i)
+            spec.connect(src.port("out"), medium.port("in", i))
+            snk = spec.instance(f"rx{i}", Sink)
+            spec.connect(medium.port("out", i), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(cycles)
+        return sim
+
+    def test_csma_one_winner_per_cycle(self, engine):
+        sim = self._radio(engine=engine, cycles=50)
+        assert sim.stats.counter("air", "transmissions") <= 50
+        assert sim.stats.counter("air", "collisions") == 0
+
+    def test_broadcast_excludes_sender(self):
+        sim = self._radio(tx_rates=(1.0, 0.0, 0.0), cycles=20)
+        # tx0's frames are heard by rx1 and rx2, never rx0.
+        assert sim.stats.counter("rx0", "consumed") == 0
+        assert sim.stats.counter("rx1", "consumed") == 20
+        assert sim.stats.counter("rx2", "consumed") == 20
+
+    def test_collide_mac_loses_everything(self):
+        sim = self._radio(mac="collide", tx_rates=(1.0, 1.0, 0.0),
+                          cycles=30)
+        assert sim.stats.counter("air", "collisions") == 30
+        assert sim.stats.counter("air", "transmissions") == 0
+        for i in range(3):
+            assert sim.stats.counter(f"rx{i}", "consumed") == 0
+
+    def test_loss_reduces_deliveries(self):
+        clean = self._radio(loss=0.0, cycles=300)
+        lossy = self._radio(loss=0.5, cycles=300)
+        assert lossy.stats.counter("air", "deliveries") \
+            < clean.stats.counter("air", "deliveries")
+        assert lossy.stats.counter("air", "losses") > 0
+
+    def test_csma_fairness(self):
+        sim = self._radio(tx_rates=(1.0, 1.0, 1.0), cycles=60)
+        # Rotating priority: equal senders get equal air time.
+        tx_counts = [sim.stats.counter(f"tx{i}", "emitted")
+                     for i in range(3)]
+        assert max(tx_counts) - min(tx_counts) <= 1

@@ -1,0 +1,160 @@
+"""Unit tests for the Orion power/leakage/thermal models."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Mesh, attach_traffic, build_mesh_network
+from repro.ccl.orion import (DEFAULT_TECH, LinkEnergyModel,
+                             RouterEnergyModel, TechParams, ThermalRC,
+                             network_power_report, router_event_counts,
+                             router_power)
+
+
+class TestEnergyModels:
+    def test_switch_energy_positive_and_quadratic_in_vdd(self):
+        low = TechParams(voltage=1.0)
+        high = TechParams(voltage=2.0)
+        assert high.switch_energy_j(10) == pytest.approx(
+            4 * low.switch_energy_j(10))
+
+    def test_router_energy_grows_with_geometry(self):
+        small = RouterEnergyModel(ports=3, flit_bits=32, buffer_depth=2)
+        large = RouterEnergyModel(ports=7, flit_bits=128, buffer_depth=8)
+        assert large.e_buffer_write > small.e_buffer_write
+        assert large.e_crossbar > small.e_crossbar
+        assert large.e_arbitration > small.e_arbitration
+        assert large.transistors > small.transistors
+
+    def test_dynamic_power_scales_with_activity(self):
+        model = RouterEnergyModel()
+        low = model.dynamic_power_w({"buffer_writes": 10,
+                                     "buffer_reads": 10,
+                                     "crossbar_traversals": 10,
+                                     "arbitrations": 10}, 1000)
+        high = model.dynamic_power_w({"buffer_writes": 100,
+                                      "buffer_reads": 100,
+                                      "crossbar_traversals": 100,
+                                      "arbitrations": 100}, 1000)
+        assert high == pytest.approx(10 * low)
+
+    def test_zero_cycles_zero_power(self):
+        assert RouterEnergyModel().dynamic_power_w({}, 0) == 0.0
+
+    def test_leakage_grows_exponentially_with_temperature(self):
+        model = RouterEnergyModel()
+        cold = model.leakage_power_w(300.0)
+        warm = model.leakage_power_w(330.0)
+        hot = model.leakage_power_w(360.0)
+        assert cold < warm < hot
+        # Exponential: equal temperature steps, equal ratios.
+        assert warm / cold == pytest.approx(hot / warm, rel=1e-6)
+
+    def test_link_energy_scales_with_length(self):
+        short = LinkEnergyModel(length_mm=1.0)
+        long = LinkEnergyModel(length_mm=5.0)
+        assert long.e_flit == pytest.approx(5 * short.e_flit)
+
+
+class TestIntegration:
+    def _run_mesh(self, rate, cycles=200):
+        mesh = Mesh(3, 3)
+        spec = LSS("pw")
+        routers = build_mesh_network(spec, mesh)
+        attach_traffic(spec, mesh, routers, pattern="uniform", rate=rate,
+                       seed=6)
+        sim = build_simulator(spec, engine="levelized")
+        sim.run(cycles)
+        return sim, mesh
+
+    def test_event_extraction_from_structural_router(self):
+        sim, mesh = self._run_mesh(0.1)
+        events = router_event_counts(sim, "r_1_1")
+        assert events["buffer_writes"] > 0
+        assert events["buffer_reads"] > 0
+        assert events["crossbar_traversals"] > 0
+        # Reads can't exceed writes (every departure was an insertion).
+        assert events["buffer_reads"] <= events["buffer_writes"]
+
+    def test_power_report_structure(self):
+        sim, mesh = self._run_mesh(0.1)
+        model = RouterEnergyModel()
+        report = router_power(sim, "r_1_1", model)
+        assert report["total_w"] == pytest.approx(
+            report["dynamic_w"] + report["leakage_w"])
+
+    def test_network_power_grows_with_load(self):
+        model = RouterEnergyModel()
+        link_model = LinkEnergyModel()
+        totals = []
+        for rate in (0.02, 0.15, 0.30):
+            sim, mesh = self._run_mesh(rate)
+            paths = [mesh.node_name(n) for n in mesh.nodes()]
+            report = network_power_report(sim, paths, model, link_model)
+            totals.append(report["router_dynamic_w"]
+                          + report["link_dynamic_w"])
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestArea:
+    def test_area_grows_with_geometry(self):
+        from repro.ccl.orion import RouterAreaModel
+        small = RouterAreaModel(ports=3, flit_bits=32, buffer_depth=2)
+        large = RouterAreaModel(ports=7, flit_bits=128, buffer_depth=8)
+        assert large.total_um2 > small.total_um2
+        assert large.crossbar_um2 > small.crossbar_um2
+
+    def test_breakdown_sums_to_total(self):
+        from repro.ccl.orion import RouterAreaModel
+        model = RouterAreaModel()
+        parts = model.breakdown()
+        assert parts["total_um2"] == pytest.approx(
+            parts["buffer_um2"] + parts["crossbar_um2"]
+            + parts["arbiter_um2"] + parts["control_um2"])
+
+    def test_buffers_dominate_deep_routers(self):
+        from repro.ccl.orion import RouterAreaModel
+        deep = RouterAreaModel(buffer_depth=32)
+        assert deep.buffer_um2 > deep.crossbar_um2
+
+    def test_network_area_scales_with_routers(self):
+        from repro.ccl.orion import RouterAreaModel, network_area_mm2
+        model = RouterAreaModel()
+        small = network_area_mm2(4, model, n_links=8)
+        large = network_area_mm2(16, model, n_links=48)
+        assert large > small > 0
+
+
+class TestThermal:
+    def test_relaxes_to_target(self):
+        node = ThermalRC(r_th_k_per_w=50.0, tau_s=0.01, ambient_k=300.0)
+        for _ in range(10_000):
+            node.step(1.0, 1e-3)
+        assert node.temperature == pytest.approx(350.0, abs=0.5)
+
+    def test_settle_converges_with_weak_feedback(self):
+        model = RouterEnergyModel()
+        node = ThermalRC(r_th_k_per_w=50.0)
+        temp, converged = node.settle(
+            lambda T: 0.3 + model.leakage_power_w(T))
+        assert converged
+        assert temp > 300.0
+
+    def test_thermal_runaway_detected(self):
+        # Pathological feedback: gain > 1 around the loop.
+        node = ThermalRC(r_th_k_per_w=500.0)
+        model = RouterEnergyModel(
+            tech=TechParams(leak_na_per_tx=3000.0, leak_t_slope=0.1))
+        temp, converged = node.settle(
+            lambda T: 1.0 + model.leakage_power_w(T), dt_s=5e-3)
+        assert not converged
+
+    def test_leakage_thermal_coupling_raises_equilibrium(self):
+        """Hotter -> leakier -> hotter: equilibrium above the
+        leakage-free target."""
+        model = RouterEnergyModel()
+        base = 0.5
+        no_leak = ThermalRC(r_th_k_per_w=80.0)
+        no_leak.settle(lambda T: base)
+        with_leak = ThermalRC(r_th_k_per_w=80.0)
+        with_leak.settle(lambda T: base + 50 * model.leakage_power_w(T))
+        assert with_leak.temperature > no_leak.temperature

@@ -1,0 +1,113 @@
+"""Unit tests for mesh/torus/ring topologies and routing functions."""
+
+import pytest
+
+from repro.ccl.packet import Packet
+from repro.ccl.topology import (EAST, LOCAL, Mesh, NORTH, Ring, SOUTH,
+                                Torus, WEST)
+
+
+class TestMesh:
+    def test_node_enumeration(self):
+        mesh = Mesh(3, 2)
+        assert len(mesh.nodes()) == 6
+        assert (2, 1) in mesh.nodes()
+
+    def test_edge_neighbors_clipped(self):
+        mesh = Mesh(3, 3)
+        assert mesh.neighbor((0, 0), NORTH) is None
+        assert mesh.neighbor((0, 0), WEST) is None
+        assert mesh.neighbor((0, 0), EAST) == (1, 0)
+        assert mesh.neighbor((0, 0), SOUTH) == (0, 1)
+
+    def test_link_count(self):
+        mesh = Mesh(3, 3)
+        # 2 * (links per row * rows + links per col * cols), directed.
+        assert len(mesh.links()) == 2 * (2 * 3 + 2 * 3)
+
+    def test_links_are_reciprocal(self):
+        mesh = Mesh(2, 2)
+        links = {(a, b) for a, _, b, _ in mesh.links()}
+        assert all((b, a) in links for a, b in links)
+
+    def test_hop_distance(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance((0, 0), (3, 3)) == 6
+        assert mesh.hop_distance((1, 1), (1, 1)) == 0
+
+    def test_xy_route_goes_x_first(self):
+        mesh = Mesh(4, 4)
+        route = mesh.xy_route((1, 1))
+        assert route(Packet((0, 0), (3, 3)), 5, 0) == EAST
+        assert route(Packet((0, 0), (1, 3)), 5, 0) == SOUTH
+        assert route(Packet((0, 0), (0, 0)), 5, 0) == WEST
+        assert route(Packet((0, 0), (1, 1)), 5, 0) == LOCAL
+
+    def test_yx_route_goes_y_first(self):
+        mesh = Mesh(4, 4)
+        route = mesh.yx_route((1, 1))
+        assert route(Packet((0, 0), (3, 3)), 5, 0) == SOUTH
+
+    def test_xy_route_reaches_destination(self):
+        mesh = Mesh(4, 3)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                node = src
+                hops = 0
+                while node != dst:
+                    direction = mesh.xy_route(node)(Packet(src, dst), 5, 0)
+                    assert direction != LOCAL
+                    node = mesh.neighbor(node, direction)
+                    hops += 1
+                    assert hops <= 10
+                assert mesh.xy_route(node)(Packet(src, dst), 5, 0) == LOCAL
+                assert hops == mesh.hop_distance(src, dst)
+
+
+class TestTorus:
+    def test_wraparound_neighbors(self):
+        torus = Torus(3, 3)
+        assert torus.neighbor((0, 0), WEST) == (2, 0)
+        assert torus.neighbor((0, 0), NORTH) == (0, 2)
+
+    def test_hop_distance_uses_wrap(self):
+        torus = Torus(4, 4)
+        assert torus.hop_distance((0, 0), (3, 3)) == 2
+
+    def test_minimal_route_reaches_destination(self):
+        torus = Torus(4, 4)
+        for dst in [(3, 0), (0, 3), (2, 2)]:
+            node = (0, 0)
+            hops = 0
+            while node != dst:
+                direction = torus.xy_route(node)(Packet((0, 0), dst), 5, 0)
+                node = torus.neighbor(node, direction)
+                hops += 1
+                assert hops <= 8
+            assert hops == torus.hop_distance((0, 0), dst)
+
+
+class TestRing:
+    def test_route_forward_or_eject(self):
+        ring = Ring(4)
+        route = ring.route(1)
+        assert route(Packet(0, 1), 2, 0) == Ring.RING_LOCAL
+        assert route(Packet(0, 3), 2, 0) == Ring.NEXT
+
+    def test_hop_distance_directional(self):
+        ring = Ring(4)
+        assert ring.hop_distance(3, 1) == 2  # wraps forward
+        assert ring.hop_distance(1, 3) == 2
+
+
+class TestPacket:
+    def test_identity_equality(self):
+        a = Packet((0, 0), (1, 1))
+        b = Packet((0, 0), (1, 1))
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_fields(self):
+        pkt = Packet((0, 0), (1, 1), payload="x", size=3, created=7)
+        assert pkt.size == 3 and pkt.created == 7 and pkt.hops == 0

@@ -1,0 +1,116 @@
+"""Unit tests for traffic generation and ejection."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Mesh, PacketEjector, PacketInjector
+from repro.ccl.packet import Packet
+from repro.pcl import Sink
+
+
+def _inj_system(cycles=200, **inj_kw):
+    mesh = Mesh(4, 4)
+    defaults = dict(node=(0, 0), nodes=tuple(mesh.nodes()),
+                    pattern="uniform", rate=0.5, seed=1, shape=(4, 4),
+                    topology=mesh)
+    defaults.update(inj_kw)
+    spec = LSS("inj")
+    inj = spec.instance("inj", PacketInjector, **defaults)
+    ej = spec.instance("ej", PacketEjector, node=None)
+    spec.connect(inj.port("out"), ej.port("in"))
+    sim = build_simulator(spec)
+    probe = sim.probe_between("inj", "out", "ej", "in")
+    sim.run(cycles)
+    return sim, probe
+
+
+class TestPatterns:
+    def test_uniform_never_targets_self(self):
+        _, probe = _inj_system(pattern="uniform")
+        assert all(p.dst != (0, 0) for p in probe.values())
+        dsts = {p.dst for p in probe.values()}
+        assert len(dsts) > 5  # actually spread out
+
+    def test_transpose_fixed_destination(self):
+        _, probe = _inj_system(pattern="transpose", node=(1, 2))
+        assert {p.dst for p in probe.values()} == {(2, 1)}
+
+    def test_transpose_diagonal_node_stays_silent(self):
+        sim, probe = _inj_system(pattern="transpose", node=(2, 2))
+        assert probe.count == 0
+
+    def test_bitcomp_mirror(self):
+        _, probe = _inj_system(pattern="bitcomp", node=(0, 1))
+        assert {p.dst for p in probe.values()} == {(3, 2)}
+
+    def test_hotspot_concentrates(self):
+        _, probe = _inj_system(pattern="hotspot", hotspot=(3, 3),
+                               hotspot_frac=0.8, cycles=400)
+        to_hot = sum(1 for p in probe.values() if p.dst == (3, 3))
+        assert to_hot / probe.count > 0.5
+
+    def test_neighbor_only_adjacent(self):
+        mesh = Mesh(4, 4)
+        _, probe = _inj_system(pattern="neighbor", node=(1, 1))
+        for packet in probe.values():
+            assert mesh.hop_distance((1, 1), packet.dst) == 1
+
+    def test_custom_chooser(self):
+        _, probe = _inj_system(pattern="custom",
+                               choose=lambda now, rng: (2, 2))
+        assert {p.dst for p in probe.values()} == {(2, 2)}
+
+    def test_rate_controls_injection(self):
+        sim_low, _ = _inj_system(rate=0.1, cycles=500)
+        sim_high, _ = _inj_system(rate=0.9, cycles=500)
+        assert sim_high.stats.counter("inj", "injected") \
+            > 3 * sim_low.stats.counter("inj", "injected")
+
+    def test_payload_factory(self):
+        _, probe = _inj_system(payload_of=lambda now, dst: ("load", dst))
+        assert all(p.payload[0] == "load" for p in probe.values())
+
+    def test_created_stamp_is_generation_time(self):
+        _, probe = _inj_system(rate=1.0, cycles=10)
+        for time, packet in probe.log:
+            assert packet.created <= time
+
+
+class TestEjector:
+    def test_latency_and_hops_recorded(self):
+        spec = LSS("ej")
+        from repro.pcl import TraceSource
+        pkt = Packet((0, 0), (1, 1), created=2)
+        pkt.hops = 3
+        src = spec.instance("src", TraceSource, trace=((5, pkt),))
+        ej = spec.instance("ej", PacketEjector, node=(1, 1))
+        spec.connect(src.port("out"), ej.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.histogram("ej", "latency").mean == 3.0
+        assert sim.stats.histogram("ej", "hops").mean == 3.0
+        assert sim.stats.counter("ej", "misrouted") == 0
+
+    def test_misrouted_detected(self):
+        spec = LSS("ej")
+        from repro.pcl import TraceSource
+        src = spec.instance("src", TraceSource,
+                            trace=((1, Packet((0, 0), (2, 2))),))
+        ej = spec.instance("ej", PacketEjector, node=(1, 1))
+        spec.connect(src.port("out"), ej.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.counter("ej", "misrouted") == 1
+
+    def test_on_packet_callback(self):
+        seen = []
+        spec = LSS("ej")
+        from repro.pcl import TraceSource
+        src = spec.instance("src", TraceSource,
+                            trace=((1, Packet((0, 0), (1, 1))),))
+        ej = spec.instance("ej", PacketEjector, node=(1, 1),
+                           on_packet=lambda now, p: seen.append(p.dst))
+        spec.connect(src.port("out"), ej.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert seen == [(1, 1)]

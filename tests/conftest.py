@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import Queue, Sink, Source
+
+ENGINES = ("worklist", "levelized", "codegen")
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    """Parametrize a test over all three engine implementations."""
+    return request.param
+
+
+def simple_pipe_spec(depth: int = 4, rate: float = 1.0, seed: int = 0,
+                     name: str = "pipe") -> LSS:
+    """source -> queue -> sink; the canonical smoke-test system."""
+    spec = LSS(name)
+    if rate >= 1.0:
+        src = spec.instance("src", Source, pattern="counter")
+    else:
+        src = spec.instance("src", Source, pattern="bernoulli", rate=rate,
+                            payload=1, seed=seed)
+    q = spec.instance("q", Queue, depth=depth)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def run_to_halt(sim, cores, max_cycles: int = 50_000, drain: int = 0):
+    """Step until every core reports halted (plus optional drain)."""
+    drained = 0
+    for _ in range(max_cycles):
+        sim.step()
+        if all(core.halted for core in cores):
+            drained += 1
+            if drained > drain:
+                return True
+    return all(core.halted for core in cores)

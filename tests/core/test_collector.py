@@ -1,0 +1,86 @@
+"""Unit tests for statistics collection (repro.core.collector)."""
+
+import pytest
+
+from repro.core.collector import Histogram, StatsRegistry, WireProbe
+
+
+class TestHistogram:
+    def test_streaming_moments(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.add(value)
+        assert hist.count == 4
+        assert hist.mean == 2.5
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+        assert hist.stddev == pytest.approx(1.1180339887)
+
+    def test_empty_histogram_is_safe(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.stddev == 0.0
+        assert hist.percentile(50) == 0.0
+
+    def test_percentiles_need_samples(self):
+        hist = Histogram(keep_samples=True)
+        for value in range(101):
+            hist.add(float(value))
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(100) == 100.0
+
+    def test_single_sample_variance_zero(self):
+        hist = Histogram()
+        hist.add(5.0)
+        assert hist.variance == 0.0
+
+
+class TestStatsRegistry:
+    def test_counters_keyed_by_path_and_name(self):
+        stats = StatsRegistry()
+        stats.add("a/b", "hits", 2)
+        stats.add("a/b", "hits")
+        stats.add("a/c", "hits", 10)
+        assert stats.counter("a/b", "hits") == 3
+        assert stats.counters_named("hits") == {"a/b": 3, "a/c": 10}
+        assert stats.total("hits") == 13
+
+    def test_missing_counter_is_zero(self):
+        assert StatsRegistry().counter("x", "y") == 0
+
+    def test_histograms(self):
+        stats = StatsRegistry()
+        stats.sample("m", "lat", 4.0)
+        stats.sample("m", "lat", 6.0)
+        assert stats.histogram("m", "lat").mean == 5.0
+        assert "m" in stats.histograms_named("lat")
+
+    def test_report_filters_by_prefix(self):
+        stats = StatsRegistry()
+        stats.add("cpu/fetch", "n", 1)
+        stats.add("net/r0", "n", 2)
+        report = stats.report(prefix="cpu")
+        assert "cpu/fetch" in report
+        assert "net/r0" not in report
+
+    def test_as_dict(self):
+        stats = StatsRegistry()
+        stats.add("a", "x", 5)
+        assert stats.as_dict() == {"a:x": 5}
+
+
+class TestWireProbe:
+    def test_records_in_order(self):
+        probe = WireProbe("p")
+        probe.record(1, "a")
+        probe.record(3, "b")
+        assert probe.log == [(1, "a"), (3, "b")]
+        assert probe.values() == ["a", "b"]
+        assert probe.count == 2
+
+    def test_limit_respected(self):
+        probe = WireProbe("p", limit=1)
+        probe.record(0, "a")
+        probe.record(1, "b")
+        assert probe.count == 1

@@ -1,0 +1,214 @@
+"""Unit tests for elaboration/flattening (repro.core.constructor)."""
+
+import pytest
+
+from repro import (HierTemplate, LSS, Parameter, PortDecl, INPUT, OUTPUT,
+                   build_design, build_simulator, elaborate)
+from repro.core.errors import (SpecificationError, TypeMismatchError,
+                               WiringError)
+from repro.core.module import LeafModule
+from repro.core.signals import CtrlStatus, DataStatus
+from repro.core.typesys import INT, token
+from repro.pcl import Queue, Sink, Source
+
+
+class Wrapped(HierTemplate):
+    PARAMS = (Parameter("depth", 2),)
+    PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+    def build(self, body, p):
+        q = body.instance("q", Queue, depth=p["depth"])
+        body.export("in", q, "in")
+        body.export("out", q, "out")
+
+
+class Nested(HierTemplate):
+    PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+    def build(self, body, p):
+        inner = body.instance("inner", Wrapped, depth=3)
+        body.export("in", inner, "in")
+        body.export("out", inner, "out")
+
+
+def _basic_spec():
+    spec = LSS("basic")
+    src = spec.instance("src", Source, pattern="counter")
+    w = spec.instance("w", Wrapped, depth=5)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), w.port("in"))
+    spec.connect(w.port("out"), snk.port("in"))
+    return spec
+
+
+class TestElaborate:
+    def test_hierarchy_flattened_to_leaves(self):
+        flat = elaborate(_basic_spec())
+        assert set(flat.leaves) == {"src", "w/q", "snk"}
+
+    def test_parameters_reach_leaves(self):
+        flat = elaborate(_basic_spec())
+        assert flat.leaves["w/q"].p["depth"] == 5
+
+    def test_two_level_nesting(self):
+        spec = LSS("nest")
+        src = spec.instance("src", Source, pattern="counter")
+        n = spec.instance("n", Nested)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), n.port("in"))
+        spec.connect(n.port("out"), snk.port("in"))
+        flat = elaborate(spec)
+        assert "n/inner/q" in flat.leaves
+        conn_strs = [repr(c) for c in flat.connections]
+        assert any("n/inner/q" in s for s in conn_strs)
+
+    def test_wrong_direction_source_rejected(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("in"), b.port("in"))
+        with pytest.raises(WiringError):
+            elaborate(spec)
+
+    def test_wrong_direction_destination_rejected(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("out"), b.port("out"))
+        with pytest.raises(WiringError):
+            elaborate(spec)
+
+    def test_unknown_port_rejected(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("bogus"), b.port("in"))
+        with pytest.raises(SpecificationError):
+            elaborate(spec)
+
+    def test_bad_control_object_rejected(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("out"), b.port("in"), control="not a control")
+        with pytest.raises(WiringError):
+            elaborate(spec)
+
+
+class TestIndexAssignment:
+    def test_auto_indices_in_spec_order(self):
+        spec = LSS("idx")
+        s1 = spec.instance("s1", Source, pattern="counter")
+        s2 = spec.instance("s2", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        spec.connect(s1.port("out"), q.port("in"))
+        spec.connect(s2.port("out"), q.port("in"))
+        flat = elaborate(spec)
+        by_src = {c.src_path: c.dst_index for c in flat.connections}
+        assert by_src == {"s1": 0, "s2": 1}
+
+    def test_explicit_index_reserved(self):
+        spec = LSS("idx")
+        s1 = spec.instance("s1", Source, pattern="counter")
+        s2 = spec.instance("s2", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        spec.connect(s1.port("out"), q.port("in", 1))
+        spec.connect(s2.port("out"), q.port("in"))  # auto -> 0
+        flat = elaborate(spec)
+        by_src = {c.src_path: c.dst_index for c in flat.connections}
+        assert by_src == {"s1": 1, "s2": 0}
+
+    def test_duplicate_explicit_index_rejected(self):
+        spec = LSS("idx")
+        s1 = spec.instance("s1", Source, pattern="counter")
+        s2 = spec.instance("s2", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        spec.connect(s1.port("out"), q.port("in", 0))
+        spec.connect(s2.port("out"), q.port("in", 0))
+        with pytest.raises(WiringError):
+            elaborate(spec)
+
+    def test_max_width_enforced(self):
+        from repro.pcl import Monitor  # Monitor.in has max_width=1
+        spec = LSS("idx")
+        s1 = spec.instance("s1", Source, pattern="counter")
+        s2 = spec.instance("s2", Source, pattern="counter")
+        m = spec.instance("m", Monitor)
+        spec.connect(s1.port("out"), m.port("in"))
+        spec.connect(s2.port("out"), m.port("in"))
+        with pytest.raises(WiringError):
+            elaborate(spec)
+
+
+class TestStubs:
+    def test_unconnected_min_width_ports_get_stubs(self):
+        spec = LSS("stub")
+        spec.instance("q", Queue, depth=2)
+        design = build_design(spec)
+        # Queue has min_width=1 on both ports; both become stubs.
+        assert len(design.stub_wires) == 2
+        q = design.leaves["q"]
+        assert q.port("in").width == 1
+        assert q.port("out").width == 1
+
+    def test_stub_defaults_let_partial_specs_run(self, engine):
+        spec = LSS("stub")
+        spec.instance("q", Queue, depth=2)
+        sim = build_simulator(spec, engine=engine)
+        sim.run(5)  # no deadlock, no error
+        assert sim.now == 5
+
+    def test_dangling_producer_drains_via_default_ack(self, engine):
+        spec = LSS("stub")
+        spec.instance("src", Source, pattern="counter")
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        # default_ack=ASSERTED means the absent consumer accepts.
+        assert sim.stats.counter("src", "emitted") == 10
+
+    def test_holes_padded_with_stubs(self):
+        spec = LSS("holes")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        spec.connect(src.port("out"), q.port("in", 2))
+        design = build_design(spec)
+        assert design.leaves["q"].port("in").width == 3
+
+
+class TestTypeChecking:
+    class IntOut(LeafModule):
+        PORTS = (PortDecl("out", OUTPUT, INT),)
+
+    class PacketIn(LeafModule):
+        PORTS = (PortDecl("in", INPUT, token("packet")),)
+
+    def test_incompatible_port_types_rejected(self):
+        spec = LSS("types")
+        a = spec.instance("a", self.IntOut)
+        b = spec.instance("b", self.PacketIn)
+        spec.connect(a.port("out"), b.port("in"))
+        with pytest.raises(TypeMismatchError):
+            build_design(spec)
+
+    def test_any_adopts_concrete(self):
+        spec = LSS("types")
+        a = spec.instance("a", self.IntOut)
+        q = spec.instance("q", Queue)
+        spec.connect(a.port("out"), q.port("in"))
+        design = build_design(spec)
+        wire = design.wire_between("a", "out", "q", "in")
+        assert wire.wtype == INT
+
+
+class TestBuildSimulator:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SpecificationError):
+            build_simulator(_basic_spec(), engine="magic")
+
+    def test_design_single_ownership(self):
+        from repro.core.engine import Simulator
+        from repro.core.errors import SimulationError
+        design = build_design(_basic_spec())
+        Simulator(design)
+        with pytest.raises(SimulationError):
+            Simulator(design)

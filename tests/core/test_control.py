@@ -1,0 +1,109 @@
+"""Unit tests for control functions (repro.core.control)."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.core.control import (ControlFunction, always_ack, compose,
+                                gate_enable, map_data, never_ack,
+                                squash_when)
+from repro.core.errors import SpecificationError
+from repro.core.signals import CtrlStatus, DataStatus
+from repro.pcl import Queue, Sink, Source
+
+
+class TestTransforms:
+    def test_identity_by_default(self):
+        ctl = ControlFunction()
+        assert ctl.transform_forward(DataStatus.SOMETHING, 5,
+                                     CtrlStatus.ASSERTED) \
+            == (DataStatus.SOMETHING, 5, CtrlStatus.ASSERTED)
+        assert ctl.transform_backward(CtrlStatus.ASSERTED) \
+            is CtrlStatus.ASSERTED
+
+    def test_unknown_is_passed_through_untouched(self):
+        ctl = squash_when(lambda v: True)
+        out = ctl.transform_forward(DataStatus.UNKNOWN, None,
+                                    CtrlStatus.UNKNOWN)
+        assert out == (DataStatus.UNKNOWN, None, CtrlStatus.UNKNOWN)
+        assert ctl.transform_backward(CtrlStatus.UNKNOWN) \
+            is CtrlStatus.UNKNOWN
+
+    def test_non_strict_forward_rejected(self):
+        bad = ControlFunction(
+            forward=lambda ds, dv, en: (DataStatus.NOTHING, None,
+                                        CtrlStatus.DEASSERTED))
+        with pytest.raises(SpecificationError):
+            bad.transform_forward(DataStatus.UNKNOWN, None,
+                                  CtrlStatus.ASSERTED)
+
+    def test_squash_when_drops_matching(self):
+        ctl = squash_when(lambda v: v % 2 == 0)
+        out = ctl.transform_forward(DataStatus.SOMETHING, 4,
+                                    CtrlStatus.ASSERTED)
+        assert out[0] is DataStatus.NOTHING
+        out = ctl.transform_forward(DataStatus.SOMETHING, 3,
+                                    CtrlStatus.ASSERTED)
+        assert out == (DataStatus.SOMETHING, 3, CtrlStatus.ASSERTED)
+
+    def test_map_data_rewrites_value(self):
+        ctl = map_data(lambda v: v * 10)
+        out = ctl.transform_forward(DataStatus.SOMETHING, 4,
+                                    CtrlStatus.ASSERTED)
+        assert out[1] == 40
+
+    def test_always_and_never_ack(self):
+        assert always_ack().transform_backward(CtrlStatus.DEASSERTED) \
+            is CtrlStatus.ASSERTED
+        assert never_ack().transform_backward(CtrlStatus.ASSERTED) \
+            is CtrlStatus.DEASSERTED
+
+    def test_compose_order(self):
+        ctl = compose(map_data(lambda v: v + 1), map_data(lambda v: v * 2))
+        out = ctl.transform_forward(DataStatus.SOMETHING, 3,
+                                    CtrlStatus.ASSERTED)
+        assert out[1] == (3 + 1) * 2
+
+
+class TestInSystems:
+    def _pipe(self, control):
+        spec = LSS("ctl")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        snk = spec.instance("snk", Sink, record_values=True)
+        spec.connect(src.port("out"), q.port("in"), control=control)
+        spec.connect(q.port("out"), snk.port("in"))
+        return spec
+
+    def test_squash_between_modules(self, engine):
+        sim = build_simulator(self._pipe(squash_when(lambda v: v % 2 == 0)),
+                              engine=engine)
+        sim.run(20)
+        hist = sim.stats.histogram("snk", "value")
+        # Only odd values should have reached the sink.
+        assert hist.count > 0
+        assert hist.min >= 1
+
+    def test_map_between_modules(self, engine):
+        sim = build_simulator(self._pipe(map_data(lambda v: v * 100)),
+                              engine=engine)
+        sim.run(10)
+        hist = sim.stats.histogram("snk", "value")
+        assert hist.count > 0
+        assert hist.max >= 100
+        assert all(int(v) % 100 == 0 for v in [hist.min, hist.max])
+
+    def test_never_ack_stalls_source(self, engine):
+        spec = LSS("stall")
+        src = spec.instance("src", Source, pattern="counter")
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), snk.port("in"), control=never_ack())
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        assert sim.stats.counter("snk", "consumed") == 0
+        assert sim.stats.counter("src", "emitted") == 0
+
+    def test_squashed_data_does_not_transfer(self, engine):
+        sim = build_simulator(self._pipe(squash_when(lambda v: True)),
+                              engine=engine)
+        sim.run(10)
+        assert sim.stats.counter("snk", "consumed") == 0

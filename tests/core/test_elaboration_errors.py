@@ -1,0 +1,116 @@
+"""Error-path coverage for elaboration/flattening and export chasing."""
+
+import pytest
+
+from repro import (HierBody, HierTemplate, LSS, Parameter, PortDecl, INPUT,
+                   OUTPUT, build_design, build_simulator, elaborate)
+from repro.core.errors import SpecificationError
+from repro.pcl import Queue, Sink, Source
+
+
+class NoExport(HierTemplate):
+    """Declares a port but never exports it."""
+
+    PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+    def build(self, body, p):
+        body.instance("q", Queue)
+
+
+class IndexedLanes(HierTemplate):
+    PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+    def build(self, body, p):
+        q0 = body.instance("q0", Queue)
+        q1 = body.instance("q1", Queue)
+        body.export("in", q0, "in", outer_index=0)
+        body.export("in", q1, "in", outer_index=1)
+        body.export("out", q0, "out", outer_index=0)
+        body.export("out", q1, "out", outer_index=1)
+
+
+class TestExportErrors:
+    def test_unexported_port_connection_rejected(self):
+        spec = LSS("bad")
+        src = spec.instance("src", Source, pattern="counter")
+        w = spec.instance("w", NoExport)
+        spec.connect(src.port("out"), w.port("in"))
+        with pytest.raises(SpecificationError, match="no export"):
+            elaborate(spec)
+
+    def test_indexed_export_requires_explicit_index(self):
+        spec = LSS("bad")
+        src = spec.instance("src", Source, pattern="counter")
+        lanes = spec.instance("lanes", IndexedLanes)
+        spec.connect(src.port("out"), lanes.port("in"))  # no index!
+        with pytest.raises(SpecificationError, match="indexed export"):
+            elaborate(spec)
+
+    def test_unmapped_explicit_index_rejected(self):
+        spec = LSS("bad")
+        src = spec.instance("src", Source, pattern="counter")
+        lanes = spec.instance("lanes", IndexedLanes)
+        spec.connect(src.port("out"), lanes.port("in", 7))
+        with pytest.raises(SpecificationError, match="indexed export"):
+            elaborate(spec)
+
+    def test_unused_hier_ports_are_fine(self):
+        """A hierarchical port nobody connects needs no export."""
+        spec = LSS("ok")
+        spec.instance("w", NoExport)
+        design = build_design(spec)  # no error: port never referenced
+        assert "w/q" in design.leaves
+
+    def test_nested_indexed_exports_compose(self):
+        class Outer(HierTemplate):
+            PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+            def build(self, body, p):
+                lanes = body.instance("lanes", IndexedLanes)
+                body.export("in", lanes, "in", outer_index=0,
+                            inner_index=1)
+                body.export("out", lanes, "out", outer_index=0,
+                            inner_index=1)
+
+        spec = LSS("nest")
+        src = spec.instance("src", Source, pattern="counter")
+        outer = spec.instance("o", Outer)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), outer.port("in", 0))
+        spec.connect(outer.port("out", 0), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        # Traffic flowed through lane 1 (q1), not q0.
+        assert sim.stats.counter("o/lanes/q1", "enqueued") > 0
+        assert sim.stats.counter("o/lanes/q0", "enqueued") == 0
+
+
+class TestHierParameterErrors:
+    def test_missing_required_hier_param_reported_with_path(self):
+        from repro.core.errors import ParameterError
+
+        class Needy(HierTemplate):
+            PARAMS = (Parameter("depth"),)
+            PORTS = (PortDecl("out", OUTPUT),)
+
+            def build(self, body, p):
+                q = body.instance("q", Queue, depth=p["depth"])
+                body.export("out", q, "out")
+
+        spec = LSS("needy")
+        spec.instance("n", Needy)
+        with pytest.raises(ParameterError, match="n"):
+            elaborate(spec)
+
+    def test_build_time_spec_errors_propagate(self):
+        class Broken(HierTemplate):
+            PORTS = (PortDecl("out", OUTPUT),)
+
+            def build(self, body, p):
+                body.instance("q", Queue)
+                body.instance("q", Queue)  # duplicate inside template
+
+        spec = LSS("broken")
+        spec.instance("b", Broken)
+        with pytest.raises(SpecificationError, match="duplicate"):
+            elaborate(spec)

@@ -1,0 +1,134 @@
+"""Unit tests for templates and specification bodies (repro.core.module)."""
+
+import pytest
+
+from repro import (HierBody, HierTemplate, LeafModule, LSS, Parameter,
+                   PortDecl, INPUT, OUTPUT)
+from repro.core.errors import ParameterError, SpecificationError
+from repro.pcl import Queue, Sink, Source
+
+
+class Probe(LeafModule):
+    PARAMS = (Parameter("gain", 1),)
+    PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+
+class TestLeafTemplate:
+    def test_instantiate_resolves_params(self):
+        inst = Probe.instantiate("p0", {"gain": 3})
+        assert inst.p["gain"] == 3
+        assert inst.path == "p0"
+
+    def test_instantiate_rejects_unknown_param(self):
+        with pytest.raises(ParameterError):
+            Probe.instantiate("p0", {"nope": 1})
+
+    def test_port_decl_lookup(self):
+        assert Probe.port_decl("in").direction == INPUT
+        with pytest.raises(SpecificationError):
+            Probe.port_decl("missing")
+
+    def test_unbound_port_access_raises(self):
+        inst = Probe.instantiate("p0", {})
+        with pytest.raises(SpecificationError):
+            inst.port("in")
+
+    def test_default_deps_is_conservative(self):
+        assert Probe.instantiate("p", {}).deps() is None
+
+    def test_lifecycle_hooks_default_to_noop(self):
+        inst = Probe.instantiate("p", {})
+        inst.init()
+        inst.react()
+        inst.update()
+
+
+class TestSpecBody:
+    def test_duplicate_instance_name_rejected(self):
+        spec = LSS("dup")
+        spec.instance("a", Queue)
+        with pytest.raises(SpecificationError):
+            spec.instance("a", Queue)
+
+    def test_non_identifier_name_rejected(self):
+        spec = LSS("bad")
+        with pytest.raises(SpecificationError):
+            spec.instance("has space", Queue)
+
+    def test_non_template_rejected(self):
+        spec = LSS("bad")
+        with pytest.raises(SpecificationError):
+            spec.instance("a", object)
+
+    def test_connect_requires_port_refs(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        with pytest.raises(SpecificationError):
+            spec.connect(a, a.port("in"))
+
+    def test_connect_rejects_foreign_refs(self):
+        spec1 = LSS("one")
+        spec2 = LSS("two")
+        a = spec1.instance("a", Queue)
+        b = spec2.instance("b", Queue)
+        with pytest.raises(SpecificationError):
+            spec1.connect(a.port("out"), b.port("in"))
+
+    def test_port_ref_indexing(self):
+        spec = LSS("idx")
+        a = spec.instance("a", Queue)
+        ref = a.port("out")[2]
+        assert ref.index == 2
+        with pytest.raises(SpecificationError):
+            ref[3]  # already indexed
+
+
+class TestHierTemplate:
+    class Wrapped(HierTemplate):
+        PARAMS = (Parameter("depth", 2),)
+        PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+        def build(self, body, p):
+            q = body.instance("q", Queue, depth=p["depth"])
+            body.export("in", q, "in")
+            body.export("out", q, "out")
+
+    def test_build_populates_body(self):
+        body = HierBody(self.Wrapped, "test")
+        self.Wrapped().build(body, {"depth": 4})
+        assert "q" in body.instances
+        assert ("in", None) in body.exports
+
+    def test_double_export_rejected(self):
+        body = HierBody(self.Wrapped, "test")
+        q = body.instance("q", Queue)
+        body.export("in", q, "in")
+        with pytest.raises(SpecificationError):
+            body.export("in", q, "in")
+
+    def test_direction_mismatch_rejected(self):
+        body = HierBody(self.Wrapped, "test")
+        q = body.instance("q", Queue)
+        with pytest.raises(SpecificationError):
+            body.export("in", q, "out")
+
+    def test_export_of_foreign_instance_rejected(self):
+        body = HierBody(self.Wrapped, "test")
+        other = HierBody(self.Wrapped, "other")
+        q = other.instance("q", Queue)
+        with pytest.raises(SpecificationError):
+            body.export("in", q, "in")
+
+    def test_mixed_indexed_and_whole_export_rejected(self):
+        body = HierBody(self.Wrapped, "test")
+        q0 = body.instance("q0", Queue)
+        q1 = body.instance("q1", Queue)
+        body.export("in", q0, "in", outer_index=0)
+        with pytest.raises(SpecificationError):
+            body.export("in", q1, "in")
+
+    def test_unknown_port_export_rejected(self):
+        body = HierBody(self.Wrapped, "test")
+        q = body.instance("q", Queue)
+        with pytest.raises(SpecificationError):
+            body.export("bogus", q, "in")

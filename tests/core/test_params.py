@@ -1,0 +1,58 @@
+"""Unit tests for template parameters (repro.core.params)."""
+
+import pytest
+
+from repro.core.errors import ParameterError
+from repro.core.params import Parameter, REQUIRED, resolve_bindings
+
+
+class TestParameter:
+    def test_default_kind_is_value(self):
+        assert Parameter("depth", 4).kind == "value"
+
+    def test_required_flag(self):
+        assert Parameter("x").required
+        assert not Parameter("x", 1).required
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameter("x", kind="weird")
+
+    def test_algorithmic_requires_callable(self):
+        param = Parameter("policy", kind="algorithmic")
+        with pytest.raises(ParameterError):
+            param.check(42)
+        assert param.check(len) is len
+
+    def test_validator_enforced(self):
+        param = Parameter("depth", validate=lambda v: v > 0)
+        assert param.check(3) == 3
+        with pytest.raises(ParameterError):
+            param.check(0)
+
+
+class TestResolveBindings:
+    PARAMS = (Parameter("depth", 4, validate=lambda v: v >= 1),
+              Parameter("name"),
+              Parameter("policy", None))
+
+    def test_defaults_filled(self):
+        resolved = resolve_bindings(self.PARAMS, {"name": "q"})
+        assert resolved == {"depth": 4, "name": "q", "policy": None}
+
+    def test_missing_required_raises(self):
+        with pytest.raises(ParameterError, match="name"):
+            resolve_bindings(self.PARAMS, {})
+
+    def test_unknown_binding_raises(self):
+        with pytest.raises(ParameterError, match="bogus"):
+            resolve_bindings(self.PARAMS, {"name": "q", "bogus": 1})
+
+    def test_validation_applied_to_bindings(self):
+        with pytest.raises(ParameterError):
+            resolve_bindings(self.PARAMS, {"name": "q", "depth": 0})
+
+    def test_returns_fresh_dict(self):
+        a = resolve_bindings(self.PARAMS, {"name": "q"})
+        b = resolve_bindings(self.PARAMS, {"name": "q"})
+        assert a is not b

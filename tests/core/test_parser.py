@@ -1,0 +1,193 @@
+"""Unit tests for the textual LSS front end (repro.core.parser)."""
+
+import pytest
+
+from repro import LSS, build_simulator, parse_lss
+from repro.core.errors import ParseError, SpecificationError
+from repro.core.parser import tokenize
+from repro.pcl import Monitor, Queue, Sink, Source
+
+ENV = {"Source": Source, "Queue": Queue, "Sink": Sink, "Monitor": Monitor}
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = tokenize('instance q : Queue(depth=4); // comment')
+        kinds = [t.kind for t in toks]
+        assert kinds == ["instance", "ident", ":", "ident", "(", "ident",
+                         "=", "number", ")", ";", "eof"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("# hash comment\n// slash comment\nsystem x;")
+        assert toks[0].kind == "system"
+
+    def test_strings_and_floats(self):
+        toks = tokenize('x = "hello" 3.25')
+        assert toks[2].kind == "string"
+        assert toks[3].kind == "number"
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks[:3]] == [1, 2, 3]
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(ParseError, match="line 2"):
+            tokenize("ok\n  @")
+
+
+class TestBasicSpecs:
+    def test_minimal_spec(self):
+        spec = parse_lss("""
+            system mini;
+            instance src : Source(pattern="counter");
+            instance snk : Sink();
+            connect src.out -> snk.in;
+        """, ENV)
+        assert spec.name == "mini"
+        assert set(spec.instances) == {"src", "snk"}
+        assert len(spec.connections) == 1
+
+    def test_parsed_spec_simulates(self, engine):
+        spec = parse_lss("""
+            instance src : Source(pattern="counter");
+            instance q : Queue(depth=4);
+            instance snk : Sink();
+            connect src.out -> q.in;
+            connect q.out -> snk.in;
+        """, ENV)
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        assert sim.stats.counter("snk", "consumed") == 9
+
+    def test_arithmetic_in_bindings(self):
+        spec = parse_lss("""
+            instance q : Queue(depth=2*3+1);
+        """, ENV)
+        assert spec.instances["q"].bindings["depth"] == 7
+
+    def test_env_names_resolve(self):
+        spec = parse_lss("instance q : Queue(depth=d);",
+                         dict(ENV, d=9))
+        assert spec.instances["q"].bindings["depth"] == 9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SpecificationError, match="Mystery"):
+            parse_lss("instance q : Mystery();", ENV)
+
+    def test_port_index_syntax(self):
+        spec = parse_lss("""
+            instance a : Source(pattern="counter");
+            instance q : Queue();
+            connect a.out -> q.in[2];
+        """, ENV)
+        assert spec.connections[0][1].index == 2
+
+    def test_negative_and_paren_exprs(self):
+        spec = parse_lss("instance q : Queue(depth=-(1-4));", ENV)
+        assert spec.instances["q"].bindings["depth"] == 3
+
+    def test_pragma_stored_in_meta(self):
+        spec = parse_lss('pragma author "liberty";', ENV)
+        assert spec.meta["author"] == "liberty"
+
+    def test_connect_unknown_instance_raises(self):
+        with pytest.raises(SpecificationError):
+            parse_lss("connect a.out -> b.in;", ENV)
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(ParseError):
+            parse_lss("instance q Queue();", ENV)
+
+
+class TestTextualTemplates:
+    SRC = """
+        template Stage(depth=2, tap=1) {
+            port in input;
+            port out output;
+            instance q : Queue(depth=depth*tap);
+            instance m : Monitor();
+            connect q.out -> m.in;
+            export in -> q.in;
+            export out -> m.out;
+        }
+        instance src : Source(pattern="counter");
+        instance s : Stage(depth=4);
+        instance snk : Sink();
+        connect src.out -> s.in;
+        connect s.out -> snk.in;
+    """
+
+    def test_template_defines_and_instantiates(self):
+        spec = parse_lss(self.SRC, ENV)
+        assert "s" in spec.instances
+
+    def test_template_flattens_and_runs(self, engine):
+        spec = parse_lss(self.SRC, ENV)
+        sim = build_simulator(spec, engine=engine)
+        sim.run(20)
+        assert sim.stats.counter("snk", "consumed") > 0
+        assert sim.instance("s/q").p["depth"] == 4
+
+    def test_template_parameter_defaults(self):
+        spec = parse_lss("""
+            template T(depth=3) {
+                port out output;
+                instance q : Queue(depth=depth);
+                export out -> q.out;
+            }
+            instance t : T();
+        """, ENV)
+        from repro import elaborate
+        flat = elaborate(spec)
+        assert flat.leaves["t/q"].p["depth"] == 3
+
+    def test_required_template_parameter(self):
+        from repro.core.errors import ParameterError
+        spec = parse_lss("""
+            template T(depth) {
+                port out output;
+                instance q : Queue(depth=depth);
+                export out -> q.out;
+            }
+            instance t : T();
+        """, ENV)
+        from repro import elaborate
+        with pytest.raises(ParameterError):
+            elaborate(spec)
+
+    def test_typed_template_port(self):
+        spec = parse_lss("""
+            template T() {
+                port out output int;
+                instance q : Queue();
+                export out -> q.out;
+            }
+            instance t : T();
+        """, ENV)
+        from repro.core.typesys import INT
+        assert spec.instances["t"].template.port_decl("out").wtype == INT
+
+    def test_unknown_type_name_raises(self):
+        with pytest.raises(ParseError, match="unknown type"):
+            parse_lss("""
+                template T() {
+                    port out output bogus;
+                }
+            """, ENV)
+
+
+class TestRefHelper:
+    def test_lss_ref_parses_dotted_names(self):
+        spec = LSS("r")
+        spec.instance("q", Queue)
+        ref = spec.ref("q.in[1]")
+        assert ref.port == "in" and ref.index == 1
+        assert spec.ref("q.out").index is None
+
+    def test_lss_ref_rejects_garbage(self):
+        spec = LSS("r")
+        spec.instance("q", Queue)
+        with pytest.raises(SpecificationError):
+            spec.ref("nosuch.in")
+        with pytest.raises(SpecificationError):
+            spec.ref("toomany.dots.here")

@@ -1,0 +1,101 @@
+"""Unit tests for port declarations and runtime views (repro.core.ports)."""
+
+import pytest
+
+from repro import LSS, build_design
+from repro.core.errors import ContractViolationError, WiringError
+from repro.core.ports import INPUT, OUTPUT, PortDecl, in_port, out_port
+from repro.core.signals import CtrlStatus, DataStatus
+from repro.pcl import Queue, Sink, Source
+
+
+class TestPortDecl:
+    def test_direction_validated(self):
+        with pytest.raises(WiringError):
+            PortDecl("p", "sideways")
+
+    def test_width_bounds_validated(self):
+        with pytest.raises(WiringError):
+            PortDecl("p", INPUT, min_width=3, max_width=2)
+
+    def test_helpers(self):
+        assert in_port("a").direction == INPUT
+        assert out_port("b").direction == OUTPUT
+
+    def test_defaults(self):
+        decl = in_port("a")
+        assert decl.default_data is DataStatus.NOTHING
+        assert decl.default_enable is CtrlStatus.DEASSERTED
+        assert decl.default_ack is CtrlStatus.ASSERTED
+
+
+def _design():
+    spec = LSS("views")
+    src = spec.instance("src", Source, pattern="counter")
+    q = spec.instance("q", Queue, depth=2)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return build_design(spec)
+
+
+class TestViews:
+    def test_widths(self):
+        design = _design()
+        q = design.leaves["q"]
+        assert q.port("in").width == 1
+        assert len(q.port("out")) == 1
+
+    def test_direction_guards(self):
+        design = _design()
+        q = design.leaves["q"]
+        with pytest.raises(ContractViolationError):
+            q.port("in").send(0, 1)
+        with pytest.raises(ContractViolationError):
+            q.port("out").set_ack(0, True)
+
+    def test_index_out_of_range(self):
+        design = _design()
+        q = design.leaves["q"]
+        with pytest.raises(ContractViolationError):
+            q.port("in").status(5)
+
+    def test_unknown_reads(self):
+        design = _design()
+        q = design.leaves["q"]
+        inp = q.port("in")
+        assert inp.status(0) is DataStatus.UNKNOWN
+        assert not inp.known(0)
+        assert not inp.present(0)
+        assert not inp.absent(0)  # unknown is not 'affirmatively absent'
+
+    def test_send_resolves_data_and_enable(self):
+        design = _design()
+        src = design.leaves["src"]
+        out = src.port("out")
+        out.send(0, 99)
+        q_in = design.leaves["q"].port("in")
+        assert q_in.present(0)
+        assert q_in.value(0) == 99
+
+    def test_send_nothing_is_absent(self):
+        design = _design()
+        src = design.leaves["src"]
+        src.port("out").send_nothing(0)
+        q_in = design.leaves["q"].port("in")
+        assert q_in.absent(0)
+        assert q_in.known(0)
+
+    def test_ack_roundtrip(self):
+        design = _design()
+        q = design.leaves["q"]
+        src = design.leaves["src"]
+        q.port("in").set_ack(0, True)
+        assert src.port("out").accepted(0)
+        assert src.port("out").ack_known(0)
+
+    def test_indices_present(self):
+        design = _design()
+        src = design.leaves["src"]
+        src.port("out").send(0, 1)
+        assert design.leaves["q"].port("in").indices_present() == [0]

@@ -1,0 +1,156 @@
+"""Unit tests for the three-signal contract (repro.core.signals)."""
+
+import pytest
+
+from repro.core.errors import MonotonicityError
+from repro.core.signals import (ALL_SIGNALS, CtrlStatus, DataStatus,
+                                Endpoint, SIG_ACK, SIG_DATA, SIG_ENABLE,
+                                Wire)
+
+
+def make_wire(**kw):
+    return Wire(0, None, None, **kw)
+
+
+class TestBeginStep:
+    def test_resets_all_signals_unknown(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, 5)
+        wire.drive_enable(True)
+        wire.drive_ack(True)
+        unknown = wire.begin_step()
+        assert unknown == 3
+        assert wire.data_status is DataStatus.UNKNOWN
+        assert wire.data_value is None
+        assert wire.enable is CtrlStatus.UNKNOWN
+        assert wire.ack is CtrlStatus.UNKNOWN
+
+    def test_const_data_preresolves(self):
+        wire = make_wire()
+        wire.const_data = DataStatus.NOTHING
+        wire.const_enable = CtrlStatus.DEASSERTED
+        assert wire.begin_step() == 1  # only ack remains
+        assert wire.data_status is DataStatus.NOTHING
+        assert wire.enable is CtrlStatus.DEASSERTED
+
+    def test_const_ack_preresolves(self):
+        wire = make_wire()
+        wire.const_ack = CtrlStatus.ASSERTED
+        assert wire.begin_step() == 2
+        assert wire.ack is CtrlStatus.ASSERTED
+
+    def test_const_value_carried(self):
+        wire = make_wire()
+        wire.const_data = DataStatus.SOMETHING
+        wire.const_value = 42
+        wire.begin_step()
+        assert wire.data_value == 42
+
+
+class TestMonotonicity:
+    def test_data_idempotent_redrive_ok(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, 7)
+        wire.drive_data(DataStatus.SOMETHING, 7)  # no raise
+        assert wire.data_value == 7
+
+    def test_data_conflicting_value_raises(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, 7)
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.SOMETHING, 8)
+
+    def test_data_status_flip_raises(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.NOTHING)
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.SOMETHING, 1)
+
+    def test_cannot_drive_data_to_unknown(self):
+        wire = make_wire()
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.UNKNOWN)
+
+    def test_enable_idempotent(self):
+        wire = make_wire()
+        wire.drive_enable(True)
+        wire.drive_enable(True)
+        with pytest.raises(MonotonicityError):
+            wire.drive_enable(False)
+
+    def test_ack_idempotent(self):
+        wire = make_wire()
+        wire.drive_ack(False)
+        wire.drive_ack(False)
+        with pytest.raises(MonotonicityError):
+            wire.drive_ack(True)
+
+    def test_equal_value_objects_allowed(self):
+        """Value-equal (not identical) payloads may be re-driven."""
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, (1, 2))
+        wire.drive_data(DataStatus.SOMETHING, (1, 2))
+
+
+class TestTransfer:
+    def test_transfer_requires_all_three(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, 1)
+        wire.drive_enable(True)
+        wire.drive_ack(True)
+        assert wire.transfer_happened()
+
+    @pytest.mark.parametrize("data,enable,ack", [
+        (DataStatus.NOTHING, True, True),
+        (DataStatus.SOMETHING, False, True),
+        (DataStatus.SOMETHING, True, False),
+    ])
+    def test_no_transfer_when_any_component_missing(self, data, enable, ack):
+        wire = make_wire()
+        wire.drive_data(data, 1 if data is DataStatus.SOMETHING else None)
+        wire.drive_enable(enable)
+        wire.drive_ack(ack)
+        assert not wire.transfer_happened()
+
+    def test_unresolved_wire_is_not_a_transfer(self):
+        assert not make_wire().transfer_happened()
+
+
+class TestForceDefault:
+    def test_force_data_yields_nothing(self):
+        wire = make_wire()
+        wire.force_default(SIG_DATA)
+        assert wire.data_status is DataStatus.NOTHING
+
+    def test_force_enable_and_ack_deassert(self):
+        wire = make_wire()
+        wire.force_default(SIG_ENABLE)
+        wire.force_default(SIG_ACK)
+        assert wire.enable is CtrlStatus.DEASSERTED
+        assert wire.ack is CtrlStatus.DEASSERTED
+
+    def test_forcing_resolved_signal_is_noop(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, 3)
+        wire.force_default(SIG_DATA)
+        assert wire.data_status is DataStatus.SOMETHING
+
+    def test_forced_signals_never_make_transfers(self):
+        wire = make_wire()
+        for signal in ALL_SIGNALS:
+            wire.force_default(signal)
+        assert not wire.transfer_happened()
+
+
+class TestUnresolved:
+    def test_fresh_wire_lists_all(self):
+        wire = make_wire()
+        assert wire.unresolved() == [SIG_DATA, SIG_ENABLE, SIG_ACK]
+
+    def test_fully_resolved(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.NOTHING)
+        wire.drive_enable(False)
+        wire.drive_ack(False)
+        assert wire.unresolved() == []
+        assert wire.fully_resolved()

@@ -1,0 +1,82 @@
+"""Unit tests for the wire type system (repro.core.typesys)."""
+
+import pytest
+
+from repro.core.errors import TypeMismatchError
+from repro.core.typesys import (ANY, BITS, FLOAT, INT, ScalarType, Struct,
+                                Token, WireType, infer_types, token)
+
+
+class TestUnification:
+    def test_any_unifies_with_everything(self):
+        assert ANY.unify(INT) is INT
+        assert INT.unify(ANY) is INT
+        assert ANY.unify(ANY) is ANY
+
+    def test_same_scalar_unifies(self):
+        assert INT.unify(INT) == INT
+
+    def test_different_scalars_clash(self):
+        with pytest.raises(TypeMismatchError):
+            INT.unify(FLOAT)
+
+    def test_tokens_are_nominal(self):
+        assert token("packet").unify(token("packet")) == token("packet")
+        with pytest.raises(TypeMismatchError):
+            token("packet").unify(token("instruction"))
+
+    def test_token_interning(self):
+        assert token("packet") is token("packet")
+
+    def test_scalar_vs_token_clash(self):
+        with pytest.raises(TypeMismatchError):
+            INT.unify(token("packet"))
+
+
+class TestStruct:
+    def test_identical_structs_unify(self):
+        a = Struct("point", {"x": INT, "y": INT})
+        b = Struct("point", {"x": INT, "y": INT})
+        assert a.unify(b) == a
+
+    def test_field_any_adopts_concrete(self):
+        a = Struct("point", {"x": ANY, "y": INT})
+        b = Struct("point", {"x": FLOAT, "y": INT})
+        merged = a.unify(b)
+        assert dict(merged.fields)["x"] == FLOAT
+
+    def test_mismatched_fields_clash(self):
+        a = Struct("p", {"x": INT})
+        b = Struct("p", {"y": INT})
+        with pytest.raises(TypeMismatchError):
+            a.unify(b)
+
+    def test_mismatched_field_types_clash(self):
+        a = Struct("p", {"x": INT})
+        b = Struct("p", {"x": FLOAT})
+        with pytest.raises(TypeMismatchError):
+            a.unify(b)
+
+    def test_struct_vs_scalar_clash(self):
+        with pytest.raises(TypeMismatchError):
+            Struct("p", {"x": INT}).unify(INT)
+
+
+class _Conn:
+    def __init__(self, src_type, dst_type):
+        self.src_type = src_type
+        self.dst_type = dst_type
+        self.wtype = None
+
+
+class TestInference:
+    def test_infer_adopts_concrete_side(self):
+        conns = [_Conn(ANY, INT), _Conn(BITS, ANY), _Conn(ANY, ANY)]
+        infer_types(conns)
+        assert conns[0].wtype == INT
+        assert conns[1].wtype == BITS
+        assert conns[2].wtype == ANY
+
+    def test_infer_raises_on_clash(self):
+        with pytest.raises(TypeMismatchError):
+            infer_types([_Conn(INT, FLOAT)])

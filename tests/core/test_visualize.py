@@ -1,0 +1,65 @@
+"""Unit tests for the visualizer (repro.core.visualize)."""
+
+from repro import LSS, build_design, build_simulator
+from repro.core.visualize import (activity_report, design_to_dot,
+                                  hierarchy_report, spec_to_dot)
+from repro.pcl import Queue, Sink, Source
+
+from ..conftest import simple_pipe_spec
+
+
+def test_spec_to_dot_mentions_instances_and_edges():
+    dot = spec_to_dot(simple_pipe_spec())
+    assert dot.startswith("digraph")
+    assert '"src"' in dot and '"q"' in dot and '"snk"' in dot
+    assert '"src" -> "q"' in dot
+
+
+def test_spec_to_dot_labels_controls():
+    from repro import always_ack
+    spec = LSS("ctl")
+    a = spec.instance("a", Source, pattern="counter")
+    b = spec.instance("b", Sink)
+    spec.connect(a.port("out"), b.port("in"), control=always_ack())
+    dot = spec_to_dot(spec)
+    assert "always_ack" in dot
+
+
+def test_design_to_dot_skips_stubs_by_default():
+    spec = LSS("stub")
+    spec.instance("q", Queue)
+    design = build_design(spec)
+    assert "dotted" not in design_to_dot(design)
+    assert "dotted" in design_to_dot(design, show_stubs=True)
+
+
+def test_design_to_dot_names_ports():
+    design = build_design(simple_pipe_spec())
+    dot = design_to_dot(design)
+    assert "out->in" in dot
+
+
+def test_hierarchy_report_walks_templates():
+    from repro import HierTemplate, PortDecl, INPUT, OUTPUT
+
+    class Wrapped(HierTemplate):
+        PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+
+        def build(self, body, p):
+            q = body.instance("q", Queue)
+            body.export("in", q, "in")
+            body.export("out", q, "out")
+
+    spec = LSS("h")
+    spec.instance("w", Wrapped)
+    report = hierarchy_report(spec)
+    assert "w: Wrapped" in report
+    assert "q: Queue" in report
+
+
+def test_activity_report_ranks_wires():
+    sim = build_simulator(simple_pipe_spec())
+    sim.run(20)
+    report = activity_report(sim)
+    assert "transfers total" in report
+    assert "src.out -> q.in" in report

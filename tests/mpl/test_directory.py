@@ -1,0 +1,159 @@
+"""Tests for directory-based coherence over the mesh."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.ccl import Mesh
+from repro.mpl import build_directory_cmp
+from repro.upl import assemble, programs
+
+from ..conftest import run_to_halt
+
+
+def _cmp(progs_by_index, mesh=None, engine="worklist", **kw):
+    mesh = mesh or Mesh(2, 2)
+    nodes = list(mesh.nodes())
+    progs = [progs_by_index.get(i) for i in range(len(nodes))]
+    spec = LSS("cmp")
+    build_directory_cmp(spec, mesh, progs, **kw)
+    sim = build_simulator(spec, engine=engine)
+    cores = [sim.instance(f"core_{nodes[i][0]}_{nodes[i][1]}")
+             for i in progs_by_index]
+    homes = {n: sim.instance(f"home_{n[0]}_{n[1]}") for n in nodes}
+
+    def peek(addr):
+        return homes[nodes[addr % len(nodes)]].peek(addr)
+
+    return sim, cores, peek
+
+
+class TestBasics:
+    def test_single_core_read_write(self, engine):
+        prog = assemble("""
+            li t0, 100
+            li t1, 55
+            sw t1, 0(t0)
+            lw t2, 0(t0)
+            li t3, 200
+            sw t2, 0(t3)
+            halt
+        """)
+        sim, cores, peek = _cmp({0: prog}, engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=5000)
+        assert peek(100) == 55
+        assert peek(200) == 55
+
+    def test_addresses_interleave_across_homes(self):
+        prog = assemble("""
+            li t0, 100
+            li t1, 1
+            sw t1, 0(t0)
+            li t0, 101
+            li t1, 2
+            sw t1, 0(t0)
+            li t0, 102
+            li t1, 3
+            sw t1, 0(t0)
+            halt
+        """)
+        sim, cores, peek = _cmp({0: prog})
+        assert run_to_halt(sim, cores, max_cycles=8000)
+        nodes = list(Mesh(2, 2).nodes())
+        # 100 % 4 = 0, 101 % 4 = 1, 102 % 4 = 2: three different homes.
+        homes_hit = [sim.instance(
+            f"home_{nodes[a % 4][0]}_{nodes[a % 4][1]}").peek(a)
+            for a in (100, 101, 102)]
+        assert homes_hit == [1, 2, 3]
+
+    def test_flag_communication_across_nodes(self, engine):
+        prod = assemble("""
+            li t0, 100
+            li t2, 42
+            sw t2, 0(t0)
+            li t1, 101
+            li t3, 1
+            sw t3, 0(t1)
+            halt
+        """)
+        cons = assemble(programs.spin_on_flag(101, 200))
+        sim, cores, peek = _cmp({0: prod, 1: cons}, engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=20_000)
+        assert peek(200) == 1
+        assert peek(100) == 42
+
+    def test_read_hits_avoid_network(self):
+        prog = assemble("""
+            li t0, 100
+            lw t1, 0(t0)
+            lw t1, 0(t0)
+            lw t1, 0(t0)
+            halt
+        """)
+        sim, cores, peek = _cmp({0: prog})
+        assert run_to_halt(sim, cores, max_cycles=5000)
+        assert sim.stats.total("read_misses") == 1
+        assert sim.stats.total("read_hits") == 2
+
+
+class TestInvalidation:
+    def test_sharer_invalidated_on_remote_write(self):
+        """Node 1 caches an address; node 0's write must invalidate it
+        and a later re-read must see the new value."""
+        writer = assemble("""
+            li t4, 3000      # let the reader cache it first
+        spin:
+            addi t4, t4, -1
+            bne t4, zero, spin
+            li t0, 100
+            li t1, 77
+            sw t1, 0(t0)
+            li t2, 101       # release flag
+            li t3, 1
+            sw t3, 0(t2)
+            halt
+        """)
+        reader = assemble("""
+            li t0, 100
+            lw t5, 0(t0)     # cache the stale value (0)
+            li t1, 101
+        wait:
+            lw t2, 0(t1)
+            beq t2, zero, wait
+            lw t5, 0(t0)
+            li t3, 200
+            sw t5, 0(t3)
+            halt
+        """)
+        sim, cores, peek = _cmp({0: writer, 1: reader})
+        assert run_to_halt(sim, cores, max_cycles=60_000)
+        assert peek(200) == 77
+        assert sim.stats.total("invals_sent") >= 1
+        assert sim.stats.total("invalidations_in") >= 1
+
+    def test_sharer_list_resets_on_write(self):
+        prog0 = assemble("li t0, 100\nlw t1, 0(t0)\nhalt")
+        prog1 = assemble("""
+            li t4, 800
+        spin:
+            addi t4, t4, -1
+            bne t4, zero, spin
+            li t0, 100
+            li t1, 5
+            sw t1, 0(t0)
+            halt
+        """)
+        sim, cores, peek = _cmp({0: prog0, 1: prog1})
+        assert run_to_halt(sim, cores, max_cycles=20_000)
+        nodes = list(Mesh(2, 2).nodes())
+        home = sim.instance(f"home_{nodes[0][0]}_{nodes[0][1]}")
+        assert home.sharers[100] == {nodes[1]}  # only the writer remains
+
+
+class TestScaling:
+    def test_parallel_sum_3x3(self):
+        """Figure-2a style data-parallel workload on a 3x3 CMP."""
+        from repro.systems import run_fig2a
+        result = run_fig2a(3, 3, seg_words=4, max_cycles=30_000)
+        assert result["halted"]
+        assert result["correct"]
+        assert result["net_transfers"] > 0

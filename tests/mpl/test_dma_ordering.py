@@ -1,0 +1,179 @@
+"""Tests for the DMA controller and memory-ordering store buffers."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.mpl import DMAController, DMADone, DMARequest, StoreBuffer
+from repro.pcl import MemoryArray, Sink, Source, TraceSource
+from repro.upl import SimpleCore, assemble
+
+from ..conftest import run_to_halt
+
+
+def _dma_system(requests, burst=1, mem_latency=1, cycles=300,
+                engine="worklist", init=None):
+    spec = LSS("dma")
+    cmd = spec.instance("cmd", Source, pattern="list",
+                        items=tuple(requests))
+    dma = spec.instance("dma", DMAController, burst=burst)
+    mem = spec.instance("mem", MemoryArray, size=2048, latency=mem_latency,
+                        init=init or {i: i * 3 for i in range(16)},
+                        bandwidth=max(2, burst))
+    done = spec.instance("done", Sink)
+    spec.connect(cmd.port("out"), dma.port("cmd"))
+    spec.connect(dma.port("mem_req"), mem.port("req"))
+    spec.connect(mem.port("resp"), dma.port("mem_resp"))
+    spec.connect(dma.port("done"), done.port("in"))
+    sim = build_simulator(spec, engine=engine)
+    probe = sim.probe_between("dma", "done", "done", "in")
+    sim.run(cycles)
+    return sim, probe
+
+
+class TestDMA:
+    def test_block_copy(self, engine):
+        sim, probe = _dma_system([DMARequest(0, 100, 8)], engine=engine)
+        mem = sim.instance("mem")
+        assert all(mem.peek(100 + i) == i * 3 for i in range(8))
+        assert probe.count == 1
+        assert probe.values()[0].words == 8
+
+    def test_doorbell_written_after_data(self):
+        sim, probe = _dma_system(
+            [DMARequest(0, 100, 4, doorbell=500, doorbell_value=7)])
+        mem = sim.instance("mem")
+        assert mem.peek(500) == 7
+        assert all(mem.peek(100 + i) == i * 3 for i in range(4))
+
+    def test_back_to_back_descriptors(self):
+        sim, probe = _dma_system([DMARequest(0, 100, 4, tag="a"),
+                                  DMARequest(4, 200, 4, tag="b")],
+                                 cycles=400)
+        assert [d.tag for d in probe.values()] == ["a", "b"]
+        mem = sim.instance("mem")
+        assert mem.peek(200) == 12  # word 4 copied
+
+    def test_burst_speeds_up_copy(self):
+        slow, probe_s = _dma_system([DMARequest(0, 100, 8)], burst=1,
+                                    mem_latency=3)
+        fast, probe_f = _dma_system([DMARequest(0, 100, 8)], burst=4,
+                                    mem_latency=3)
+        assert probe_f.log[0][0] < probe_s.log[0][0]
+
+    def test_words_copied_stat(self):
+        sim, _ = _dma_system([DMARequest(0, 100, 5)])
+        assert sim.stats.counter("dma", "words_copied") == 5
+        assert sim.stats.counter("dma", "descriptors") == 1
+
+    def test_done_value_object(self):
+        assert DMADone("t", 3) == DMADone("t", 3)
+        assert DMADone("t", 3) != DMADone("t", 4)
+
+
+def _litmus(model, drain_delay=0, engine="worklist"):
+    """The store-buffering (SB) litmus test over two cores."""
+    p0 = assemble("li t0, 10\nli t1, 11\nli t2, 1\nsw t2, 0(t0)\n"
+                  "lw a0, 0(t1)\nli t3, 300\nsw a0, 0(t3)\nhalt")
+    p1 = assemble("li t0, 11\nli t1, 10\nli t2, 1\nsw t2, 0(t0)\n"
+                  "lw a0, 0(t1)\nli t3, 301\nsw a0, 0(t3)\nhalt")
+    spec = LSS("litmus")
+    c0 = spec.instance("c0", SimpleCore, program=p0)
+    c1 = spec.instance("c1", SimpleCore, program=p1)
+    mem = spec.instance("mem", MemoryArray, size=1024, latency=2,
+                        bandwidth=2)
+    for name, core in (("sb0", c0), ("sb1", c1)):
+        sb = spec.instance(name, StoreBuffer, model=model,
+                           drain_delay=drain_delay)
+        spec.connect(core.port("dmem_req"), sb.port("cpu_req"))
+        spec.connect(sb.port("cpu_resp"), core.port("dmem_resp"))
+        spec.connect(sb.port("mem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), sb.port("mem_resp"))
+    sim = build_simulator(spec, engine=engine)
+    run_to_halt(sim, [sim.instance("c0"), sim.instance("c1")],
+                max_cycles=3000, drain=50)
+    mem = sim.instance("mem")
+    return sim, (mem.peek(300), mem.peek(301))
+
+
+class TestOrdering:
+    def test_tso_exhibits_store_buffering(self, engine):
+        sim, observed = _litmus("tso", drain_delay=10, engine=engine)
+        assert observed == (0, 0)  # the famous weak behaviour
+        assert sim.stats.total("stores_buffered") > 0
+        assert sim.stats.total("loads_bypassed") > 0
+
+    def test_sc_forbids_store_buffering(self, engine):
+        sim, observed = _litmus("sc", drain_delay=10, engine=engine)
+        assert observed != (0, 0)
+
+    def test_tso_load_forwarding(self):
+        """A load of a buffered store's address forwards its value."""
+        prog = assemble("""
+            li t0, 10
+            li t1, 99
+            sw t1, 0(t0)
+            lw a0, 0(t0)   # must see 99 even if the store hasn't drained
+            li t2, 300
+            sw a0, 0(t2)
+            halt
+        """)
+        spec = LSS("fwd")
+        core = spec.instance("c", SimpleCore, program=prog)
+        sb = spec.instance("sb", StoreBuffer, model="tso", drain_delay=30)
+        mem = spec.instance("mem", MemoryArray, size=512, latency=1)
+        spec.connect(core.port("dmem_req"), sb.port("cpu_req"))
+        spec.connect(sb.port("cpu_resp"), core.port("dmem_resp"))
+        spec.connect(sb.port("mem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), sb.port("mem_resp"))
+        sim = build_simulator(spec)
+        run_to_halt(sim, [sim.instance("c")], max_cycles=2000, drain=100)
+        assert sim.instance("mem").peek(300) == 99
+        assert sim.stats.counter("sb", "loads_forwarded") >= 1
+
+    def test_tso_drains_in_fifo_order(self):
+        prog = assemble("""
+            li t0, 10
+            li t1, 1
+            sw t1, 0(t0)
+            li t1, 2
+            sw t1, 1(t0)
+            li t1, 3
+            sw t1, 0(t0)
+            halt
+        """)
+        spec = LSS("fifo")
+        core = spec.instance("c", SimpleCore, program=prog)
+        sb = spec.instance("sb", StoreBuffer, model="tso")
+        mem = spec.instance("mem", MemoryArray, size=512, latency=1)
+        spec.connect(core.port("dmem_req"), sb.port("cpu_req"))
+        spec.connect(sb.port("cpu_resp"), core.port("dmem_resp"))
+        spec.connect(sb.port("mem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), sb.port("mem_resp"))
+        sim = build_simulator(spec)
+        run_to_halt(sim, [sim.instance("c")], max_cycles=1000, drain=100)
+        assert sim.instance("mem").peek(10) == 3  # program order won
+        assert sim.instance("mem").peek(11) == 2
+        assert sim.stats.counter("sb", "drains") == 3
+
+    def test_sc_passthrough_correctness(self):
+        prog = assemble("""
+            li t0, 10
+            li t1, 5
+            sw t1, 0(t0)
+            lw a0, 0(t0)
+            li t2, 300
+            sw a0, 0(t2)
+            halt
+        """)
+        spec = LSS("sc")
+        core = spec.instance("c", SimpleCore, program=prog)
+        sb = spec.instance("sb", StoreBuffer, model="sc")
+        mem = spec.instance("mem", MemoryArray, size=512, latency=3)
+        spec.connect(core.port("dmem_req"), sb.port("cpu_req"))
+        spec.connect(sb.port("cpu_resp"), core.port("dmem_resp"))
+        spec.connect(sb.port("mem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), sb.port("mem_resp"))
+        sim = build_simulator(spec)
+        assert run_to_halt(sim, [sim.instance("c")], max_cycles=1000)
+        assert sim.instance("mem").peek(300) == 5
+        assert sim.stats.counter("sb", "stores_buffered") == 0

@@ -1,0 +1,209 @@
+"""Tests for the write-back MSI snooping protocol."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.mpl import build_msi_smp, build_snooping_smp
+from repro.upl import assemble, programs
+
+from ..conftest import run_to_halt
+
+
+def _smp(progs, engine="worklist", **kw):
+    spec = LSS("msi")
+    build_msi_smp(spec, progs, **kw)
+    sim = build_simulator(spec, engine=engine)
+    cores = [sim.instance(f"core{i}") for i in range(len(progs))]
+    return sim, cores
+
+
+class TestSingleCore:
+    def test_read_write_read(self, engine):
+        prog = assemble("""
+            li t0, 50
+            li t1, 7
+            sw t1, 0(t0)
+            lw t2, 0(t0)
+            li t3, 200
+            sw t2, 0(t3)
+            halt
+        """)
+        sim, cores = _smp([prog], engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=3000)
+        # Architectural effect visible to a fresh reader => memory has
+        # it after flush... the dirty line may still be cached; check
+        # through the cache's own state:
+        cache = sim.instance("cache0")
+        assert cache._holds(200) == "M"
+        line = cache._line(200)
+        assert cache._data[line] == 7
+
+    def test_silent_store_hits(self):
+        """Repeated writes to one address: one rdx, then M hits with
+        zero bus traffic — the write-back payoff."""
+        prog = assemble("""
+            li t0, 50
+            li t1, 10
+        loop:
+            sw t1, 0(t0)
+            addi t1, t1, -1
+            bne t1, zero, loop
+            halt
+        """)
+        sim, cores = _smp([prog])
+        assert run_to_halt(sim, cores, max_cycles=3000)
+        assert sim.stats.counter("cache0", "write_misses") == 1
+        assert sim.stats.counter("cache0", "write_hits_m") == 9
+
+    def test_eviction_writes_back(self):
+        # Two addresses aliasing to one line (lines=4: 10 and 14).
+        prog = assemble("""
+            li t0, 10
+            li t1, 99
+            sw t1, 0(t0)
+            li t0, 14
+            lw t2, 0(t0)    # evicts dirty 10
+            halt
+        """)
+        sim, cores = _smp([prog], cache_lines=4)
+        assert run_to_halt(sim, cores, max_cycles=3000)
+        assert sim.instance("memctl").peek(10) == 99
+        assert sim.stats.counter("memctl", "writebacks") >= 1
+
+
+class TestCoherence:
+    def test_dirty_data_served_by_intervention(self):
+        """Core 1 reads data core 0 wrote but never wrote back: the
+        owner's flush must supply it."""
+        writer = assemble("""
+            li t0, 100
+            li t1, 42
+            sw t1, 0(t0)
+            li t2, 101
+            li t3, 1
+            sw t3, 0(t2)      # flag
+            halt
+        """)
+        reader = assemble(programs.spin_on_flag(101, 200))
+        sim, cores = _smp([writer, reader])
+        assert run_to_halt(sim, cores, max_cycles=8000)
+        cache1 = sim.instance("cache1")
+        line = cache1._line(200)
+        assert cache1._data[line] == 1
+        # The flag/data came from core 0's M lines via flushes.
+        assert sim.stats.counter("cache0", "interventions") >= 1
+        assert sim.stats.counter("memctl", "suppressed") >= 1
+
+    def test_write_invalidates_sharers(self):
+        warm_reader = assemble("""
+            li t0, 100
+            lw t1, 0(t0)    # take a shared copy
+            li t2, 101
+        wait:
+            lw t3, 0(t2)
+            beq t3, zero, wait
+            lw a0, 0(t0)    # must re-fetch the written value
+            li t4, 200
+            sw a0, 0(t4)
+            halt
+        """)
+        writer = assemble("""
+            li t4, 1500
+        spin:
+            addi t4, t4, -1
+            bne t4, zero, spin
+            li t0, 100
+            li t1, 77
+            sw t1, 0(t0)     # rdx: invalidates the reader's S copy
+            li t2, 101
+            li t3, 1
+            sw t3, 0(t2)
+            halt
+        """)
+        sim, cores = _smp([warm_reader, writer], init_mem={100: 5})
+        assert run_to_halt(sim, cores, max_cycles=30_000)
+        cache0 = sim.instance("cache0")
+        line = cache0._line(200)
+        assert cache0._data[line] == 77
+        assert sim.stats.counter("cache0", "invalidations_in") >= 1
+
+    def test_upgrade_from_shared(self):
+        prog = assemble("""
+            li t0, 100
+            lw t1, 0(t0)     # S
+            addi t1, t1, 1
+            sw t1, 0(t0)     # upgrade S -> M
+            halt
+        """)
+        sim, cores = _smp([prog], init_mem={100: 10})
+        assert run_to_halt(sim, cores, max_cycles=3000)
+        assert sim.stats.counter("cache0", "upgrades") == 1
+        cache = sim.instance("cache0")
+        assert cache._data[cache._line(100)] == 11
+
+    def test_token_passing_chain(self):
+        def worker(i):
+            return assemble(f"""
+                li t0, 500
+                li t1, 501
+            wait:
+                lw t2, 0(t1)
+                li t3, {i}
+                bne t2, t3, wait
+                lw t4, 0(t0)
+                addi t4, t4, 1
+                sw t4, 0(t0)
+                li t5, {i + 1}
+                sw t5, 0(t1)
+                halt
+            """)
+
+        sim, cores = _smp([worker(i) for i in range(3)])
+        assert run_to_halt(sim, cores, max_cycles=100_000)
+        # Final values live in some cache's M line or memory; force a
+        # fresh observer by checking the last writer's cache.
+        cache2 = sim.instance("cache2")
+        assert cache2._data[cache2._line(500)] == 3
+
+    def test_sb_litmus_still_sequentially_consistent(self, engine):
+        p0 = assemble("li t0, 10\nli t1, 11\nli t2, 1\nsw t2, 0(t0)\n"
+                      "lw a0, 0(t1)\nli t3, 300\nsw a0, 0(t3)\nhalt")
+        p1 = assemble("li t0, 11\nli t1, 10\nli t2, 1\nsw t2, 0(t0)\n"
+                      "lw a0, 0(t1)\nli t3, 301\nsw a0, 0(t3)\nhalt")
+        sim, cores = _smp([p0, p1], engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=8000)
+        c0, c1 = sim.instance("cache0"), sim.instance("cache1")
+        r0 = c0._data[c0._line(300)] if c0._holds(300) else \
+            sim.instance("memctl").peek(300)
+        r1 = c1._data[c1._line(301)] if c1._holds(301) else \
+            sim.instance("memctl").peek(301)
+        assert (r0, r1) != (0, 0)
+
+
+class TestProtocolComparison:
+    def test_msi_saves_bus_traffic_vs_write_through(self):
+        """The headline: a store-heavy loop posts ~1 bus transaction
+        under MSI vs one per store under write-through."""
+        prog = assemble("""
+            li t0, 50
+            li t1, 20
+        loop:
+            sw t1, 0(t0)
+            addi t1, t1, -1
+            bne t1, zero, loop
+            halt
+        """)
+        spec_wt = LSS("wt")
+        build_snooping_smp(spec_wt, [prog])
+        wt = build_simulator(spec_wt)
+        run_to_halt(wt, [wt.instance("core0")], max_cycles=5000)
+        wt_txns = wt.stats.counter("cache0", "writes")
+
+        msi, cores = _smp([prog])
+        run_to_halt(msi, cores, max_cycles=5000)
+        msi_txns = (msi.stats.counter("cache0", "write_misses")
+                    + msi.stats.counter("cache0", "upgrades"))
+        assert wt_txns == 20   # one bus transaction per store
+        assert msi_txns == 1   # a single rdx, then silent M hits
+        # And MSI finishes faster (no bus round trip per store).
+        assert msi.now < wt.now

@@ -1,0 +1,164 @@
+"""Tests for bus-based snooping coherence."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.mpl import build_snooping_smp
+from repro.upl import assemble, programs
+
+from ..conftest import run_to_halt
+
+
+def _smp(progs, engine="worklist", **kw):
+    spec = LSS("smp")
+    handles = build_snooping_smp(spec, progs, **kw)
+    sim = build_simulator(spec, engine=engine)
+    cores = [sim.instance(f"core{i}") for i in range(len(progs))]
+    return sim, cores
+
+
+class TestProducerConsumer:
+    PROD = """
+        li t0, 100
+        li t2, 42
+        sw t2, 0(t0)    # data
+        li t1, 101
+        li t3, 1
+        sw t3, 0(t1)    # flag (after data: the bus orders them)
+        halt
+    """
+
+    def test_flag_protocol_transfers_data(self, engine):
+        prod = assemble(self.PROD)
+        cons = assemble(programs.spin_on_flag(101, 200))
+        sim, cores = _smp([prod, cons], engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=4000)
+        # The consumer copied the flag value it observed.
+        assert sim.instance("memctl").peek(200) == 1
+        assert sim.instance("memctl").peek(100) == 42
+
+    def test_consumer_sees_latest_data_not_stale_cache(self):
+        """The consumer reads the data address *before* the producer
+        writes it (caching 0), then spins on the flag; the producer's
+        write must invalidate the stale copy."""
+        prod = assemble("""
+            li t4, 2000     # waste time so the consumer caches first
+        warm:
+            addi t4, t4, -1
+            bne t4, zero, warm
+        """ + self.PROD)
+        cons = assemble("""
+            li t0, 100
+            lw t5, 0(t0)    # cache the (still zero) data line
+            li t1, 101
+        wait:
+            lw t2, 0(t1)
+            beq t2, zero, wait
+            lw t5, 0(t0)    # must miss or see invalidated-refreshed data
+            li t3, 200
+            sw t5, 0(t3)
+            halt
+        """)
+        sim, cores = _smp([prod, cons])
+        assert run_to_halt(sim, cores, max_cycles=30_000)
+        assert sim.instance("memctl").peek(200) == 42
+        assert sim.stats.counter("cache1", "invalidations_in") >= 1
+
+
+class TestCoherenceMechanics:
+    def test_read_hits_serve_locally(self):
+        prog = assemble("""
+            li t0, 50
+            lw t1, 0(t0)
+            lw t1, 0(t0)
+            lw t1, 0(t0)
+            halt
+        """)
+        sim, cores = _smp([prog])
+        assert run_to_halt(sim, cores, max_cycles=2000)
+        assert sim.stats.counter("cache0", "read_misses") == 1
+        assert sim.stats.counter("cache0", "read_hits") == 2
+
+    def test_write_completes_at_serialization_point(self):
+        prog = assemble("li t0, 5\nli t1, 9\nsw t1, 0(t0)\nhalt")
+        sim, cores = _smp([prog])
+        assert run_to_halt(sim, cores, max_cycles=2000)
+        assert sim.stats.counter("cache0", "self_snoops") >= 1
+        assert sim.instance("memctl").peek(5) == 9
+
+    def test_no_false_invalidation_of_own_line(self):
+        prog = assemble("""
+            li t0, 5
+            li t1, 9
+            sw t1, 0(t0)
+            lw t2, 0(t0)   # should hit: own write updated own line
+            halt
+        """)
+        sim, cores = _smp([prog])
+        assert run_to_halt(sim, cores, max_cycles=2000)
+        assert sim.stats.counter("cache0", "read_hits") == 1
+
+    def test_two_writers_serialize(self, engine):
+        """Both cores increment disjoint addresses; bus serializes."""
+        w0 = assemble("li t0, 10\nli t1, 1\nsw t1, 0(t0)\nhalt")
+        w1 = assemble("li t0, 11\nli t1, 2\nsw t1, 0(t0)\nhalt")
+        sim, cores = _smp([w0, w1], engine=engine)
+        assert run_to_halt(sim, cores, max_cycles=2000)
+        memctl = sim.instance("memctl")
+        assert memctl.peek(10) == 1 and memctl.peek(11) == 2
+
+    def test_initial_memory_image(self):
+        prog = assemble("""
+            li t0, 7
+            lw a0, 0(t0)
+            li t1, 300
+            sw a0, 0(t1)
+            halt
+        """)
+        sim, cores = _smp([prog], init_mem={7: 1234})
+        assert run_to_halt(sim, cores, max_cycles=2000)
+        assert sim.instance("memctl").peek(300) == 1234
+
+
+class TestSequentialConsistency:
+    def test_snooping_bus_forbids_store_buffering(self):
+        """The SB litmus on the snooping SMP: writes complete at the
+        bus serialization point, so (0,0) is impossible — the atomic
+        bus gives sequential consistency (contrast with the TSO store
+        buffer in tests/mpl/test_dma_ordering.py)."""
+        p0 = assemble("li t0, 10\nli t1, 11\nli t2, 1\nsw t2, 0(t0)\n"
+                      "lw a0, 0(t1)\nli t3, 300\nsw a0, 0(t3)\nhalt")
+        p1 = assemble("li t0, 11\nli t1, 10\nli t2, 1\nsw t2, 0(t0)\n"
+                      "lw a0, 0(t1)\nli t3, 301\nsw a0, 0(t3)\nhalt")
+        sim, cores = _smp([p0, p1])
+        assert run_to_halt(sim, cores, max_cycles=5000)
+        memctl = sim.instance("memctl")
+        observed = (memctl.peek(300), memctl.peek(301))
+        assert observed != (0, 0)
+
+
+class TestSharedCounter:
+    def test_flag_passing_increment_chain(self):
+        """Core i waits for flag==i, increments the shared counter,
+        sets flag=i+1 — a token-passing mutual exclusion."""
+        def worker(i):
+            return assemble(f"""
+                li t0, 500        # counter
+                li t1, 501        # token
+            wait:
+                lw t2, 0(t1)
+                li t3, {i}
+                bne t2, t3, wait
+                lw t4, 0(t0)
+                addi t4, t4, 1
+                sw t4, 0(t0)
+                li t5, {i + 1}
+                sw t5, 0(t1)
+                halt
+            """)
+
+        progs = [worker(i) for i in range(3)]
+        sim, cores = _smp(progs)
+        assert run_to_halt(sim, cores, max_cycles=60_000)
+        assert sim.instance("memctl").peek(500) == 3
+        assert sim.instance("memctl").peek(501) == 3

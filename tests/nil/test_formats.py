@@ -1,0 +1,91 @@
+"""Tests for Ethernet/PCI formats and the format converters."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.nil import (EthernetFrame, FormatConverter, PCITransaction,
+                       PCIUnpacker)
+from repro.pcl import Sink, Source
+
+
+class TestEthernetFrame:
+    def test_serialization_roundtrip(self):
+        frame = EthernetFrame(0xAA, 0xBB, (1, 2, 3), ethertype=0x0806,
+                              created=9)
+        words = frame.to_words()
+        back = EthernetFrame.from_words(words, created=9)
+        assert back.src == 0xAA and back.dst == 0xBB
+        assert back.payload == (1, 2, 3)
+        assert back.ethertype == 0x0806
+
+    def test_length_counts_header(self):
+        assert EthernetFrame(1, 2, (7, 8)).length == 3
+
+    def test_identity_equality(self):
+        a = EthernetFrame(1, 2, ())
+        assert a == a and a != EthernetFrame(1, 2, ())
+
+
+class TestConverterPipeline:
+    def _pipeline(self, frames, conv_kw=None, cycles=60, engine="worklist"):
+        spec = LSS("conv")
+        src = spec.instance("src", Source, pattern="list",
+                            items=tuple(frames))
+        conv = spec.instance("conv", FormatConverter,
+                             **(conv_kw or {"ring_base": 0x1000}))
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), conv.port("in"))
+        spec.connect(conv.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        probe = sim.probe_between("conv", "out", "snk", "in")
+        sim.run(cycles)
+        return sim, probe
+
+    def test_frame_becomes_burst_write(self, engine):
+        frame = EthernetFrame(0x10, 0x20, (5, 6))
+        sim, probe = self._pipeline([frame], engine=engine)
+        txn = probe.values()[0]
+        assert isinstance(txn, PCITransaction)
+        assert txn.kind == "write"
+        assert txn.addr == 0x1000
+        assert list(txn.data) == frame.to_words()
+
+    def test_ring_slots_advance_and_wrap(self):
+        frames = [EthernetFrame(i, 0, ()) for i in range(5)]
+        sim, probe = self._pipeline(
+            frames, conv_kw={"ring_base": 0, "slots": 4, "slot_words": 8})
+        addrs = [t.addr for t in probe.values()]
+        assert addrs == [0, 8, 16, 24, 0]
+
+    def test_oversized_frame_truncated(self):
+        frame = EthernetFrame(1, 2, tuple(range(50)))
+        sim, probe = self._pipeline(
+            [frame], conv_kw={"ring_base": 0, "slot_words": 8})
+        assert len(probe.values()[0].data) == 8
+        assert sim.stats.counter("conv", "truncated") == 1
+
+    def test_loopback_preserves_frames(self, engine):
+        frames = [EthernetFrame(i, 99, (i, i * 2), created=0)
+                  for i in range(4)]
+        spec = LSS("loop")
+        src = spec.instance("src", Source, pattern="list",
+                            items=tuple(frames))
+        conv = spec.instance("conv", FormatConverter, ring_base=0)
+        unp = spec.instance("unp", PCIUnpacker)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), conv.port("in"))
+        spec.connect(conv.port("out"), unp.port("in"))
+        spec.connect(unp.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        probe = sim.probe_between("unp", "out", "snk", "in")
+        sim.run(60)
+        out = probe.values()
+        assert len(out) == 4
+        assert [(f.src, f.dst, f.payload) for f in out] \
+            == [(f.src, f.dst, f.payload) for f in frames]
+
+    def test_conversion_latency(self):
+        frame = EthernetFrame(1, 2, ())
+        sim, probe = self._pipeline(
+            [frame], conv_kw={"ring_base": 0, "latency": 7})
+        assert probe.log[0][0] >= 7

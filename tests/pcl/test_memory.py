@@ -1,0 +1,128 @@
+"""Unit tests for MemoryArray and the request/response protocol."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import MemoryArray, MemRequest, MemResponse, Sink, Source
+
+
+def _memory_system(requests, mem_kw=None, cycles=60, engine="worklist"):
+    spec = LSS("mem")
+    src = spec.instance("src", Source, pattern="list", items=tuple(requests))
+    mem = spec.instance("mem", MemoryArray, **(mem_kw or {"size": 64}))
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), mem.port("req"))
+    spec.connect(mem.port("resp"), snk.port("in"))
+    sim = build_simulator(spec, engine=engine)
+    probe = sim.probe_between("mem", "resp", "snk", "in")
+    sim.run(cycles)
+    return sim, probe
+
+
+class TestReadWrite:
+    def test_write_then_read(self, engine):
+        sim, probe = _memory_system(
+            [MemRequest("write", 5, value=42, tag="w"),
+             MemRequest("read", 5, tag="r")], engine=engine)
+        responses = probe.values()
+        assert [r.tag for r in responses] == ["w", "r"]
+        assert responses[1].value == 42
+
+    def test_uninitialized_reads_zero(self):
+        _, probe = _memory_system([MemRequest("read", 9, tag="r")])
+        assert probe.values()[0].value == 0
+
+    def test_init_contents(self):
+        _, probe = _memory_system(
+            [MemRequest("read", 3, tag="r")],
+            mem_kw={"size": 16, "init": {3: 77}})
+        assert probe.values()[0].value == 77
+
+    def test_init_sequence(self):
+        _, probe = _memory_system(
+            [MemRequest("read", 2, tag="r")],
+            mem_kw={"size": 16, "init": [5, 6, 7]})
+        assert probe.values()[0].value == 7
+
+    def test_latency_respected(self):
+        _, probe = _memory_system([MemRequest("read", 0, tag="r")],
+                                  mem_kw={"size": 8, "latency": 5})
+        # Request accepted at cycle 0, response first offered >= cycle 5.
+        assert probe.log[0][0] >= 5
+
+    def test_tag_and_meta_echoed(self):
+        _, probe = _memory_system(
+            [MemRequest("read", 1, tag=("x", 3), meta="hello")])
+        response = probe.values()[0]
+        assert response.tag == ("x", 3)
+        assert response.meta == "hello"
+
+
+class TestFaults:
+    def test_out_of_range_faults(self):
+        sim, probe = _memory_system([MemRequest("read", 999, tag="r")],
+                                    mem_kw={"size": 8})
+        assert probe.values()[0].meta == "fault"
+        assert sim.stats.counter("mem", "faults") == 1
+
+    def test_wrap_mode_wraps(self):
+        sim, probe = _memory_system(
+            [MemRequest("write", 9, value=5, tag="w"),
+             MemRequest("read", 1, tag="r")],
+            mem_kw={"size": 8, "wrap": True})
+        assert probe.values()[1].value == 5
+        assert sim.stats.counter("mem", "faults") == 0
+
+
+class TestBandwidth:
+    def test_blocking_port_backpressures(self):
+        requests = [MemRequest("read", i, tag=i) for i in range(4)]
+        sim, probe = _memory_system(requests,
+                                    mem_kw={"size": 8, "latency": 3,
+                                            "bandwidth": 1})
+        assert probe.count == 4
+        assert sim.stats.counter("mem", "stalls") > 0
+
+    def test_multiport_independent(self, engine):
+        spec = LSS("mp")
+        a = spec.instance("a", Source, pattern="list",
+                          items=(MemRequest("write", 1, value=10, tag="a"),))
+        b = spec.instance("b", Source, pattern="list",
+                          items=(MemRequest("write", 2, value=20, tag="b"),))
+        mem = spec.instance("mem", MemoryArray, size=8)
+        ka = spec.instance("ka", Sink)
+        kb = spec.instance("kb", Sink)
+        spec.connect(a.port("out"), mem.port("req", 0))
+        spec.connect(b.port("out"), mem.port("req", 1))
+        spec.connect(mem.port("resp", 0), ka.port("in"))
+        spec.connect(mem.port("resp", 1), kb.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        assert sim.instance("mem").peek(1) == 10
+        assert sim.instance("mem").peek(2) == 20
+        assert sim.stats.counter("ka", "consumed") == 1
+        assert sim.stats.counter("kb", "consumed") == 1
+
+
+class TestDirectAccess:
+    def test_peek_poke(self):
+        spec = LSS("pp")
+        spec.instance("mem", MemoryArray, size=8)
+        sim = build_simulator(spec)
+        mem = sim.instance("mem")
+        mem.poke(3, 99)
+        assert mem.peek(3) == 99
+        assert mem.peek(4) == 0
+
+
+class TestValueObjects:
+    def test_request_equality(self):
+        a = MemRequest("read", 1, tag="t")
+        b = MemRequest("read", 1, tag="t")
+        assert a == b and hash(a) == hash(b)
+        assert a != MemRequest("write", 1, tag="t")
+
+    def test_response_equality(self):
+        a = MemResponse("read", 1, 5, "t")
+        assert a == MemResponse("read", 1, 5, "t")
+        assert a != MemResponse("read", 1, 6, "t")

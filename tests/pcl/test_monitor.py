@@ -1,0 +1,80 @@
+"""Unit tests for Monitor and Gate pass-throughs."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import Gate, Monitor, Queue, Sink, Source
+
+
+class TestMonitor:
+    def _mon(self, cycles=10, engine="worklist", **kw):
+        spec = LSS("mon")
+        src = spec.instance("src", Source, pattern="counter")
+        mon = spec.instance("mon", Monitor, **kw)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), mon.port("in"))
+        spec.connect(mon.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(cycles)
+        return sim
+
+    def test_transparent_same_cycle(self, engine):
+        sim = self._mon(engine=engine)
+        # Combinational: no added latency, all ten consumed.
+        assert sim.stats.counter("snk", "consumed") == 10
+        assert sim.stats.counter("mon", "transfers") == 10
+
+    def test_numeric_histogram(self):
+        sim = self._mon()
+        hist = sim.stats.histogram("mon", "payload")
+        assert hist.count == 10
+        assert hist.max == 9.0
+
+    def test_callback_invoked(self):
+        seen = []
+        sim = self._mon(on_transfer=lambda now, v: seen.append((now, v)))
+        assert seen[0] == (0, 0)
+        assert len(seen) == 10
+
+    def test_backpressure_passes_through(self):
+        spec = LSS("mon")
+        src = spec.instance("src", Source, pattern="counter")
+        mon = spec.instance("mon", Monitor)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), mon.port("in"))
+        spec.connect(mon.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.counter("src", "emitted") == 0
+
+
+class TestGate:
+    def _gate(self, mode, open_fn, cycles=10, engine="worklist"):
+        spec = LSS("gate")
+        src = spec.instance("src", Source, pattern="counter")
+        gate = spec.instance("gate", Gate, open=open_fn, mode=mode)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), gate.port("in"))
+        spec.connect(gate.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(cycles)
+        return sim
+
+    def test_open_gate_is_transparent(self, engine):
+        sim = self._gate("drop", lambda now, v: True, engine=engine)
+        assert sim.stats.counter("gate", "passed") == 10
+
+    def test_drop_mode_swallows_when_closed(self):
+        sim = self._gate("drop", lambda now, v: v % 2 == 0)
+        assert sim.stats.counter("gate", "passed") == 5
+        assert sim.stats.counter("gate", "dropped") == 5
+        assert sim.stats.counter("src", "emitted") == 10  # producer flows
+
+    def test_stall_mode_backpressures_when_closed(self):
+        sim = self._gate("stall", lambda now, v: False)
+        assert sim.stats.counter("gate", "stalled") > 0
+        assert sim.stats.counter("src", "emitted") == 0
+
+    def test_value_predicate(self):
+        sim = self._gate("drop", lambda now, v: v >= 5)
+        assert sim.stats.counter("gate", "passed") == 5

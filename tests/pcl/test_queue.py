@@ -1,0 +1,193 @@
+"""Unit tests for Queue / PipelineReg / Delay."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import Delay, PipelineReg, Queue, Sink, Source
+
+
+class TestQueue:
+    def test_fifo_order(self, engine):
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        probe = sim.probe_between("q", "out", "snk", "in")
+        sim.run(10)
+        assert probe.values() == list(range(9))
+
+    def test_depth_limits_occupancy(self):
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=3)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(20)
+        assert sim.instance("q").occupancy == 3
+        assert sim.stats.counter("q", "enqueued") == 3
+        assert sim.stats.counter("q", "full_stalls") > 0
+
+    def test_registered_no_same_cycle_passthrough(self):
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=1)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("q", "out", "snk", "in")
+        sim.run(3)
+        # Item enqueued at cycle 0 is first visible downstream at cycle 1.
+        assert probe.log[0][0] == 1
+
+    def test_depth1_registered_queue_alternates(self):
+        """A depth-1 registered queue cannot accept and hold at once:
+        throughput is one item every two cycles under full load."""
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=1)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(20)
+        assert sim.stats.counter("snk", "consumed") == pytest.approx(10, abs=1)
+
+    def test_multiport_inputs(self):
+        spec = LSS("q")
+        a = spec.instance("a", Source, pattern="counter")
+        b = spec.instance("b", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=8)
+        snk = spec.instance("snk", Sink)
+        spec.connect(a.port("out"), q.port("in"))
+        spec.connect(b.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        # Two producers, single consumer: the queue fills to its steady
+        # state (depth-1: acks are granted from start-of-cycle free
+        # space, before the cycle's dequeue).
+        occupancy = sim.stats.counter("q", "enqueued") \
+            - sim.stats.counter("q", "dequeued")
+        assert occupancy in (7, 8)
+
+    def test_multiport_outputs_drain_in_parallel(self):
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        src2 = spec.instance("src2", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=8)
+        k1 = spec.instance("k1", Sink)
+        k2 = spec.instance("k2", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(src2.port("out"), q.port("in"))
+        spec.connect(q.port("out"), k1.port("in"))
+        spec.connect(q.port("out"), k2.port("in"))
+        sim = build_simulator(spec)
+        sim.run(20)
+        assert sim.stats.counter("k1", "consumed") > 0
+        assert sim.stats.counter("k2", "consumed") > 0
+        total_in = sim.stats.counter("q", "enqueued")
+        total_out = sim.stats.counter("q", "dequeued")
+        assert total_out <= total_in <= total_out + 8
+
+    def test_occupancy_sampling(self):
+        spec = LSS("q")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4, sample_occupancy=True)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.histogram("q", "occupancy").count == 10
+
+
+class TestPipelineReg:
+    def test_full_throughput(self, engine):
+        spec = LSS("r")
+        src = spec.instance("src", Source, pattern="counter")
+        r = spec.instance("r", PipelineReg)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), r.port("in"))
+        spec.connect(r.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(20)
+        # Unlike Queue(depth=1), a pipeline register sustains 1/cycle.
+        assert sim.stats.counter("snk", "consumed") == 19
+
+    def test_one_cycle_latency(self):
+        spec = LSS("r")
+        src = spec.instance("src", Source, pattern="counter")
+        r = spec.instance("r", PipelineReg)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), r.port("in"))
+        spec.connect(r.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("r", "out", "snk", "in")
+        sim.run(4)
+        assert probe.log[0] == (1, 0)
+
+    def test_backpressure_stalls_upstream(self):
+        spec = LSS("r")
+        src = spec.instance("src", Source, pattern="counter")
+        r = spec.instance("r", PipelineReg)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), r.port("in"))
+        spec.connect(r.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("src", "emitted") == 1  # only the fill
+        assert sim.stats.counter("r", "stalled") > 0
+
+    def test_init_value_occupies(self):
+        spec = LSS("r")
+        r = spec.instance("r", PipelineReg, init_value="boot")
+        snk = spec.instance("snk", Sink)
+        spec.connect(r.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("r", "out", "snk", "in")
+        sim.run(3)
+        assert probe.values() == ["boot"]
+
+
+class TestDelay:
+    def test_latency_applied(self, engine):
+        spec = LSS("d")
+        src = spec.instance("src", Source, pattern="counter")
+        d = spec.instance("d", Delay, latency=3)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), d.port("in"))
+        spec.connect(d.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        probe = sim.probe_between("d", "out", "snk", "in")
+        sim.run(10)
+        assert probe.log[0] == (3, 0)
+        assert sim.stats.counter("snk", "consumed") == 7
+
+    def test_always_accepts(self):
+        spec = LSS("d")
+        src = spec.instance("src", Source, pattern="counter")
+        d = spec.instance("d", Delay, latency=2)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), d.port("in"))
+        spec.connect(d.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("d", "accepted") == 10  # lossless intake
+
+    def test_drop_mode_discards_refused(self):
+        spec = LSS("d")
+        src = spec.instance("src", Source, pattern="counter")
+        d = spec.instance("d", Delay, latency=1, drop=True)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), d.port("in"))
+        spec.connect(d.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("d", "dropped") > 0
+        assert sim.stats.counter("snk", "consumed") == 0

@@ -1,0 +1,196 @@
+"""Unit tests for Tee / Mux / Demux / Combine / Splitter."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import Combine, Demux, Mux, Sink, Source, Splitter, Tee
+
+
+class TestTee:
+    def _tee(self, mode, sink_accepts, cycles=10, engine="worklist"):
+        spec = LSS("tee")
+        src = spec.instance("src", Source, pattern="counter")
+        tee = spec.instance("tee", Tee, mode=mode)
+        spec.connect(src.port("out"), tee.port("in"))
+        for i, accept in enumerate(sink_accepts):
+            snk = spec.instance(f"k{i}", Sink, accept=accept)
+            spec.connect(tee.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(cycles)
+        return sim
+
+    def test_all_mode_replicates(self, engine):
+        sim = self._tee("all", ["always", "always"], engine=engine)
+        assert sim.stats.counter("k0", "consumed") == 10
+        assert sim.stats.counter("k1", "consumed") == 10
+        assert sim.stats.counter("src", "emitted") == 10
+
+    def test_all_mode_blocks_on_any_refusal(self):
+        sim = self._tee("all", ["always", "never"])
+        assert sim.stats.counter("src", "emitted") == 0
+        assert sim.stats.counter("k0", "consumed") == 0
+
+    def test_any_mode_advances_on_partial_acceptance(self):
+        sim = self._tee("any", ["always", "never"])
+        assert sim.stats.counter("src", "emitted") == 10
+        assert sim.stats.counter("k0", "consumed") == 10
+        assert sim.stats.counter("k1", "consumed") == 0
+
+
+class TestMux:
+    def _mux(self, sel_items, n_in=2, cycles=15):
+        spec = LSS("mux")
+        for i in range(n_in):
+            src = spec.instance(f"s{i}", Source, pattern="always",
+                                payload=chr(ord("A") + i))
+            mux = spec.instance("mux", Mux) if i == 0 else mux
+            spec.connect(src.port("out"), mux.port("in"))
+        sel = spec.instance("sel", Source, pattern="list", items=sel_items)
+        snk = spec.instance("snk", Sink)
+        spec.connect(sel.port("out"), mux.port("sel"))
+        spec.connect(mux.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("mux", "out", "snk", "in")
+        sim.run(cycles)
+        return sim, probe
+
+    def test_selection_follows_sel_stream(self):
+        sim, probe = self._mux((0, 1, 0, 1))
+        assert probe.values() == ["A", "B", "A", "B"]
+
+    def test_no_selection_no_output(self):
+        sim, probe = self._mux(())
+        assert probe.count == 0
+
+    def test_out_of_range_selection_ignored(self):
+        sim, probe = self._mux((7,))
+        assert probe.count == 0
+
+
+class TestDemux:
+    def test_routes_by_function(self, engine):
+        spec = LSS("dmx")
+        src = spec.instance("src", Source, pattern="counter")
+        dmx = spec.instance("dmx", Demux,
+                            route=lambda v, w, now: v % 2)
+        even = spec.instance("even", Sink, record_values=True)
+        odd = spec.instance("odd", Sink, record_values=True)
+        spec.connect(src.port("out"), dmx.port("in"))
+        spec.connect(dmx.port("out"), even.port("in"))
+        spec.connect(dmx.port("out"), odd.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        assert sim.stats.counter("even", "consumed") == 5
+        assert sim.stats.counter("odd", "consumed") == 5
+        assert sim.stats.histogram("odd", "value").min >= 1
+
+    def test_backpressure_from_chosen_output_only(self):
+        spec = LSS("dmx")
+        src = spec.instance("src", Source, pattern="always", payload=0)
+        dmx = spec.instance("dmx", Demux, route=lambda v, w, now: 0)
+        blocked = spec.instance("blocked", Sink, accept="never")
+        open_ = spec.instance("open", Sink)
+        spec.connect(src.port("out"), dmx.port("in"))
+        spec.connect(dmx.port("out"), blocked.port("in"))
+        spec.connect(dmx.port("out"), open_.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.counter("src", "emitted") == 0  # stuck on out 0
+
+    def test_route_target_clamped(self):
+        spec = LSS("dmx")
+        src = spec.instance("src", Source, pattern="counter")
+        dmx = spec.instance("dmx", Demux, route=lambda v, w, now: 99)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), dmx.port("in"))
+        spec.connect(dmx.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.counter("snk", "consumed") == 5
+
+
+class TestCombine:
+    def test_joins_when_all_present(self, engine):
+        spec = LSS("join")
+        a = spec.instance("a", Source, pattern="always", payload=1)
+        b = spec.instance("b", Source, pattern="always", payload=2)
+        j = spec.instance("j", Combine)
+        snk = spec.instance("snk", Sink)
+        spec.connect(a.port("out"), j.port("in"))
+        spec.connect(b.port("out"), j.port("in"))
+        spec.connect(j.port("out"), snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        probe = sim.probe_between("j", "out", "snk", "in")
+        sim.run(5)
+        assert probe.values() == [(1, 2)] * 5
+
+    def test_custom_merge(self):
+        spec = LSS("join")
+        a = spec.instance("a", Source, pattern="always", payload=3)
+        b = spec.instance("b", Source, pattern="always", payload=4)
+        j = spec.instance("j", Combine, merge=sum)
+        snk = spec.instance("snk", Sink, record_values=True)
+        spec.connect(a.port("out"), j.port("in"))
+        spec.connect(b.port("out"), j.port("in"))
+        spec.connect(j.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.histogram("snk", "value").mean == 7.0
+
+    def test_stalls_on_partial_inputs(self):
+        spec = LSS("join")
+        a = spec.instance("a", Source, pattern="always", payload=1)
+        b = spec.instance("b", Source, pattern="periodic", period=3,
+                          payload=2)
+        j = spec.instance("j", Combine)
+        snk = spec.instance("snk", Sink)
+        spec.connect(a.port("out"), j.port("in"))
+        spec.connect(b.port("out"), j.port("in"))
+        spec.connect(j.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(12)
+        assert sim.stats.counter("j", "partial_stalls") > 0
+        assert sim.stats.counter("snk", "consumed") == 4  # every 3 cycles
+
+
+class TestSplitter:
+    def test_round_robin_distribution(self, engine):
+        spec = LSS("sp")
+        src = spec.instance("src", Source, pattern="counter")
+        sp = spec.instance("sp", Splitter)
+        k0 = spec.instance("k0", Sink, record_values=True)
+        k1 = spec.instance("k1", Sink, record_values=True)
+        spec.connect(src.port("out"), sp.port("in"))
+        spec.connect(sp.port("out"), k0.port("in"))
+        spec.connect(sp.port("out"), k1.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(10)
+        assert sim.stats.counter("k0", "consumed") == 5
+        assert sim.stats.counter("k1", "consumed") == 5
+
+    def test_non_spill_stalls_on_busy_target(self):
+        spec = LSS("sp")
+        src = spec.instance("src", Source, pattern="counter")
+        sp = spec.instance("sp", Splitter, spill=False)
+        k0 = spec.instance("k0", Sink, accept="never")
+        k1 = spec.instance("k1", Sink)
+        spec.connect(src.port("out"), sp.port("in"))
+        spec.connect(sp.port("out"), k0.port("in"))
+        spec.connect(sp.port("out"), k1.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        # Pointer starts at 0 which never accepts: everything stalls.
+        assert sim.stats.counter("k1", "consumed") == 0
+
+    def test_spill_reroutes_around_busy_target(self):
+        spec = LSS("sp")
+        src = spec.instance("src", Source, pattern="counter")
+        sp = spec.instance("sp", Splitter, spill=True)
+        k0 = spec.instance("k0", Sink, accept="never")
+        k1 = spec.instance("k1", Sink)
+        spec.connect(src.port("out"), sp.port("in"))
+        spec.connect(sp.port("out"), k0.port("in"))
+        spec.connect(sp.port("out"), k1.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("k1", "consumed") == 10

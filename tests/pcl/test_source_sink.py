@@ -1,0 +1,186 @@
+"""Unit tests for Source/TraceSource/Sink/LatencySink."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.core.errors import ParameterError
+from repro.pcl import LatencySink, Queue, Sink, Source, TraceSource
+
+
+def _pipe(src_kw=None, sink_cls=Sink, sink_kw=None, cycles=20,
+          engine="worklist"):
+    spec = LSS("ss")
+    src = spec.instance("src", Source, **(src_kw or {}))
+    snk = spec.instance("snk", sink_cls, **(sink_kw or {}))
+    spec.connect(src.port("out"), snk.port("in"))
+    sim = build_simulator(spec, engine=engine)
+    sim.run(cycles)
+    return sim
+
+
+class TestSourcePatterns:
+    def test_always_emits_every_cycle(self, engine):
+        sim = _pipe({"pattern": "always", "payload": 7}, engine=engine)
+        assert sim.stats.counter("src", "emitted") == 20
+
+    def test_counter_monotone(self):
+        spec = LSS("c")
+        src = spec.instance("src", Source, pattern="counter")
+        snk = spec.instance("snk", Sink, record_values=True)
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        hist = sim.stats.histogram("snk", "value")
+        assert hist.min == 0 and hist.max == 9
+
+    def test_periodic(self):
+        sim = _pipe({"pattern": "periodic", "period": 5, "payload": 1},
+                    cycles=20)
+        assert sim.stats.counter("src", "emitted") == 4
+
+    def test_list_pattern_finite(self):
+        sim = _pipe({"pattern": "list", "items": (10, 20, 30)}, cycles=10)
+        assert sim.stats.counter("src", "emitted") == 3
+
+    def test_bernoulli_rate_statistics(self):
+        sim = _pipe({"pattern": "bernoulli", "rate": 0.3, "seed": 5},
+                    cycles=2000)
+        emitted = sim.stats.counter("src", "emitted")
+        assert 450 <= emitted <= 750  # ~600 expected
+
+    def test_custom_generator(self):
+        gen = lambda now, i, rng: now if now % 2 == 0 else None
+        sim = _pipe({"pattern": "custom", "generator": gen}, cycles=10)
+        assert sim.stats.counter("src", "emitted") == 5
+
+    def test_callable_payload(self):
+        spec = LSS("cp")
+        src = spec.instance("src", Source, pattern="always",
+                            payload=lambda now, i: now * 2)
+        snk = spec.instance("snk", Sink, record_values=True)
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(5)
+        assert sim.stats.histogram("snk", "value").max == 8
+
+    def test_invalid_pattern_rejected(self):
+        spec = LSS("bad")
+        with pytest.raises(ParameterError):
+            spec.instance("s", Source, pattern="nope")
+            from repro import build_design
+            build_design(spec)
+
+    def test_blocking_source_retries(self):
+        spec = LSS("block")
+        src = spec.instance("src", Source, pattern="list", items=(1, 2))
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("src", "emitted") == 0
+        assert sim.stats.counter("src", "offered") > 0
+
+    def test_nonblocking_source_drops(self):
+        spec = LSS("drop")
+        src = spec.instance("src", Source, pattern="counter",
+                            blocking=False)
+        snk = spec.instance("snk", Sink, accept="never")
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.counter("src", "dropped") == 10
+
+    def test_path_decorrelated_seeds(self):
+        spec = LSS("two")
+        a = spec.instance("a", Source, pattern="bernoulli", rate=0.5, seed=1)
+        b = spec.instance("b", Source, pattern="bernoulli", rate=0.5, seed=1)
+        k1 = spec.instance("k1", Sink)
+        k2 = spec.instance("k2", Sink)
+        spec.connect(a.port("out"), k1.port("in"))
+        spec.connect(b.port("out"), k2.port("in"))
+        sim = build_simulator(spec)
+        probe_a = sim.probe_between("a", "out", "k1", "in")
+        probe_b = sim.probe_between("b", "out", "k2", "in")
+        sim.run(100)
+        # Same seed parameter, different paths -> different streams.
+        assert [t for t, _ in probe_a.log] != [t for t, _ in probe_b.log]
+
+
+class TestTraceSource:
+    def test_replays_at_exact_cycles(self):
+        spec = LSS("trace")
+        src = spec.instance("src", TraceSource,
+                            trace=((2, "a"), (5, "b"), (5, "c")))
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("src", "out", "snk", "in")
+        sim.run(10)
+        assert probe.log == [(2, "a"), (5, "b"), (6, "c")]
+
+    def test_backlog_under_stall(self):
+        spec = LSS("trace")
+        src = spec.instance("src", TraceSource,
+                            trace=tuple((i, i) for i in range(5)))
+        snk = spec.instance("snk", Sink,
+                            policy=lambda now, i, rng: now >= 8,
+                            accept="custom")
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(20)
+        assert sim.stats.counter("src", "emitted") == 5
+
+
+class TestSink:
+    def test_bernoulli_backpressure(self):
+        sim = _pipe({"pattern": "always"},
+                    sink_kw={"accept": "bernoulli", "rate": 0.5, "seed": 9},
+                    cycles=1000)
+        consumed = sim.stats.counter("snk", "consumed")
+        refused = sim.stats.counter("snk", "refused")
+        assert consumed + refused == 1000
+        assert 400 <= consumed <= 600
+
+    def test_on_consume_callback(self):
+        seen = []
+        _pipe({"pattern": "counter"},
+              sink_kw={"on_consume": lambda now, i, v: seen.append(v)},
+              cycles=5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_custom_policy(self):
+        sim = _pipe({"pattern": "always"},
+                    sink_kw={"accept": "custom",
+                             "policy": lambda now, i, rng: now % 2 == 0},
+                    cycles=10)
+        assert sim.stats.counter("snk", "consumed") == 5
+
+
+class TestLatencySink:
+    def test_measures_latency_from_attribute(self):
+        class Stamped:
+            def __init__(self, created):
+                self.created = created
+
+        spec = LSS("lat")
+        src = spec.instance("src", Source, pattern="always",
+                            payload=lambda now, i: Stamped(now))
+        q = spec.instance("q", Queue, depth=8)
+        snk = spec.instance("snk", LatencySink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(20)
+        hist = sim.stats.histogram("snk", "latency")
+        assert hist.count > 0
+        assert hist.min >= 1  # the queue adds at least a cycle
+
+    def test_custom_extractor(self):
+        spec = LSS("lat")
+        src = spec.instance("src", Source, pattern="always",
+                            payload=lambda now, i: ("tag", now))
+        snk = spec.instance("snk", LatencySink, stamp=lambda v: v[1])
+        spec.connect(src.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert sim.stats.histogram("snk", "latency").mean == 0.0

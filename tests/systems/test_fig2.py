@@ -1,0 +1,87 @@
+"""End-to-end tests of the Figure-2 systems."""
+
+import pytest
+
+from repro.systems import (run_fig2a, run_fig2b, run_fig2c, run_fig2d)
+
+
+class TestFig2aCMP:
+    def test_2x2_correct(self):
+        result = run_fig2a(2, 2, seg_words=8)
+        assert result["halted"]
+        assert result["correct"]
+        assert result["results"] == result["expected"]
+        assert all(result["flags"])
+
+    def test_every_engine(self):
+        cycles = set()
+        for engine in ("worklist", "levelized", "codegen"):
+            result = run_fig2a(2, 2, seg_words=4, engine=engine)
+            assert result["correct"]
+            cycles.add(result["cycles"])
+        assert len(cycles) == 1  # engines are cycle-identical
+
+    def test_network_carried_the_traffic(self):
+        result = run_fig2a(2, 2, seg_words=8)
+        assert result["net_transfers"] > 100
+        assert result["read_misses"] > 0
+
+    def test_cold_misses_match_footprint(self):
+        result = run_fig2a(2, 2, seg_words=8)
+        # Every data word is read exactly once: all misses, no reuse.
+        assert result["read_misses"] >= 8 * 4
+
+
+class TestFig2bSensors:
+    def test_summaries_delivered(self):
+        result = run_fig2b(2, readings_per_node=8, aggregate_every=4)
+        assert result["halted"]
+        assert result["summaries_received"] == result["expected_summaries"]
+
+    def test_scales_to_more_nodes(self):
+        result = run_fig2b(3, readings_per_node=8, aggregate_every=2)
+        assert result["summaries_received"] == 12
+
+    def test_lossy_channel_degrades(self):
+        clean = run_fig2b(3, readings_per_node=8, aggregate_every=4)
+        lossy = run_fig2b(3, readings_per_node=8, aggregate_every=4,
+                          loss=0.5)
+        assert lossy["summaries_received"] < clean["summaries_received"]
+
+
+class TestFig2cGrid:
+    @pytest.mark.parametrize("n_nodes", [2, 4, 8])
+    def test_ring_reduction_correct(self, n_nodes):
+        result = run_fig2c(n_nodes, k_words=8)
+        assert result["halted"]
+        assert result["correct"]
+
+    def test_message_count_linear_in_nodes(self):
+        r4 = run_fig2c(4)
+        r8 = run_fig2c(8)
+        # Each non-final node posts 2 bus messages (data + doorbell).
+        assert r4["messages"] == 2 * 3
+        assert r8["messages"] == 2 * 7
+
+    def test_cycles_scale_with_ring_length(self):
+        assert run_fig2c(8)["cycles"] > run_fig2c(2)["cycles"]
+
+
+class TestFig2dSystemOfSystems:
+    def test_statistical_backend(self):
+        result = run_fig2d(2, backend="statistical")
+        assert result["halted"]
+        assert result["summaries_delivered"] == result["expected_summaries"]
+
+    def test_detailed_backend(self):
+        result = run_fig2d(2, backend="detailed")
+        assert result["halted"]
+        assert result["gateway_halted"]
+        assert result["summaries_delivered"] == result["expected_summaries"]
+
+    def test_abstraction_swap_preserves_field_tier(self):
+        """The paper's §2.2 claim: swapping the backend abstraction
+        leaves the upstream (field) behaviour untouched."""
+        stat = run_fig2d(2, backend="statistical")
+        det = run_fig2d(2, backend="detailed")
+        assert stat["transmissions"] == det["transmissions"]

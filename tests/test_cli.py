@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+SPEC = """
+system cli_test;
+instance src : Source(pattern="counter");
+instance q : Queue(depth=4);
+instance snk : Sink();
+connect src.out -> q.in;
+connect q.out -> snk.in;
+"""
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "system.lss"
+    path.write_text(SPEC)
+    return str(path)
+
+
+class TestMain:
+    def test_runs_and_reports(self, spec_file, capsys):
+        assert main([spec_file, "--cycles", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "cli_test" in out
+        assert "snk:consumed = 49" in out
+
+    def test_engine_selection(self, spec_file, capsys):
+        for engine in ("worklist", "levelized", "codegen"):
+            assert main([spec_file, "--cycles", "10",
+                         "--engine", engine]) == 0
+            assert "snk:consumed = 9" in capsys.readouterr().out
+
+    def test_stats_prefix_filter(self, spec_file, capsys):
+        main([spec_file, "--cycles", "10", "--stats", "snk"])
+        out = capsys.readouterr().out
+        assert "snk:consumed" in out
+        assert "src:emitted" not in out
+
+    def test_dot_export(self, spec_file, tmp_path, capsys):
+        dot = tmp_path / "design.dot"
+        main([spec_file, "--cycles", "1", "--dot", str(dot)])
+        text = dot.read_text()
+        assert text.startswith("digraph")
+        assert '"q"' in text
+
+    def test_activity_report(self, spec_file, capsys):
+        main([spec_file, "--cycles", "20", "--activity"])
+        assert "src.out -> q.in" in capsys.readouterr().out
+
+    def test_vcd_export(self, spec_file, tmp_path, capsys):
+        vcd = tmp_path / "trace.vcd"
+        main([spec_file, "--cycles", "10", "--vcd", str(vcd)])
+        text = vcd.read_text()
+        assert "$enddefinitions $end" in text
+        assert "#0" in text
+
+    def test_shipped_example_spec(self, capsys):
+        example = os.path.join(os.path.dirname(__file__), "..",
+                               "examples", "pipeline.lss")
+        assert main([example, "--cycles", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "textual_pipeline" in out
+
+
+def test_subprocess_invocation(spec_file):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", spec_file, "--cycles", "20"],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0
+    assert "snk:consumed = 19" in result.stdout

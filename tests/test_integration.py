@@ -1,0 +1,168 @@
+"""Cross-library interoperability: the paper's central promise.
+
+"LSE makes no assumptions about the target system while ensuring that
+components interoperate.  This guarantees that components developed for
+one domain can be combined with components developed independently for
+another."  (§2)
+
+These tests wire components from different libraries together in
+combinations none of them were written for and assert the contract
+holds them up.
+"""
+
+import pytest
+
+from repro import LSS, build_simulator, map_data
+from repro.ccl import Bus, BusTransaction, Link, Mesh, Router
+from repro.ccl.packet import Packet
+from repro.mpl import DMAController, DMARequest
+from repro.nil import EthernetFrame, FormatConverter, PCIUnpacker
+from repro.pcl import (Arbiter, Buffer, Delay, Gate, MemoryArray,
+                       MemRequest, Monitor, PipelineReg, Queue, Sink,
+                       Source, Tee)
+from repro.upl import Cache, SimpleCore, programs
+
+from .conftest import run_to_halt
+
+
+class TestCrossLibraryChains:
+    def test_pcl_chain_of_every_connector(self, engine):
+        """One datum flows through seven different PCL templates."""
+        spec = LSS("chain")
+        src = spec.instance("src", Source, pattern="counter")
+        stages = [
+            spec.instance("q", Queue, depth=2),
+            spec.instance("r", PipelineReg),
+            spec.instance("d", Delay, latency=2),
+            spec.instance("m", Monitor),
+            spec.instance("b", Buffer, depth=2),
+            spec.instance("g", Gate, open=lambda now, v: True),
+        ]
+        snk = spec.instance("snk", Sink)
+        prev = src.port("out")
+        for stage in stages:
+            spec.connect(prev, stage.port("in"))
+            prev = stage.port("out")
+        spec.connect(prev, snk.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(40)
+        assert sim.stats.counter("snk", "consumed") > 20
+
+    def test_nic_frames_through_noc(self):
+        """NIL frames ride the CCL mesh as packet payloads: a sensor's
+        frame crosses the network, then feeds the NIL converter."""
+        mesh = Mesh(2, 2)
+        spec = LSS("mixed")
+        from repro.ccl import build_mesh_network, LOCAL
+        routers = build_mesh_network(spec, mesh)
+
+        def gen(now, idx, rng):
+            if now % 4 == 0:
+                frame = EthernetFrame(1, 2, (now,), created=now)
+                return Packet((0, 0), (1, 1), payload=frame, created=now)
+            return None
+
+        src = spec.instance("src", Source, pattern="custom", generator=gen)
+        unwrap = spec.instance("unwrap", Monitor)
+        conv = spec.instance("conv", FormatConverter, ring_base=0)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), routers[(0, 0)].port("in", LOCAL))
+        spec.connect(routers[(1, 1)].port("out", LOCAL),
+                     unwrap.port("in"),
+                     )
+        # Extract the frame from the packet with a control function.
+        spec.connect(unwrap.port("out"), conv.port("in"),
+                     control=map_data(lambda pkt: pkt.payload))
+        spec.connect(conv.port("out"), snk.port("in"))
+        # Other locals are left unconnected: partial specification.
+        sim = build_simulator(spec)
+        sim.run(120)
+        assert sim.stats.counter("conv", "frames") > 10
+        assert sim.stats.counter("snk", "consumed") > 10
+
+    def test_dma_through_cache_hierarchy(self):
+        """An MPL DMA engine drives a UPL cache like any other master."""
+        spec = LSS("dmacache")
+        cmd = spec.instance("cmd", Source, pattern="list",
+                            items=(DMARequest(0, 64, 8),))
+        dma = spec.instance("dma", DMAController)
+        l1 = spec.instance("l1", Cache, sets=4, ways=2, block=4)
+        mem = spec.instance("mem", MemoryArray, size=512,
+                            init={i: i + 1 for i in range(8)})
+        done = spec.instance("done", Sink)
+        spec.connect(cmd.port("out"), dma.port("cmd"))
+        spec.connect(dma.port("mem_req"), l1.port("cpu_req"))
+        spec.connect(l1.port("cpu_resp"), dma.port("mem_resp"))
+        spec.connect(l1.port("mem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), l1.port("mem_resp"))
+        spec.connect(dma.port("done"), done.port("in"))
+        sim = build_simulator(spec)
+        sim.run(600)
+        assert sim.stats.counter("done", "consumed") == 1
+        # The copied data is visible through the cache.
+        cached = sim.instance("l1").contents()
+        merged = dict(sim.instance("mem").data)
+        merged.update(cached)
+        assert [merged.get(64 + i) for i in range(8)] \
+            == [i + 1 for i in range(8)]
+
+    def test_core_memory_over_routed_bus(self):
+        """A UPL core reaches its memory across a CCL bus through thin
+        wrap/unwrap control functions — no adapter modules."""
+        program = programs.assemble_named("store_pattern", words=4)
+        spec = LSS("corebus")
+        core = spec.instance("core", SimpleCore, program=program)
+        bus = spec.instance("bus", Bus, latency=1, mode="routed")
+        mem = spec.instance("mem", MemoryArray, size=512)
+        spec.connect(core.port("dmem_req"), bus.port("in"),
+                     control=map_data(
+                         lambda r: BusTransaction(0, 0, payload=r)))
+        spec.connect(bus.port("out", 0), mem.port("req"),
+                     control=map_data(lambda t: t.payload))
+        spec.connect(mem.port("resp"), core.port("dmem_resp"))
+        sim = build_simulator(spec)
+        assert run_to_halt(sim, [sim.instance("core")], max_cycles=2000)
+        assert sim.instance("mem").peek(64) == 3
+
+    def test_arbiter_serves_mixed_clients(self):
+        """The same arbiter arbitrates NIC frames and NoC packets —
+        'the same arbiter module can be used in CCL ... and in UPL'."""
+        spec = LSS("mixedarb")
+        frames = spec.instance(
+            "frames", Source, pattern="custom", seed=1,
+            generator=lambda n, i, r: EthernetFrame(1, 2, ())
+            if r.random() < 0.5 else None)
+        packets = spec.instance(
+            "packets", Source, pattern="custom", seed=2,
+            generator=lambda n, i, r: Packet((0, 0), (1, 1))
+            if r.random() < 0.5 else None)
+        arb = spec.instance("arb", Arbiter)
+        snk = spec.instance("snk", Sink)
+        spec.connect(frames.port("out"), arb.port("in"))
+        spec.connect(packets.port("out"), arb.port("in"))
+        spec.connect(arb.port("out"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("arb", "out", "snk", "in")
+        sim.run(60)
+        kinds = {type(v).__name__ for v in probe.values()}
+        assert kinds == {"EthernetFrame", "Packet"}
+
+
+class TestBroadcastIntoQueues:
+    def test_tee_feeds_heterogeneous_consumers(self, engine):
+        spec = LSS("tee")
+        src = spec.instance("src", Source, pattern="counter")
+        tee = spec.instance("tee", Tee, mode="all")
+        q = spec.instance("q", Queue, depth=4)
+        buf = spec.instance("buf", Buffer, depth=4)
+        k1 = spec.instance("k1", Sink)
+        k2 = spec.instance("k2", Sink)
+        spec.connect(src.port("out"), tee.port("in"))
+        spec.connect(tee.port("out"), q.port("in"))
+        spec.connect(tee.port("out"), buf.port("in"))
+        spec.connect(q.port("out"), k1.port("in"))
+        spec.connect(buf.port("out"), k2.port("in"))
+        sim = build_simulator(spec, engine=engine)
+        sim.run(30)
+        assert sim.stats.counter("k1", "consumed") \
+            == sim.stats.counter("k2", "consumed") > 0

@@ -1,0 +1,138 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.core.errors import FirmwareError
+from repro.upl.assembler import assemble
+from repro.upl.isa import Instruction
+
+
+class TestBasics:
+    def test_simple_instructions(self):
+        prog = assemble("""
+            add r1, r2, r3
+            addi r4, r5, -10
+            halt
+        """)
+        assert prog.insts[0] == Instruction("add", rd=1, rs1=2, rs2=3)
+        assert prog.insts[1] == Instruction("addi", rd=4, rs1=5, imm=-10)
+        assert prog.insts[2] == Instruction("halt")
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+            # full-line comment
+            nop   ; trailing comment
+            nop   # another
+        """)
+        assert len(prog.insts) == 2
+
+    def test_register_aliases(self):
+        prog = assemble("add a0, zero, ra")
+        assert prog.insts[0] == Instruction("add", rd=10, rs1=0, rs2=31)
+        prog = assemble("add sp, t0, s0")
+        assert prog.insts[0] == Instruction("add", rd=30, rs1=5, rs2=20)
+
+    def test_memory_operands(self):
+        prog = assemble("""
+            lw  r1, 8(r2)
+            sw  r3, -4(r4)
+        """)
+        assert prog.insts[0] == Instruction("lw", rd=1, rs1=2, imm=8)
+        assert prog.insts[1] == Instruction("sw", rs1=4, rs2=3, imm=-4)
+
+    def test_hex_immediates(self):
+        prog = assemble("addi r1, r0, 0x10")
+        assert prog.insts[0].imm == 16
+
+
+class TestLabels:
+    def test_branch_targets_relative(self):
+        prog = assemble("""
+        loop:
+            addi r1, r1, 1
+            bne  r1, r2, loop
+            halt
+        """)
+        assert prog.insts[1].imm == -1
+        assert prog.symbols["loop"] == 0
+
+    def test_forward_references(self):
+        prog = assemble("""
+            beq r1, r2, done
+            nop
+        done:
+            halt
+        """)
+        assert prog.insts[0].imm == 2
+
+    def test_jal_label(self):
+        prog = assemble("""
+            jal ra, func
+            halt
+        func:
+            ret
+        """)
+        assert prog.insts[0] == Instruction("jal", rd=31, imm=2)
+        assert prog.insts[2] == Instruction("jalr", rd=0, rs1=31, imm=0)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(FirmwareError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(FirmwareError, match="resolve"):
+            assemble("beq r1, r2, nowhere")
+
+    def test_multiple_labels_one_line(self):
+        prog = assemble("a: b: nop")
+        assert prog.symbols["a"] == 0 and prog.symbols["b"] == 0
+
+
+class TestData:
+    def test_data_segment(self):
+        prog = assemble("""
+            .data
+            .org 100
+            table: .word 1, 2, 3
+            .text
+            lw r1, table(r0)
+        """)
+        assert prog.data == {100: 1, 101: 2, 102: 3}
+        assert prog.symbols["table"] == 100
+        assert prog.insts[0].imm == 100
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(FirmwareError):
+            assemble(".data\nnop")
+
+
+class TestPseudo:
+    def test_li(self):
+        prog = assemble("li a0, -3")
+        assert prog.insts[0] == Instruction("addi", rd=10, rs1=0, imm=-3)
+
+    def test_mv(self):
+        prog = assemble("mv r1, r2")
+        assert prog.insts[0] == Instruction("add", rd=1, rs1=2, rs2=0)
+
+    def test_j(self):
+        prog = assemble("x: j x")
+        assert prog.insts[0] == Instruction("jal", rd=0, imm=0)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(FirmwareError, match="unknown mnemonic"):
+            assemble("frob r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(FirmwareError, match="bad register"):
+            assemble("add r1, r2, r99")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(FirmwareError, match="offset"):
+            assemble("lw r1, r2")
+
+    def test_error_reports_line(self):
+        with pytest.raises(FirmwareError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")

@@ -1,0 +1,134 @@
+"""Unit + property tests for the set-associative Cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LSS, build_simulator
+from repro.pcl import MemoryArray, MemRequest, Sink, Source
+from repro.upl import Cache
+
+
+def _cached_system(requests, cache_kw=None, mem_latency=4, cycles=None):
+    spec = LSS("cache")
+    src = spec.instance("src", Source, pattern="list",
+                        items=tuple(requests))
+    l1 = spec.instance("l1", Cache, **(cache_kw or {}))
+    mem = spec.instance("mem", MemoryArray, size=4096, latency=mem_latency)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), l1.port("cpu_req"))
+    spec.connect(l1.port("cpu_resp"), snk.port("in"))
+    spec.connect(l1.port("mem_req"), mem.port("req"))
+    spec.connect(mem.port("resp"), l1.port("mem_resp"))
+    sim = build_simulator(spec)
+    probe = sim.probe_between("l1", "cpu_resp", "snk", "in")
+    sim.run(cycles or (len(requests) * 40 + 60))
+    return sim, probe
+
+
+class TestBasics:
+    def test_read_miss_then_hit(self):
+        sim, probe = _cached_system([MemRequest("read", 8, tag=0),
+                                     MemRequest("read", 8, tag=1)])
+        assert probe.count == 2
+        assert sim.stats.counter("l1", "read_misses") == 1
+        assert sim.stats.counter("l1", "read_hits") == 1
+
+    def test_spatial_locality_within_block(self):
+        requests = [MemRequest("read", 8 + i, tag=i) for i in range(4)]
+        sim, probe = _cached_system(requests, cache_kw={"block": 4})
+        assert sim.stats.counter("l1", "misses") == 1
+        assert sim.stats.counter("l1", "hits") == 3
+
+    def test_write_back_read_own_write(self):
+        sim, probe = _cached_system([
+            MemRequest("write", 5, value=99, tag=0),
+            MemRequest("read", 5, tag=1)])
+        assert probe.values()[1].value == 99
+        # Write-back: nothing reached memory yet beyond the refill.
+        assert sim.instance("mem").peek(5) == 0
+
+    def test_write_back_eviction_flushes(self):
+        cache_kw = {"sets": 1, "ways": 1, "block": 1,
+                    "write_policy": "write_back"}
+        sim, probe = _cached_system([
+            MemRequest("write", 5, value=42, tag=0),
+            MemRequest("read", 9, tag=1),     # evicts dirty 5
+            MemRequest("read", 5, tag=2)],    # refills from memory
+            cache_kw=cache_kw)
+        assert sim.stats.counter("l1", "writebacks") == 1
+        assert sim.instance("mem").peek(5) == 42
+        assert probe.values()[2].value == 42
+
+    def test_write_through_updates_memory_immediately(self):
+        sim, probe = _cached_system(
+            [MemRequest("write", 7, value=11, tag=0)],
+            cache_kw={"write_policy": "write_through"})
+        assert sim.instance("mem").peek(7) == 11
+
+    def test_write_through_miss_no_allocate(self):
+        sim, _ = _cached_system(
+            [MemRequest("write", 7, value=11, tag=0),
+             MemRequest("read", 7, tag=1)],
+            cache_kw={"write_policy": "write_through", "block": 1})
+        # The write miss did not allocate: the read still misses.
+        assert sim.stats.counter("l1", "read_misses") == 1
+
+    def test_lru_replacement(self):
+        cache_kw = {"sets": 1, "ways": 2, "block": 1}
+        sim, _ = _cached_system([
+            MemRequest("read", 1, tag=0),
+            MemRequest("read", 2, tag=1),
+            MemRequest("read", 1, tag=2),    # touch 1 (now MRU)
+            MemRequest("read", 3, tag=3),    # evicts 2, not 1
+            MemRequest("read", 1, tag=4)],   # still a hit
+            cache_kw=cache_kw)
+        assert sim.stats.counter("l1", "read_hits") == 2
+
+    def test_contents_inspection(self):
+        sim, _ = _cached_system([MemRequest("write", 3, value=8, tag=0)],
+                                cache_kw={"block": 1})
+        assert sim.instance("l1").contents()[3] == 8
+
+    def test_hit_latency_parameter(self):
+        slow_kw = {"hit_latency": 5, "block": 1}
+        sim, probe = _cached_system([MemRequest("read", 1, tag=0),
+                                     MemRequest("read", 1, tag=1)],
+                                    cache_kw=slow_kw)
+        times = [t for t, _ in probe.log]
+        assert times[1] - times[0] >= 5
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["read", "write"]),
+                  st.integers(0, 31),
+                  st.integers(0, 99)),
+        min_size=1, max_size=12),
+    sets=st.sampled_from([1, 2, 4]),
+    ways=st.sampled_from([1, 2]),
+    block=st.sampled_from([1, 2, 4]),
+    policy=st.sampled_from(["write_back", "write_through"]),
+)
+def test_cache_matches_flat_memory_reference(ops, sets, ways, block,
+                                             policy):
+    """Any request trace through any geometry returns exactly what a
+    flat reference memory would."""
+    reference: dict = {}
+    expected = []
+    requests = []
+    for i, (op, addr, value) in enumerate(ops):
+        if op == "read":
+            requests.append(MemRequest("read", addr, tag=i))
+            expected.append(reference.get(addr, 0))
+        else:
+            requests.append(MemRequest("write", addr, value=value, tag=i))
+            reference[addr] = value
+            expected.append(value)
+    sim, probe = _cached_system(
+        requests,
+        cache_kw={"sets": sets, "ways": ways, "block": block,
+                  "write_policy": policy})
+    assert probe.count == len(ops)
+    got = [r.value for r in probe.values()]
+    assert got == expected

@@ -1,0 +1,101 @@
+"""Unit tests for SimpleCore (the port-structural processor)."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import MemoryArray
+from repro.upl import (FunctionalEmulator, SimpleCore, assemble, programs)
+
+from ..conftest import run_to_halt
+
+
+def _system(program, *, mem_latency=1, init=None, engine="worklist",
+            bandwidth=1):
+    spec = LSS("core")
+    core = spec.instance("core", SimpleCore, program=program)
+    mem = spec.instance("mem", MemoryArray, size=2048, latency=mem_latency,
+                        init=init, bandwidth=bandwidth)
+    spec.connect(core.port("dmem_req"), mem.port("req"))
+    spec.connect(mem.port("resp"), core.port("dmem_resp"))
+    return build_simulator(spec, engine=engine)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["sum_to_n", "fibonacci",
+                                      "call_return", "sieve"])
+    def test_matches_emulator_registers(self, name, engine):
+        program = programs.assemble_named(name)
+        golden = FunctionalEmulator(program).run()
+        sim = _system(program, engine=engine)
+        assert run_to_halt(sim, [sim.instance("core")])
+        assert sim.instance("core").state.regs == golden.regs
+        assert sim.stats.counter("core", "retired") == golden.instret
+
+    def test_matches_emulator_memory(self, engine):
+        program = programs.assemble_named("memcpy")
+        init = {64 + i: 7 * i for i in range(8)}
+        golden = FunctionalEmulator(program)
+        for addr, value in init.items():
+            golden.memory.write(addr, value)
+        golden.run()
+        sim = _system(program, init=dict(init), engine=engine)
+        assert run_to_halt(sim, [sim.instance("core")])
+        mem = sim.instance("mem")
+        assert all(mem.peek(128 + i) == golden.memory.read(128 + i)
+                   for i in range(8))
+
+    def test_alu_only_program_is_one_ipc(self):
+        program = assemble("nop\n" * 10 + "halt")
+        sim = _system(program)
+        assert run_to_halt(sim, [sim.instance("core")], max_cycles=100)
+        # 11 instructions from the internal I-ROM: ~1 per cycle.
+        assert sim.now <= 13
+
+    def test_memory_latency_slows_execution(self):
+        program = programs.assemble_named("vector_sum", words=8)
+        init = {64 + i: 1 for i in range(8)}
+        fast = _system(program, mem_latency=1, init=dict(init))
+        slow = _system(program, mem_latency=8, init=dict(init))
+        run_to_halt(fast, [fast.instance("core")])
+        run_to_halt(slow, [slow.instance("core")])
+        assert slow.now > fast.now
+
+    def test_stats_classified(self):
+        program = programs.assemble_named("memcpy", words=4)
+        sim = _system(program, init={64 + i: 1 for i in range(4)})
+        run_to_halt(sim, [sim.instance("core")])
+        assert sim.stats.counter("core", "mem_reads") == 4
+        assert sim.stats.counter("core", "mem_writes") == 4
+
+    def test_halted_hook_fires_once(self):
+        fired = []
+        spec = LSS("hook")
+        core = spec.instance("core", SimpleCore,
+                             program=assemble("halt"),
+                             halted_hook=lambda c: fired.append(c.path))
+        mem = spec.instance("mem", MemoryArray, size=64)
+        spec.connect(core.port("dmem_req"), mem.port("req"))
+        spec.connect(mem.port("resp"), core.port("dmem_resp"))
+        sim = build_simulator(spec)
+        sim.run(10)
+        assert fired == ["core"]
+
+
+class TestPortFetch:
+    def test_fetch_through_ports_when_no_irom(self, engine):
+        """Without an internal program, fetches go out on imem ports."""
+        program = programs.assemble_named("sum_to_n", n=5)
+        golden = FunctionalEmulator(program).run()
+        spec = LSS("pf")
+        core = spec.instance("core", SimpleCore, program=None)
+        imem = spec.instance("imem", MemoryArray, size=256,
+                             init=program.words())
+        dmem = spec.instance("dmem", MemoryArray, size=256)
+        spec.connect(core.port("imem_req"), imem.port("req"))
+        spec.connect(imem.port("resp"), core.port("imem_resp"))
+        spec.connect(core.port("dmem_req"), dmem.port("req"))
+        spec.connect(dmem.port("resp"), core.port("dmem_resp"))
+        sim = build_simulator(spec, engine=engine)
+        assert run_to_halt(sim, [sim.instance("core")], max_cycles=2000)
+        assert sim.instance("core").state.regs[10] == golden.regs[10]
+        assert sim.stats.counter("core", "fetches") == golden.instret

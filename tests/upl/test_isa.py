@@ -1,0 +1,128 @@
+"""Unit + property tests for the LibertyRISC ISA definition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import FirmwareError
+from repro.upl.isa import (ALU_OPS, BRANCH_OPS, FORMATS, Instruction,
+                           LOAD_OPS, OPCODES, Program, STORE_OPS, decode,
+                           encode, sign_extend16, to_signed32,
+                           to_unsigned32)
+
+
+class TestNumerics:
+    def test_sign_extend16(self):
+        assert sign_extend16(0x7FFF) == 32767
+        assert sign_extend16(0x8000) == -32768
+        assert sign_extend16(0xFFFF) == -1
+        assert sign_extend16(5) == 5
+
+    def test_to_signed32(self):
+        assert to_signed32(0x7FFF_FFFF) == 2**31 - 1
+        assert to_signed32(0x8000_0000) == -(2**31)
+        assert to_signed32(-1) == -1
+        assert to_signed32(2**32 + 3) == 3
+
+    def test_to_unsigned32(self):
+        assert to_unsigned32(-1) == 0xFFFF_FFFF
+        assert to_unsigned32(2**32) == 0
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(FirmwareError):
+            Instruction("frobnicate")
+
+    def test_register_range_checked(self):
+        with pytest.raises(FirmwareError):
+            Instruction("add", rd=32)
+
+    def test_writes_reg_classification(self):
+        assert Instruction("add", rd=3, rs1=1, rs2=2).writes_reg == 3
+        assert Instruction("add", rd=0, rs1=1, rs2=2).writes_reg is None
+        assert Instruction("sw", rs1=1, rs2=2).writes_reg is None
+        assert Instruction("beq", rs1=1, rs2=2).writes_reg is None
+        assert Instruction("jal", rd=31, imm=4).writes_reg == 31
+        assert Instruction("lw", rd=4, rs1=1).writes_reg == 4
+
+    def test_reads_regs_classification(self):
+        assert Instruction("add", rd=3, rs1=1, rs2=2).reads_regs == (1, 2)
+        assert Instruction("addi", rd=3, rs1=1).reads_regs == (1,)
+        assert Instruction("add", rd=3, rs1=0, rs2=2).reads_regs == (2,)
+        assert Instruction("halt").reads_regs == ()
+        assert Instruction("ecall").reads_regs == (10, 17)
+
+    def test_predicates(self):
+        assert Instruction("lw", rd=1, rs1=2).is_load
+        assert Instruction("sw", rs1=2, rs2=1).is_store
+        assert Instruction("beq", rs1=1, rs2=2).is_branch
+        assert Instruction("lw", rd=1, rs1=2).is_mem
+        assert not Instruction("add", rd=1, rs1=2, rs2=3).is_mem
+
+    def test_repr_forms(self):
+        assert "add r1, r2, r3" in repr(Instruction("add", rd=1, rs1=2,
+                                                    rs2=3))
+        assert "sw r2, 4(r1)" in repr(Instruction("sw", rs1=1, rs2=2,
+                                                  imm=4))
+        assert repr(Instruction("halt")) == "halt"
+
+    def test_opcode_table_consistent(self):
+        assert len(OPCODES) == len(FORMATS)
+        groups = ALU_OPS | BRANCH_OPS | LOAD_OPS | STORE_OPS \
+            | {"halt", "ecall"}
+        assert groups == set(OPCODES)
+
+
+_REG = st.integers(0, 31)
+_IMM = st.integers(-(2**15), 2**15 - 1)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(sorted(OPCODES)))
+    fmt = FORMATS[op]
+    if fmt == "R":
+        return Instruction(op, rd=draw(_REG), rs1=draw(_REG),
+                           rs2=draw(_REG))
+    if fmt == "I":
+        return Instruction(op, rd=draw(_REG), rs1=draw(_REG),
+                           imm=draw(_IMM))
+    if fmt == "B":
+        return Instruction(op, rs1=draw(_REG), rs2=draw(_REG),
+                           imm=draw(_IMM))
+    if fmt == "J":
+        return Instruction(op, rd=draw(_REG), imm=draw(_IMM))
+    return Instruction(op)
+
+
+class TestEncoding:
+    @settings(max_examples=300, deadline=None)
+    @given(inst=instructions())
+    def test_encode_decode_roundtrip(self, inst):
+        word = encode(inst)
+        assert 0 <= word < 2**32
+        assert decode(word) == inst
+
+    def test_method_matches_function(self):
+        inst = Instruction("addi", rd=1, rs1=2, imm=-7)
+        assert inst.encode() == encode(inst)
+
+    def test_illegal_opcode_decode_rejected(self):
+        with pytest.raises(FirmwareError):
+            decode(0x3F << 26)
+
+    def test_instruction_hash_eq(self):
+        a = Instruction("add", rd=1, rs1=2, rs2=3)
+        b = Instruction("add", rd=1, rs1=2, rs2=3)
+        assert a == b and hash(a) == hash(b)
+        assert a != Instruction("sub", rd=1, rs1=2, rs2=3)
+
+
+class TestProgram:
+    def test_words_encodes_all(self):
+        prog = Program([Instruction("nop"), Instruction("halt")],
+                       data={4: 9}, symbols={"start": 0})
+        assert len(prog.words()) == 2
+        assert prog.data[4] == 9
+        assert len(prog) == 2
+        assert "2 insts" in repr(prog)

