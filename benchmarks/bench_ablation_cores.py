@@ -5,6 +5,11 @@ SimpleCore, the five-stage in-order pipeline, and the out-of-order
 core — all validated against the same functional emulator.  This bench
 produces the classic comparison table (cycles per program per core)
 and the superscalar scaling curve.
+
+The sweeps are driven through :mod:`repro.campaign`: each (core,
+program) cell is one campaign point, the run function returns metrics,
+and the table/curve are read back out of the campaign-level aggregate —
+the managed-experiment shape the paper's §2.1/§2.2 reuse story implies.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro import LSS, build_simulator
+from repro.campaign import Campaign, GridSweep
 from repro.pcl import MemoryArray
 from repro.upl import (BimodalPredictor, FunctionalEmulator, InOrderPipeline,
                        OoOCore, SimpleCore, programs)
@@ -53,11 +59,13 @@ def _run_pipeline(program):
     return sim.now, sim.instance("cpu/rf").read_reg(10)
 
 
-def _run_ooo(program, n_alu=1):
+def _run_ooo(program, n_alu=1, latency_of=None):
     box = []
     spec = LSS("ooo")
+    extra = {} if latency_of is None else {"latency_of": latency_of}
     core = spec.instance("core", OoOCore, program=program, n_alu=n_alu,
-                         window_depth=16, rob_depth=32, shared_out=box)
+                         window_depth=16, rob_depth=32, shared_out=box,
+                         **extra)
     _attach_mem(spec, core)
     sim = build_simulator(spec, engine="levelized")
     for _ in range(100_000):
@@ -67,67 +75,107 @@ def _run_ooo(program, n_alu=1):
     return sim.now, box[0].regs[10]
 
 
-def test_core_comparison_table(benchmark):
+def run_core_point(core: str, program: str, iters=None, **asm_kw):
+    """Campaign run target: one (core model, program) cell.
+
+    Returns the cycle count and the program's result register — the
+    metrics the campaign aggregates into the comparison table.
+    """
+    if iters is not None:
+        asm_kw["iters"] = iters
+    binary = programs.assemble_named(program, **asm_kw)
+    if core == "simple":
+        cycles, a0 = _run_simplecore(binary)
+    elif core == "inorder":
+        cycles, a0 = _run_pipeline(binary)
+    elif core.startswith("ooo"):
+        cycles, a0 = _run_ooo(binary, n_alu=int(core[3:]))
+    else:
+        raise ValueError(f"unknown core model {core!r}")
+    return {"cycles": cycles, "a0": a0}
+
+
+def _golden(program, **asm_kw):
+    emu = FunctionalEmulator(programs.assemble_named(program, **asm_kw))
+    for addr, value in INIT.items():
+        emu.memory.write(addr, value)
+    return emu.run().regs[10]
+
+
+PROGRAMS = ("sum_to_n", "fibonacci", "sieve", "ilp_chains")
+CORES = ("simple", "inorder", "ooo1", "ooo2")
+
+
+def test_core_comparison_table(benchmark, tmp_path):
+    campaign = Campaign(
+        "core-table",
+        GridSweep({"program": list(PROGRAMS), "core": list(CORES)}),
+        target=run_core_point, kind="fn", seed_key=None, workers=0,
+        retries=0, ledger_path=str(tmp_path / "core-table.jsonl"))
     benchmark.pedantic(
-        lambda: _run_ooo(programs.assemble_named("sum_to_n")),
-        rounds=1, iterations=1)
+        lambda: run_core_point("ooo1", "sum_to_n"), rounds=1, iterations=1)
+    result = campaign.run()
+    assert not result.failed
+
     print("\n[ABL-CORE] program      golden_a0  simple  inorder  ooo1  ooo2")
-    for name in ("sum_to_n", "fibonacci", "sieve", "ilp_chains"):
-        program = programs.assemble_named(name)
-        emu = FunctionalEmulator(program)
-        for addr, value in INIT.items():
-            emu.memory.write(addr, value)
-        golden = emu.run()
-        rows = {}
-        rows["simple"], a0_s = _run_simplecore(program)
-        rows["inorder"], a0_p = _run_pipeline(program)
-        rows["ooo1"], a0_1 = _run_ooo(program, 1)
-        rows["ooo2"], a0_2 = _run_ooo(program, 2)
-        assert a0_s == a0_p == a0_1 == a0_2 == golden.regs[10]
-        print(f"           {name:12s} {golden.regs[10]:9d}  "
-              f"{rows['simple']:6d}  {rows['inorder']:7d}  "
-              f"{rows['ooo1']:4d}  {rows['ooo2']:4d}")
+    for name in PROGRAMS:
+        golden = _golden(name)
+        rows = {r.params["core"]: r for r in result.done
+                if r.params["program"] == name}
+        assert set(rows) == set(CORES)
+        for core in CORES:
+            assert rows[core].metric("a0") == golden, (name, core)
+        print(f"           {name:12s} {golden:9d}  "
+              f"{rows['simple'].metric('cycles'):6d}  "
+              f"{rows['inorder'].metric('cycles'):7d}  "
+              f"{rows['ooo1'].metric('cycles'):4d}  "
+              f"{rows['ooo2'].metric('cycles'):4d}")
 
 
-def test_ooo_beats_inorder_on_ilp(benchmark):
+def test_ooo_beats_inorder_on_ilp(benchmark, tmp_path):
     benchmark.pedantic(
-        lambda: _run_ooo(programs.assemble_named("ilp_chains", iters=16), 2),
+        lambda: run_core_point("ooo2", "ilp_chains", iters=16),
         rounds=1, iterations=1)
-    program = programs.assemble_named("ilp_chains", iters=16)
-    inorder, _ = _run_pipeline(program)
-    ooo2, _ = _run_ooo(program, 2)
-    print(f"\n[ABL-CORE] ilp_chains: in-order {inorder} cycles, "
-          f"OoO(2 ALU) {ooo2} cycles ({inorder / ooo2:.2f}x)")
+    campaign = Campaign(
+        "ilp-duel",
+        GridSweep({"core": ["inorder", "ooo2"], "program": ["ilp_chains"],
+                   "iters": [16]}),
+        target=run_core_point, kind="fn", seed_key=None, workers=0,
+        retries=0, ledger_path=str(tmp_path / "ilp-duel.jsonl"))
+    result = campaign.run()
+    assert not result.failed
+    by_core = result.group_by("core", "cycles")
+    inorder, ooo2 = by_core["inorder"], by_core["ooo2"]
+    print(f"\n[ABL-CORE] ilp_chains: in-order {inorder:g} cycles, "
+          f"OoO(2 ALU) {ooo2:g} cycles ({inorder / ooo2:.2f}x)")
     assert ooo2 < inorder
 
 
-def test_superscalar_scaling_curve(benchmark):
-    def slow_mul(inst):
-        return 4 if inst.op == "mul" else 1
+def _slow_mul(inst):
+    return 4 if inst.op == "mul" else 1
 
-    def run(n_alu):
-        box = []
-        spec = LSS("scal")
-        core = spec.instance("core", OoOCore,
-                             program=programs.assemble_named("ilp_chains",
-                                                             iters=16),
-                             n_alu=n_alu, window_depth=16, rob_depth=32,
-                             latency_of=slow_mul, shared_out=box)
-        _attach_mem(spec, core)
-        sim = build_simulator(spec, engine="levelized")
-        for _ in range(100_000):
-            sim.step()
-            if box[0].halted:
-                break
-        return sim.now
 
-    benchmark.pedantic(lambda: run(2), rounds=1, iterations=1)
+def run_scaling_point(n_alu: int):
+    """Campaign run target for the superscalar scaling curve."""
+    binary = programs.assemble_named("ilp_chains", iters=16)
+    cycles, _ = _run_ooo(binary, n_alu=n_alu, latency_of=_slow_mul)
+    return {"cycles": cycles}
+
+
+def test_superscalar_scaling_curve(benchmark, tmp_path):
+    benchmark.pedantic(lambda: run_scaling_point(2), rounds=1, iterations=1)
+    campaign = Campaign(
+        "superscalar",
+        GridSweep({"n_alu": [1, 2, 3, 4]}),
+        target=run_scaling_point, kind="fn", seed_key=None, workers=0,
+        retries=0, ledger_path=str(tmp_path / "superscalar.jsonl"))
+    result = campaign.run()
+    assert not result.failed
+    curve = result.group_by("n_alu", "cycles")
+    base = curve[1]
     print("\n[ABL-CORE] n_alu  cycles  speedup")
-    base = run(1)
-    cycles = [base]
-    for n_alu in (2, 3, 4):
-        cycles.append(run(n_alu))
-    for n_alu, value in zip((1, 2, 3, 4), cycles):
-        print(f"           {n_alu:5d}  {value:6d}  {base / value:6.2f}x")
-    assert cycles[1] < cycles[0]          # a second ALU helps
-    assert cycles[3] <= cycles[1]         # and it saturates, not regresses
+    for n_alu in (1, 2, 3, 4):
+        print(f"           {n_alu:5d}  {curve[n_alu]:6g}  "
+              f"{base / curve[n_alu]:6.2f}x")
+    assert curve[2] < curve[1]          # a second ALU helps
+    assert curve[4] <= curve[2]         # and it saturates, not regresses

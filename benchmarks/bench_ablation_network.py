@@ -3,7 +3,9 @@ arbitration policy.
 
 These are the parameter studies LSE's customization model makes
 one-liners: each variant differs from the baseline by a single
-algorithmic or value parameter, never by module code.
+algorithmic or value parameter, never by module code.  Each study is
+expressed as a :mod:`repro.campaign` sweep — the run function returns
+per-variant metrics and the assertions read the campaign aggregate.
 """
 
 from __future__ import annotations
@@ -11,8 +13,12 @@ from __future__ import annotations
 import pytest
 
 from repro import LSS, build_simulator
+from repro.campaign import Campaign, GridSweep
 from repro.ccl import Mesh, attach_traffic, build_mesh_network
 from repro.pcl import oldest_first, round_robin, fixed_priority
+
+_POLICIES = {"fixed_priority": fixed_priority, "round_robin": round_robin,
+             "oldest_first": oldest_first}
 
 
 def _mesh_run(*, routing="xy", depth=4, policy=round_robin, rate=0.3,
@@ -36,51 +42,72 @@ def _mesh_run(*, routing="xy", depth=4, policy=round_robin, rate=0.3,
     }
 
 
-def test_routing_function_ablation(benchmark):
+def run_mesh_point(policy="round_robin", **kw):
+    """Campaign run target: one mesh variant (policy named, not callable,
+    so sweep parameters stay JSON-serializable in the ledger)."""
+    return _mesh_run(policy=_POLICIES[policy], **kw)
+
+
+def _sweep(name, tmp_path, grid, **fixed):
+    """Drive one ablation grid through a campaign and return the result."""
+    campaign = Campaign(
+        name, GridSweep(grid),
+        target=lambda **params: run_mesh_point(**fixed, **params),
+        kind="fn", seed_key=None, workers=0, retries=0,
+        ledger_path=str(tmp_path / f"{name}.jsonl"))
+    result = campaign.run()
+    assert not result.failed
+    return result
+
+
+def test_routing_function_ablation(benchmark, tmp_path):
     """XY vs YX dimension-ordered routing: both deliver everything
     correctly; under transpose traffic their link usage mirrors."""
     benchmark.pedantic(lambda: _mesh_run(routing="xy", cycles=100),
                        rounds=1, iterations=1)
+    result = _sweep("routing-ablation", tmp_path,
+                    {"routing": ["xy", "yx"],
+                     "pattern": ["uniform", "transpose"]},
+                    rate=0.15)
     print("\n[ABL-NET] routing  pattern    ejected  mean_latency")
-    for routing in ("xy", "yx"):
-        for pattern in ("uniform", "transpose"):
-            result = _mesh_run(routing=routing, pattern=pattern,
-                               rate=0.15)
-            assert result["misrouted"] == 0
-            print(f"          {routing:7s}  {pattern:9s}  "
-                  f"{result['ejected']:7g}  "
-                  f"{result['mean_latency']:12.2f}")
+    for row in result.done:
+        assert row.metric("misrouted") == 0
+        print(f"          {row.params['routing']:7s}  "
+              f"{row.params['pattern']:9s}  "
+              f"{row.metric('ejected'):7g}  "
+              f"{row.metric('mean_latency'):12.2f}")
 
 
-def test_buffer_depth_ablation(benchmark):
+def test_buffer_depth_ablation(benchmark, tmp_path):
     """Deeper router buffers absorb burstiness: throughput at high load
     must not decrease with depth."""
     benchmark.pedantic(lambda: _mesh_run(depth=4, cycles=100),
                        rounds=1, iterations=1)
+    result = _sweep("depth-ablation", tmp_path,
+                    {"depth": [1, 2, 4, 8]}, rate=0.4)
+    ejected = result.group_by("depth", "ejected")
     print("\n[ABL-NET] depth  ejected  mean_latency")
-    ejected = []
+    latency = result.group_by("depth", "mean_latency")
     for depth in (1, 2, 4, 8):
-        result = _mesh_run(depth=depth, rate=0.4)
-        ejected.append(result["ejected"])
-        print(f"          {depth:5d}  {result['ejected']:7g}  "
-              f"{result['mean_latency']:12.2f}")
-    assert ejected[-1] >= ejected[0]
+        print(f"          {depth:5d}  {ejected[depth]:7g}  "
+              f"{latency[depth]:12.2f}")
+    assert ejected[8] >= ejected[1]
 
 
-def test_arbitration_policy_ablation(benchmark):
+def test_arbitration_policy_ablation(benchmark, tmp_path):
     """Under hotspot contention, round-robin/oldest-first keep serving
     everyone; fixed priority is legal but unfair.  All conserve
     packets."""
     benchmark.pedantic(
         lambda: _mesh_run(policy=round_robin, cycles=100),
         rounds=1, iterations=1)
+    result = _sweep("policy-ablation", tmp_path,
+                    {"policy": list(_POLICIES)},
+                    pattern="hotspot", hotspot=(3, 3), rate=0.25)
     print("\n[ABL-NET] policy          ejected  mean_latency")
-    for name, policy in (("fixed_priority", fixed_priority),
-                         ("round_robin", round_robin),
-                         ("oldest_first", oldest_first)):
-        result = _mesh_run(policy=policy, pattern="hotspot",
-                           hotspot=(3, 3), rate=0.25)
-        assert result["misrouted"] == 0
-        assert result["ejected"] > 0
-        print(f"          {name:14s}  {result['ejected']:7g}  "
-              f"{result['mean_latency']:12.2f}")
+    for row in result.done:
+        assert row.metric("misrouted") == 0
+        assert row.metric("ejected") > 0
+        print(f"          {row.params['policy']:14s}  "
+              f"{row.metric('ejected'):7g}  "
+              f"{row.metric('mean_latency'):12.2f}")

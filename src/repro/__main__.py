@@ -1,14 +1,22 @@
-"""Command-line entry point: run a textual LSS file.
+"""Command-line entry point.
 
-Usage::
+Two subcommands::
 
-    python -m repro SPEC.lss [--cycles N] [--engine worklist|levelized|codegen]
-                             [--stats PREFIX] [--dot FILE] [--seed N]
+    python -m repro run SPEC.lss [--cycles N] [--engine ...] [--stats P]
+                                 [--dot FILE] [--seed N] [--activity]
+                                 [--vcd FILE]
+    python -m repro campaign [SPEC.lss] --grid inst.param=v1,v2,...
+                                 [--workers N] [--resume] [--report] ...
 
-Parses the specification against the full shipped library environment
-(:func:`repro.library_env`), constructs the simulator, runs it, and
-prints the statistics report — the paper's Figure-1 pipeline as a
-shell command.
+``run`` parses the specification against the full shipped library
+environment (:func:`repro.library_env`), constructs the simulator, runs
+it, and prints the statistics report — the paper's Figure-1 pipeline as
+a shell command.  ``campaign`` drives a parameter sweep over a spec as
+a parallel, resumable experiment campaign (see :mod:`repro.campaign`).
+
+For backward compatibility, ``python -m repro SPEC.lss ...`` (no
+subcommand) is interpreted as ``run``.  Framework errors exit with
+code 2 and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
@@ -16,14 +24,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import build_simulator, library_env, parse_lss
+from . import __version__, build_simulator, library_env, parse_lss
+from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
+_SUBCOMMANDS = ("run", "campaign")
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Construct and run a simulator from a textual LSS file.")
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "run", help="construct and run a simulator from a textual LSS file")
     parser.add_argument("spec", help="path to the .lss specification")
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
@@ -39,8 +49,9 @@ def main(argv=None) -> int:
                         help="print the hottest wires after the run")
     parser.add_argument("--vcd", default=None,
                         help="dump a VCD waveform of every wire")
-    args = parser.parse_args(argv)
 
+
+def _run_command(args) -> int:
     with open(args.spec) as handle:
         text = handle.read()
     spec = parse_lss(text, library_env())
@@ -64,6 +75,39 @@ def main(argv=None) -> int:
     if args.activity:
         print(activity_report(sim))
     return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: `python -m repro SPEC.lss ...` means `run`.
+    if argv and argv[0] not in _SUBCOMMANDS and argv[0] not in (
+            "-h", "--help", "--version"):
+        argv.insert(0, "run")
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="The Liberty Simulation Environment, reproduced: run "
+                    "one simulator or a whole experiment campaign.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    from .campaign.cli import add_campaign_parser, run_campaign_command
+    add_campaign_parser(subparsers)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _run_command(args)
+        return run_campaign_command(args)
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) went away mid-report; not our error.
+        return 0
+    except (LibertyError, OSError) as exc:
+        detail = str(exc).strip()
+        first_line = detail.splitlines()[0] if detail else "(no detail)"
+        print(f"error: {type(exc).__name__}: {first_line}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,166 @@
+"""Campaign-level result aggregation.
+
+Each completed run ships back a flat metrics dict (for simulator runs,
+the engine's :meth:`StatsRegistry.summary_dict` plus ``cycles`` and
+``transfers``).  :class:`CampaignResult` collects those per-point rows
+into one table with the sweep parameters attached, supports metric
+lookup by dotted path, per-parameter grouping with reductions, and an
+aligned text report — the cross-run analogue of a single simulator's
+``stats.report()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .errors import CampaignError
+
+_REDUCERS: Dict[str, Callable[[List[float]], float]] = {
+    "mean": lambda xs: sum(xs) / len(xs),
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": len,
+}
+
+
+@dataclass
+class RunRow:
+    """One sweep point's terminal record inside a campaign table."""
+
+    run_id: str
+    index: int
+    params: Dict[str, Any]
+    seed: int
+    status: str                          # done | failed | pending
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    duration: Optional[float] = None
+
+    def metric(self, name: str, default: Any = None) -> Any:
+        """Look up ``name`` in the result.
+
+        Plain names search the top level and then the nested ``stats``
+        summary; ``"stats.snk:consumed"`` style dotted paths descend
+        explicitly.  Histogram summaries resolve to their mean.
+        """
+        if self.result is None:
+            return default
+        value: Any = self.result
+        for part in name.split("."):
+            if not isinstance(value, dict) or part not in value:
+                value = None
+                break
+            value = value[part]
+        if value is None:
+            stats = self.result.get("stats")
+            if isinstance(stats, dict) and name in stats:
+                value = stats[name]
+        if isinstance(value, dict) and "mean" in value:
+            return value["mean"]
+        return default if value is None else value
+
+
+class CampaignResult:
+    """The collected table of a campaign's runs."""
+
+    def __init__(self, name: str, rows: Sequence[RunRow]):
+        self.name = name
+        self.rows: List[RunRow] = sorted(rows, key=lambda r: r.index)
+
+    # -- selection -------------------------------------------------------
+    @property
+    def done(self) -> List[RunRow]:
+        return [r for r in self.rows if r.status == "done"]
+
+    @property
+    def failed(self) -> List[RunRow]:
+        return [r for r in self.rows if r.status == "failed"]
+
+    def row(self, run_id: str) -> RunRow:
+        for r in self.rows:
+            if r.run_id == run_id:
+                return r
+        raise CampaignError(f"campaign {self.name!r} has no run {run_id!r}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- reductions ------------------------------------------------------
+    def metrics(self, name: str) -> Dict[str, Any]:
+        """``run_id -> metric`` over completed runs."""
+        return {r.run_id: r.metric(name) for r in self.done}
+
+    def group_by(self, param: str, metric: str,
+                 agg: str = "mean") -> Dict[Any, float]:
+        """Reduce ``metric`` over completed runs grouped by ``param``.
+
+        The campaign-level ablation view: one reduced value per distinct
+        sweep value of ``param``, e.g. mean ejected packets per buffer
+        depth across whatever the other axes swept.
+        """
+        try:
+            reduce = _REDUCERS[agg]
+        except KeyError:
+            raise CampaignError(
+                f"unknown aggregation {agg!r}; "
+                f"expected one of {sorted(_REDUCERS)}") from None
+        groups: Dict[Any, List[float]] = {}
+        for r in self.done:
+            if param not in r.params:
+                raise CampaignError(
+                    f"run {r.run_id} has no sweep parameter {param!r} "
+                    f"(params: {sorted(r.params)})")
+            value = r.metric(metric)
+            if value is None:
+                continue
+            groups.setdefault(r.params[param], []).append(float(value))
+        return {k: reduce(v) for k, v in sorted(groups.items(),
+                                                key=lambda kv: repr(kv[0]))}
+
+    # -- reporting -------------------------------------------------------
+    def table(self, metrics: Sequence[str] = ()) -> str:
+        """Aligned text table: one row per point, params + chosen metrics."""
+        param_names: List[str] = []
+        for r in self.rows:
+            for name in r.params:
+                if name not in param_names:
+                    param_names.append(name)
+        headers = (["run_id", "status"] + param_names
+                   + list(metrics) + ["attempts", "duration"])
+        body: List[List[str]] = []
+        for r in self.rows:
+            cells = [r.run_id, r.status]
+            cells += [_fmt(r.params.get(p)) for p in param_names]
+            cells += [_fmt(r.metric(m)) for m in metrics]
+            cells.append(str(r.attempts))
+            cells.append("-" if r.duration is None else f"{r.duration:.2f}s")
+            body.append(cells)
+        widths = [max(len(h), *(len(row[i]) for row in body)) if body else len(h)
+                  for i, h in enumerate(headers)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        done, failed = len(self.done), len(self.failed)
+        other = len(self.rows) - done - failed
+        parts = [f"{done} done", f"{failed} failed"]
+        if other:
+            parts.append(f"{other} pending")
+        return f"campaign {self.name!r}: {len(self.rows)} points ({', '.join(parts)})"
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:g}"
+    return str(value)

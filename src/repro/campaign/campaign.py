@@ -1,0 +1,213 @@
+"""The campaign orchestrator: sweep → executor → ledger → aggregate.
+
+A :class:`Campaign` binds a parameter sweep to a run target and drives
+every point through the executor while journaling each lifecycle event
+to the JSONL ledger.  Interrupt it — Ctrl-C, SIGKILL, power loss — and
+``run(resume=True)`` (or ``python -m repro campaign --resume``) replays
+the ledger, verifies the sweep fingerprint, and executes only the
+points without a recorded ``done`` event; completed points are fed into
+the final table from the journal, not re-run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .aggregate import CampaignResult, RunRow
+from .errors import CampaignError
+from .executor import InlineExecutor, ProcessExecutor, RunOutcome, RunTask
+from .ledger import Ledger, LedgerState
+from .sweep import Sweep, SweepPoint
+
+
+class Campaign:
+    """A managed family of runs over one sweep.
+
+    Parameters
+    ----------
+    name:
+        Campaign label (reports, checkpoint directory naming).
+    sweep:
+        The :class:`~repro.campaign.sweep.Sweep` to materialize.
+    target:
+        Run payload — a callable or ``"pkg.mod:attr"`` path.  Its
+        meaning depends on ``kind`` (see
+        :mod:`repro.campaign.executor`): ``"fn"`` returns metrics
+        directly, ``"spec"`` returns an LSS the campaign simulates,
+        ``"lss"`` takes the textual spec in ``lss_text`` instead.
+    seed_key:
+        For ``kind="fn"``: inject each point's seed into the params
+        under this key (``None`` to disable).  Simulator kinds feed the
+        seed to the engine instead.
+    workers / timeout / retries / backoff:
+        Executor envelope; ``workers=0`` selects the serial in-process
+        :class:`InlineExecutor` (no kill-based timeout).
+    checkpoint_every / checkpoint_dir:
+        Simulator kinds snapshot engine state every N cycles, so a
+        retried attempt resumes from the last snapshot.
+    ledger_path:
+        JSONL journal location; default ``<name>.campaign.jsonl``.
+    """
+
+    def __init__(self, name: str, sweep: Sweep,
+                 target: Union[str, Callable, None] = None, *,
+                 kind: str = "fn", lss_text: Optional[str] = None,
+                 engine: str = "levelized", cycles: int = 1000,
+                 seed_key: Optional[str] = "seed",
+                 workers: int = 2, timeout: Optional[float] = None,
+                 retries: int = 1, backoff: float = 0.25,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None,
+                 ledger_path: Optional[str] = None):
+        if kind not in ("fn", "spec", "lss"):
+            raise CampaignError(
+                f"kind must be 'fn', 'spec' or 'lss', got {kind!r}")
+        if kind == "lss" and lss_text is None:
+            raise CampaignError("kind='lss' requires lss_text")
+        if kind != "lss" and target is None:
+            raise CampaignError(f"kind={kind!r} requires a target")
+        self.name = name
+        self.sweep = sweep
+        self.target = target
+        self.kind = kind
+        self.lss_text = lss_text
+        self.engine = engine
+        self.cycles = cycles
+        self.seed_key = seed_key
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
+        if checkpoint_every is not None and checkpoint_dir is None:
+            self.checkpoint_dir = f"{name}.checkpoints"
+        self.ledger_path = ledger_path or f"{name}.campaign.jsonl"
+
+    # ------------------------------------------------------------------
+    def _task_for(self, point: SweepPoint) -> RunTask:
+        params = dict(point.params)
+        if self.kind == "fn" and self.seed_key is not None:
+            params.setdefault(self.seed_key, point.seed)
+        return RunTask(run_id=point.run_id, index=point.index, params=params,
+                       seed=point.seed, target=self.target, kind=self.kind,
+                       engine=self.engine, cycles=self.cycles,
+                       lss_text=self.lss_text,
+                       checkpoint_dir=self.checkpoint_dir,
+                       checkpoint_every=self.checkpoint_every)
+
+    def _executor(self):
+        if self.workers == 0:
+            return InlineExecutor(retries=self.retries, backoff=self.backoff)
+        return ProcessExecutor(workers=self.workers, timeout=self.timeout,
+                               retries=self.retries, backoff=self.backoff)
+
+    # ------------------------------------------------------------------
+    def run(self, resume: bool = False,
+            progress: Optional[Callable[[str], None]] = None) -> CampaignResult:
+        """Execute the campaign (or its remainder) and aggregate results."""
+        points = self.sweep.points()
+        fingerprint = self.sweep.fingerprint()
+        previous: Dict[str, RunOutcome] = {}
+
+        if resume:
+            state = Ledger.load(self.ledger_path)
+            if state.fingerprint != fingerprint:
+                raise CampaignError(
+                    f"ledger {self.ledger_path!r} records a different "
+                    f"campaign (fingerprint {state.fingerprint} != "
+                    f"{fingerprint}); refusing to resume")
+            for run in state.runs.values():
+                if run.status == "done":
+                    previous[run.run_id] = RunOutcome(
+                        run.run_id, "done", result=run.result,
+                        attempts=run.attempts,
+                        duration=run.duration or 0.0)
+        elif os.path.exists(self.ledger_path):
+            existing = Ledger.load(self.ledger_path)
+            if existing.runs and existing.fingerprint == fingerprint:
+                raise CampaignError(
+                    f"ledger {self.ledger_path!r} already holds this "
+                    f"campaign ({existing.summary()}); pass resume=True to "
+                    f"continue it or remove the file to restart")
+
+        todo = [p for p in points if p.run_id not in previous]
+        if progress:
+            progress(f"{self.name}: {len(points)} points, "
+                     f"{len(previous)} already done, {len(todo)} to run")
+
+        ledger = Ledger(self.ledger_path).open(append=resume)
+        try:
+            if not resume:
+                ledger.record({"event": "campaign", "name": self.name,
+                               "fingerprint": fingerprint,
+                               "points": len(points),
+                               "meta": {"kind": self.kind,
+                                        "engine": self.engine,
+                                        "cycles": self.cycles,
+                                        "target": _target_name(self.target),
+                                        "workers": self.workers}})
+                for point in points:
+                    ledger.record({"event": "point", "run_id": point.run_id,
+                                   "index": point.index,
+                                   "params": point.params,
+                                   "seed": point.seed})
+
+            def journal(event: Dict[str, Any]) -> None:
+                ledger.record(event)
+                if progress and event["event"] in ("done", "failed", "gave_up"):
+                    progress(f"  {event['run_id']}: {event['event']}"
+                             + (f" ({event.get('error')})"
+                                if event["event"] == "failed" else ""))
+
+            outcomes = (self._executor().run([self._task_for(p) for p in todo],
+                                             callback=journal)
+                        if todo else [])
+        finally:
+            ledger.close()
+
+        by_id = dict(previous)
+        by_id.update({o.run_id: o for o in outcomes})
+        return self._result(points, by_id)
+
+    def _result(self, points: Sequence[SweepPoint],
+                by_id: Dict[str, RunOutcome]) -> CampaignResult:
+        rows = []
+        for point in points:
+            outcome = by_id.get(point.run_id)
+            if outcome is None:
+                rows.append(RunRow(point.run_id, point.index, point.params,
+                                   point.seed, "pending"))
+            else:
+                rows.append(RunRow(point.run_id, point.index, point.params,
+                                   point.seed, outcome.status,
+                                   result=outcome.result, error=outcome.error,
+                                   attempts=outcome.attempts,
+                                   duration=outcome.duration))
+        return CampaignResult(self.name, rows)
+
+    # ------------------------------------------------------------------
+    def report(self) -> CampaignResult:
+        """Aggregate from the ledger alone, without executing anything."""
+        state = Ledger.load(self.ledger_path)
+        return result_from_ledger(self.name, state)
+
+
+def result_from_ledger(name: str, state: LedgerState) -> CampaignResult:
+    """Build a :class:`CampaignResult` purely from a replayed journal."""
+    rows = []
+    for run in state.runs.values():
+        rows.append(RunRow(run.run_id, run.index, run.params, run.seed,
+                           "pending" if run.status == "running" else run.status,
+                           result=run.result, error=run.error,
+                           attempts=run.attempts, duration=run.duration))
+    return CampaignResult(name, rows)
+
+
+def _target_name(target: Union[str, Callable, None]) -> Optional[str]:
+    if target is None or isinstance(target, str):
+        return target
+    mod = getattr(target, "__module__", "?")
+    qual = getattr(target, "__qualname__", repr(target))
+    return f"{mod}:{qual}"

@@ -1,0 +1,15 @@
+"""Errors raised by the campaign subsystem.
+
+Deriving from :class:`~repro.core.errors.LibertyError` keeps the CLI's
+single catch-all working: a malformed sweep, a fingerprint mismatch on
+resume, or a corrupt ledger all exit with code 2 and a one-line
+message, like every other framework error.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LibertyError
+
+
+class CampaignError(LibertyError):
+    """A campaign definition, ledger, or resume request is invalid."""

@@ -1,0 +1,161 @@
+"""Parameter sweeps: the experiment-frame side of a campaign.
+
+A *sweep* materializes a parameter space into a list of
+:class:`SweepPoint` objects — one independent run each, with a stable
+``run_id`` (derived from the point's parameters, so resume matches
+points across invocations) and its own decorrelated seed (derived from
+the campaign base seed through :class:`numpy.random.SeedSequence`
+spawning, the same discipline training sweeps use).
+
+Two materializations are provided:
+
+* :class:`GridSweep` — the full cross product of per-parameter value
+  lists, in deterministic order (first parameter varies slowest);
+* :class:`RandomSweep` — ``n`` points sampled from per-parameter
+  domains (a list to choose from, a ``(lo, hi)`` range, or a callable
+  ``f(rng) -> value``), reproducible from the base seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from .errors import CampaignError
+
+
+def _stable_json(obj: Any) -> str:
+    """Deterministic JSON used for run ids and fingerprints."""
+    return json.dumps(obj, sort_keys=True, default=repr, separators=(",", ":"))
+
+
+def point_seed(base_seed: int, index: int) -> int:
+    """Decorrelated deterministic seed for the ``index``-th point."""
+    seq = np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One materialized run of a campaign."""
+
+    index: int
+    run_id: str
+    params: Dict[str, Any]
+    seed: int
+
+    def label(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{self.run_id}({inner})"
+
+
+def _make_run_id(index: int, params: Mapping[str, Any]) -> str:
+    digest = hashlib.sha1(_stable_json(dict(params)).encode()).hexdigest()[:8]
+    return f"p{index:04d}-{digest}"
+
+
+class Sweep:
+    """Base class: subclasses implement :meth:`_param_sets`."""
+
+    def __init__(self, base_seed: int = 0):
+        self.base_seed = int(base_seed)
+
+    def _param_sets(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def points(self) -> List[SweepPoint]:
+        """Materialize the sweep into independent runs."""
+        out = []
+        for index, params in enumerate(self._param_sets()):
+            out.append(SweepPoint(index=index,
+                                  run_id=_make_run_id(index, params),
+                                  params=dict(params),
+                                  seed=point_seed(self.base_seed, index)))
+        if not out:
+            raise CampaignError("sweep materialized zero points")
+        return out
+
+    def fingerprint(self) -> str:
+        """Content hash used to guard ``--resume`` against a different sweep."""
+        payload = [{"params": p.params, "seed": p.seed} for p in self.points()]
+        return hashlib.sha1(
+            _stable_json([type(self).__name__, self.base_seed, payload])
+            .encode()).hexdigest()[:16]
+
+    def __len__(self) -> int:
+        return len(self._param_sets())
+
+
+class GridSweep(Sweep):
+    """Cross product of per-parameter value lists.
+
+    >>> GridSweep({"depth": [1, 2], "rate": [0.1, 0.5]}).points()[3].params
+    {'depth': 2, 'rate': 0.5}
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]], base_seed: int = 0):
+        super().__init__(base_seed)
+        if not grid:
+            raise CampaignError("GridSweep needs at least one parameter axis")
+        self.grid: Dict[str, List[Any]] = {}
+        for name, values in grid.items():
+            values = list(values)
+            if not values:
+                raise CampaignError(f"grid axis {name!r} has no values")
+            self.grid[name] = values
+
+    def _param_sets(self) -> List[Dict[str, Any]]:
+        names = list(self.grid)
+        return [dict(zip(names, combo))
+                for combo in itertools.product(*self.grid.values())]
+
+
+class RandomSweep(Sweep):
+    """``n`` points sampled from per-parameter domains.
+
+    Each domain is a list/tuple of candidates, a ``(lo, hi)`` numeric
+    range (floats sample uniform, ints sample integers inclusive), or a
+    callable ``f(rng) -> value``.  Sampling is reproducible: it uses a
+    dedicated generator seeded from ``base_seed`` and is independent of
+    the per-point run seeds.
+    """
+
+    def __init__(self, space: Mapping[str, Any], n: int, base_seed: int = 0):
+        super().__init__(base_seed)
+        if not space:
+            raise CampaignError("RandomSweep needs at least one parameter axis")
+        if n < 1:
+            raise CampaignError(f"RandomSweep needs n >= 1, got {n}")
+        self.space = dict(space)
+        self.n = int(n)
+
+    def _sample(self, domain: Any, rng: np.random.Generator) -> Any:
+        if callable(domain):
+            return domain(rng)
+        if (isinstance(domain, tuple) and len(domain) == 2
+                and all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                        for v in domain)):
+            lo, hi = domain
+            if isinstance(lo, int) and isinstance(hi, int):
+                return int(rng.integers(lo, hi + 1))
+            return float(rng.uniform(lo, hi))
+        if isinstance(domain, (list, tuple)):
+            if not domain:
+                raise CampaignError("empty candidate list in RandomSweep")
+            return domain[int(rng.integers(0, len(domain)))]
+        raise CampaignError(
+            f"RandomSweep domain {domain!r} is not a list, (lo, hi) range, "
+            f"or callable")
+
+    def _param_sets(self) -> List[Dict[str, Any]]:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.base_seed,
+                                   spawn_key=(0xC0FFEE,)))
+        return [{name: self._sample(domain, rng)
+                 for name, domain in self.space.items()}
+                for _ in range(self.n)]

@@ -64,6 +64,28 @@ class Histogram:
         idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
         return ordered[idx]
 
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot of the accumulator (used by engine checkpointing)."""
+        return {"count": self.count, "total": self.total,
+                "sq_total": self.sq_total, "min": self.min, "max": self.max,
+                "samples": None if self.samples is None else list(self.samples)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.count = state["count"]
+        self.total = state["total"]
+        self.sq_total = state["sq_total"]
+        self.min = state["min"]
+        self.max = state["max"]
+        samples = state["samples"]
+        self.samples = None if samples is None else list(samples)
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-friendly summary (no raw samples)."""
+        return {"count": self.count, "mean": self.mean,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "stddev": self.stddev}
+
     def __repr__(self) -> str:
         if not self.count:
             return "Histogram(empty)"
@@ -133,6 +155,33 @@ class StatsRegistry:
     def as_dict(self) -> Dict[str, float]:
         """Flat ``"path:name" -> value`` dict of all counters."""
         return {f"{p}:{n}": v for (p, n), v in self._counters.items()}
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot: counters plus histogram summaries.
+
+        This is what campaign runs ship back to the parent process —
+        flat ``"path:name"`` keys, no raw samples, nothing unpicklable.
+        """
+        out: Dict[str, Any] = dict(self.as_dict())
+        for (p, n), hist in self._hists.items():
+            out[f"{p}:{n}"] = hist.summary()
+        return out
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self._counters),
+            "hists": {key: h.state_dict() for key, h in self._hists.items()},
+            "keep_samples": self._keep_samples,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._counters = dict(state["counters"])
+        self._hists = {}
+        for key, hstate in state["hists"].items():
+            hist = Histogram(keep_samples=hstate["samples"] is not None)
+            hist.load_state_dict(hstate)
+            self._hists[key] = hist
 
 
 class WireProbe:

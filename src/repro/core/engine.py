@@ -29,8 +29,9 @@ runtime scheduling overhead.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,8 +52,8 @@ class SimulatorBase:
                  seed: Optional[int] = None, keep_samples: bool = False):
         if design._owned:
             raise SimulationError(
-                "this Design is already animated by another simulator; "
-                "build a fresh one per simulator")
+                f"Design {design.name!r} is already animated by another "
+                f"simulator; build a fresh one per simulator")
         design._owned = True
         if cycle_policy not in ("relax", "error"):
             raise SimulationError(
@@ -168,6 +169,88 @@ class SimulatorBase:
         for inst in self._updaters:
             inst.update()
         self.now += 1
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    #: Instance attributes owned by the framework, never part of state.
+    _FRAMEWORK_ATTRS = ("path", "p", "_views", "sim")
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the simulator's dynamic state between timesteps.
+
+        Covers ``now``, the engine RNG, transfer/relaxation totals, the
+        statistics registry, per-wire transfer counts, and every leaf
+        instance's own attributes (everything in ``__dict__`` except the
+        framework bindings ``path``/``p``/``_views``/``sim``).  Instance
+        state is deep-copied with a shared memo, so containers aliased
+        *between* instances stay aliased on restore.
+
+        Out of scope: parameter bindings (``p`` — configuration, not
+        state; rebuild from the same spec), probes/observers (re-attach
+        after restore), and instance attributes that reference other
+        module instances or the simulator itself (such references are
+        preserved by identity in-memory but are not meaningful across
+        processes).  State must be picklable to be written to disk.
+        """
+        memo: Dict[int, Any] = {id(self): self, id(self.design): self.design}
+        for inst in self._instances:
+            memo[id(inst)] = inst
+        instances: Dict[str, Dict[str, Any]] = {}
+        for path, inst in self.design.leaves.items():
+            own = {k: v for k, v in inst.__dict__.items()
+                   if k not in self._FRAMEWORK_ATTRS}
+            instances[path] = copy.deepcopy(own, memo)
+        return {
+            "design": self.design.name,
+            "now": self.now,
+            "transfers_total": self.transfers_total,
+            "relaxations_total": self.relaxations_total,
+            "rng": copy.deepcopy(self.rng.bit_generator.state),
+            "stats": self.stats.state_dict(),
+            "wires": [wire.transfers for wire in self._wires],
+            "instances": instances,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> "SimulatorBase":
+        """Restore a :meth:`state_dict` snapshot onto this simulator.
+
+        The simulator must animate a design built from the same
+        specification: the design name, instance paths and wire count
+        all have to match.  After loading, the next :meth:`step`
+        continues exactly as the snapshotted run would have.
+        """
+        if state["design"] != self.design.name:
+            raise SimulationError(
+                f"checkpoint is for design {state['design']!r}, this "
+                f"simulator animates {self.design.name!r}")
+        missing = set(state["instances"]) ^ set(self.design.leaves)
+        if missing:
+            raise SimulationError(
+                f"checkpoint instance set differs from design "
+                f"{self.design.name!r}: {sorted(missing)[:5]}")
+        if len(state["wires"]) != len(self._wires):
+            raise SimulationError(
+                f"checkpoint has {len(state['wires'])} wires, design has "
+                f"{len(self._wires)}")
+        self.now = state["now"]
+        self.transfers_total = state["transfers_total"]
+        self.relaxations_total = state["relaxations_total"]
+        self.rng.bit_generator.state = copy.deepcopy(state["rng"])
+        self.stats.load_state_dict(state["stats"])
+        for wire, transfers in zip(self._wires, state["wires"]):
+            wire.transfers = transfers
+        memo: Dict[int, Any] = {id(self): self, id(self.design): self.design}
+        for inst in self._instances:
+            memo[id(inst)] = inst
+        for path, inst in self.design.leaves.items():
+            saved = copy.deepcopy(state["instances"][path], memo)
+            for key in list(inst.__dict__):
+                if key not in self._FRAMEWORK_ATTRS and key not in saved:
+                    del inst.__dict__[key]
+            inst.__dict__.update(saved)
+        self._initialized = True
+        return self
 
     def _unresolved_report(self, limit: int = 12) -> str:
         lines = []

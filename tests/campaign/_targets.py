@@ -1,0 +1,82 @@
+"""Module-level campaign run targets used by the executor tests.
+
+Worker processes resolve these by reference (fork) or dotted path, so
+they must live at module scope, not inside test functions.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def double(x, seed=0):
+    return {"value": 2 * x, "seed": seed, "pid": os.getpid()}
+
+
+def boom(**_kw):
+    raise ValueError("this point is poisoned")
+
+
+def sleepy(duration, **_kw):
+    time.sleep(duration)
+    return {"slept": duration}
+
+
+def kill_unless_marker(marker, **kw):
+    """SIGKILL ourselves mid-run unless ``marker`` exists.
+
+    First attempt: create the marker, then die without a result —
+    exactly what a crashed/OOM-killed worker looks like.  The retry
+    finds the marker and completes.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("died here\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"survived": True, "pid": os.getpid()}
+
+
+def fail_unless_marker(marker, **kw):
+    """Raise (cleanly) until ``marker`` exists."""
+    if not os.path.exists(marker):
+        raise RuntimeError(f"marker {marker} not present yet")
+    return {"survived": True}
+
+
+def touch_and_count(counter_dir, depth, **kw):
+    """Append one line to ``counter_dir/depth-<depth>``; return the count.
+
+    Lets tests count how many times each sweep point actually executed
+    (the resume tests assert completed points are not re-run).
+    """
+    os.makedirs(counter_dir, exist_ok=True)
+    path = os.path.join(counter_dir, f"depth-{depth}")
+    with open(path, "a") as handle:
+        handle.write("x\n")
+    with open(path) as handle:
+        executions = len(handle.readlines())
+    return {"executions": executions, "depth": depth}
+
+
+def fail_for_big_depth(counter_dir, depth, marker, **kw):
+    """Counts executions; fails for depth >= 4 until ``marker`` exists."""
+    result = touch_and_count(counter_dir, depth)
+    if depth >= 4 and not os.path.exists(marker):
+        raise RuntimeError(f"depth {depth} not allowed yet")
+    return result
+
+
+def build_pipe(depth, rate):
+    """Spec-builder target: the canonical source -> queue -> sink pipe."""
+    from repro import LSS
+    from repro.pcl import Queue, Sink, Source
+    spec = LSS("pipe")
+    src = spec.instance("src", Source, pattern="bernoulli", rate=rate,
+                        payload=1, seed=3)
+    q = spec.instance("q", Queue, depth=depth)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec

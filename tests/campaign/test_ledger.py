@@ -1,0 +1,107 @@
+"""Tests for the JSONL run ledger (repro.campaign.ledger)."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignError, Ledger
+
+
+def _journal(path, events):
+    with Ledger(str(path)).open() as ledger:
+        for event in events:
+            ledger.record(event)
+
+
+HEADER = {"event": "campaign", "fingerprint": "abc123", "points": 3,
+          "meta": {"kind": "fn"}}
+POINTS = [{"event": "point", "run_id": f"p{i}", "index": i,
+           "params": {"depth": 2 ** i}, "seed": 100 + i} for i in range(3)]
+
+
+class TestReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "start", "run_id": "p0", "attempt": 1},
+                        {"event": "done", "run_id": "p0", "attempt": 1,
+                         "duration": 0.5, "result": {"value": 42}}])
+        state = Ledger.load(str(path))
+        assert state.fingerprint == "abc123"
+        assert state.points == 3
+        assert state.runs["p0"].status == "done"
+        assert state.runs["p0"].result == {"value": 42}
+        assert state.runs["p0"].params == {"depth": 1}
+        assert state.runs["p1"].status == "pending"
+        assert state.completed_ids() == ["p0"]
+
+    def test_started_but_unfinished_is_not_done(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "start", "run_id": "p1", "attempt": 1}])
+        state = Ledger.load(str(path))
+        assert state.runs["p1"].status == "running"
+        assert state.completed_ids() == []
+
+    def test_failed_then_retried_then_done(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "start", "run_id": "p2", "attempt": 1},
+                        {"event": "failed", "run_id": "p2", "attempt": 1,
+                         "kind": "crash", "error": "exitcode -9"},
+                        {"event": "start", "run_id": "p2", "attempt": 2},
+                        {"event": "done", "run_id": "p2", "attempt": 2,
+                         "duration": 1.0, "result": {"ok": True}}])
+        run = Ledger.load(str(path)).runs["p2"]
+        assert run.status == "done"
+        assert run.attempts == 2
+        assert run.error is None
+
+    def test_gave_up_is_terminal_failure(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "failed", "run_id": "p0", "attempt": 2,
+                         "kind": "error", "error": "ValueError: nope"},
+                        {"event": "gave_up", "run_id": "p0", "attempts": 2}])
+        run = Ledger.load(str(path)).runs["p0"]
+        assert run.status == "failed"
+        assert "ValueError" in run.error
+
+
+class TestDurability:
+    def test_torn_tail_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "done", "run_id": "p0", "attempt": 1,
+                         "result": {}}])
+        with open(path, "a") as handle:
+            handle.write('{"event": "done", "run_id": "p1", "resu')  # crash
+        state = Ledger.load(str(path))
+        assert state.runs["p0"].status == "done"
+        assert state.runs["p1"].status == "pending"
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w") as handle:
+            handle.write(json.dumps(HEADER) + "\n")
+            handle.write("not json at all\n")
+            handle.write(json.dumps(POINTS[0]) + "\n")
+        with pytest.raises(CampaignError, match="corrupt ledger line"):
+            Ledger.load(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CampaignError, match="no ledger"):
+            Ledger.load(str(tmp_path / "absent.jsonl"))
+
+    def test_record_requires_open(self, tmp_path):
+        with pytest.raises(CampaignError, match="not open"):
+            Ledger(str(tmp_path / "x.jsonl")).record({"event": "point"})
+
+    def test_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS,
+                        {"event": "done", "run_id": "p0", "attempt": 1,
+                         "result": {}}])
+        summary = Ledger.load(str(path)).summary()
+        assert "3 points" in summary
+        assert "1 done" in summary

@@ -1,0 +1,90 @@
+"""Tests for sweep materialization (repro.campaign.sweep)."""
+
+import pytest
+
+from repro.campaign import CampaignError, GridSweep, RandomSweep, point_seed
+
+
+class TestGridSweep:
+    def test_cross_product_order(self):
+        points = GridSweep({"a": [1, 2], "b": ["x", "y", "z"]}).points()
+        assert len(points) == 6
+        assert [p.params for p in points[:3]] == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"}, {"a": 1, "b": "z"}]
+        assert points[3].params == {"a": 2, "b": "x"}
+        assert [p.index for p in points] == list(range(6))
+
+    def test_run_ids_stable_across_materializations(self):
+        sweep = GridSweep({"depth": [1, 2, 4]})
+        first = [p.run_id for p in sweep.points()]
+        second = [p.run_id for p in GridSweep({"depth": [1, 2, 4]}).points()]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_run_id_reflects_params(self):
+        a = GridSweep({"depth": [1]}).points()[0].run_id
+        b = GridSweep({"depth": [2]}).points()[0].run_id
+        assert a != b
+
+    def test_seeds_deterministic_and_decorrelated(self):
+        sweep = GridSweep({"x": list(range(10))}, base_seed=7)
+        seeds = [p.seed for p in sweep.points()]
+        assert seeds == [p.seed for p in
+                         GridSweep({"x": list(range(10))}, base_seed=7).points()]
+        assert len(set(seeds)) == 10
+        other = [p.seed for p in
+                 GridSweep({"x": list(range(10))}, base_seed=8).points()]
+        assert seeds != other
+        assert seeds[0] == point_seed(7, 0)
+
+    def test_fingerprint_tracks_content(self):
+        base = GridSweep({"d": [1, 2]}, base_seed=1).fingerprint()
+        assert base == GridSweep({"d": [1, 2]}, base_seed=1).fingerprint()
+        assert base != GridSweep({"d": [1, 3]}, base_seed=1).fingerprint()
+        assert base != GridSweep({"d": [1, 2]}, base_seed=2).fingerprint()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(CampaignError):
+            GridSweep({})
+        with pytest.raises(CampaignError):
+            GridSweep({"a": []})
+
+    def test_label_is_readable(self):
+        point = GridSweep({"depth": [4]}).points()[0]
+        assert "depth=4" in point.label()
+        assert point.run_id in point.label()
+
+
+class TestRandomSweep:
+    SPACE = {
+        "choice": ["a", "b", "c"],
+        "uniform": (0.0, 1.0),
+        "integer": (1, 8),
+        "custom": lambda rng: float(rng.normal(10.0, 1.0)),
+    }
+
+    def test_reproducible_sampling(self):
+        first = [p.params for p in RandomSweep(self.SPACE, 6, base_seed=3).points()]
+        again = [p.params for p in RandomSweep(self.SPACE, 6, base_seed=3).points()]
+        assert first == again
+        other = [p.params for p in RandomSweep(self.SPACE, 6, base_seed=4).points()]
+        assert first != other
+
+    def test_domains(self):
+        for point in RandomSweep(self.SPACE, 20, base_seed=1).points():
+            assert point.params["choice"] in ("a", "b", "c")
+            assert 0.0 <= point.params["uniform"] <= 1.0
+            assert isinstance(point.params["integer"], int)
+            assert 1 <= point.params["integer"] <= 8
+            assert 5.0 < point.params["custom"] < 15.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CampaignError):
+            RandomSweep({}, 3)
+        with pytest.raises(CampaignError):
+            RandomSweep({"a": [1]}, 0)
+        with pytest.raises(CampaignError):
+            RandomSweep({"a": object()}, 2).points()
+
+    def test_point_count(self):
+        assert len(RandomSweep({"a": [1, 2]}, 13).points()) == 13

@@ -76,3 +76,96 @@ def test_subprocess_invocation(spec_file):
         capture_output=True, text=True, timeout=120)
     assert result.returncode == 0
     assert "snk:consumed = 19" in result.stdout
+
+
+class TestSubcommands:
+    def test_explicit_run_subcommand(self, spec_file, capsys):
+        assert main(["run", spec_file, "--cycles", "10"]) == 0
+        assert "snk:consumed = 9" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro import __version__
+        assert __version__ in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_framework_error_exits_2_with_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lss"
+        bad.write_text("system broken;\n"
+                       "instance a : NoSuchTemplate();\n")
+        assert main([str(bad), "--cycles", "5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.lss")]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_campaign_error_exits_2(self, spec_file, capsys):
+        # campaign without any --grid axis is a framework error.
+        assert main(["campaign", spec_file]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: CampaignError")
+
+
+class TestCampaignCommand:
+    def _argv(self, spec_file, ledger, extra=()):
+        return ["campaign", spec_file,
+                "--grid", "q.depth=1,4",
+                "--grid", "src.pattern=counter",
+                "--cycles", "30", "--workers", "0", "--retries", "0",
+                "--ledger", ledger, *extra]
+
+    def test_launch_and_report(self, spec_file, tmp_path, capsys):
+        ledger = str(tmp_path / "cli.jsonl")
+        assert main(self._argv(spec_file, ledger,
+                               ["--metrics", "transfers",
+                                "--group-by", "q.depth:transfers"])) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "transfers by q.depth" in out
+        assert os.path.exists(ledger)
+
+        assert main(["campaign", "--ledger", ledger, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "2 done" in out
+
+    def test_resume_executes_only_remaining_points(self, spec_file, tmp_path,
+                                                   capsys):
+        import json
+        ledger = str(tmp_path / "resume.jsonl")
+        assert main(self._argv(spec_file, ledger)) == 0
+        capsys.readouterr()
+
+        # Forge an interruption: drop the completion of the last point.
+        events = [json.loads(line) for line in open(ledger)]
+        done = [e for e in events if e["event"] == "done"]
+        assert len(done) == 2
+        interrupted = [e for e in events if e != done[-1]]
+        with open(ledger, "w") as handle:
+            for event in interrupted:
+                handle.write(json.dumps(event) + "\n")
+
+        assert main(self._argv(spec_file, ledger, ["--resume"])) == 0
+        out = capsys.readouterr().out
+        assert "1 already done, 1 to run" in out
+
+        events = [json.loads(line) for line in open(ledger)]
+        starts = [e for e in events if e["event"] == "start"]
+        # 2 original attempts + exactly 1 resumed attempt.
+        assert len(starts) == 3
+        assert len([e for e in events if e["event"] == "done"]) == 2
+
+    def test_resume_mismatched_grid_fails(self, spec_file, tmp_path, capsys):
+        ledger = str(tmp_path / "mismatch.jsonl")
+        assert main(self._argv(spec_file, ledger)) == 0
+        capsys.readouterr()
+        argv = ["campaign", spec_file, "--grid", "q.depth=2,8",
+                "--cycles", "30", "--workers", "0",
+                "--ledger", ledger, "--resume"]
+        assert main(argv) == 2
+        assert "different campaign" in capsys.readouterr().err
