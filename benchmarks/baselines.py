@@ -11,7 +11,7 @@ models compute identical results).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Optional
 
 import numpy as np
 

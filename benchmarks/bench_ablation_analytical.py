@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import (AnalyticalFabric, Mesh, attach_analytical_traffic,

@@ -8,7 +8,6 @@ store-heavy and migratory workloads.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.mpl import build_msi_smp, build_snooping_smp

@@ -14,7 +14,6 @@ the managed-experiment shape the paper's §2.1/§2.2 reuse story implies.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.campaign import Campaign, GridSweep

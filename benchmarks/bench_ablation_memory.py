@@ -7,7 +7,6 @@ same Cache template.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.pcl import MemoryArray

@@ -10,7 +10,6 @@ per-variant metrics and the assertions read the campaign aggregate.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.campaign import Campaign, GridSweep

@@ -20,8 +20,13 @@ import pytest
 from repro import LSS
 from repro.campaign import Campaign, GridSweep
 
+#: CI smoke mode: shrink the per-point workload and drop the speedup
+#: bar (pool startup dominates tiny runs; quick mode validates wiring
+#: and determinism, not parallel efficiency).
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
 #: Per-point workload: ~0.5s of simulated pipeline on one core.
-CYCLES = 20_000
+CYCLES = 3_000 if QUICK else 20_000
 
 GRID = {"depth": [1, 2, 4, 8], "rate": [0.3, 0.8]}
 
@@ -79,7 +84,9 @@ def test_campaign_parallel_speedup(benchmark, tmp_path):
           f"4 workers {pool_s:.2f}s -> {speedup:.2f}x on {cores} core(s)")
     print(pool_result.table(metrics=["transfers"]))
 
-    if cores >= 4:
+    if QUICK:
+        assert speedup > 0.3, f"pool pathologically slow: {speedup:.2f}x"
+    elif cores >= 4:
         assert speedup >= 2.0, f"expected >=2x on {cores} cores, got {speedup:.2f}x"
     elif cores >= 2:
         assert speedup >= 1.2, f"expected >=1.2x on {cores} cores, got {speedup:.2f}x"

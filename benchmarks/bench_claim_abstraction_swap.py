@@ -14,14 +14,11 @@ become packets.
 
 from __future__ import annotations
 
-import pytest
 
-from repro import LSS, build_simulator, map_data
-from repro.ccl import (LOCAL, Mesh, PacketEjector, PacketInjector,
-                       attach_traffic, build_mesh_network)
+from repro import LSS, build_simulator
+from repro.ccl import Mesh, PacketInjector, attach_traffic, build_mesh_network
 from repro.ccl.packet import Packet
 from repro.mpl import build_directory_cmp
-from repro.pcl import Sink, Source
 from repro.systems.fig2a import worker_program
 
 

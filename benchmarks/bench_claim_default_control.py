@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import inspect
 
-import pytest
 
 from repro import build_simulator, parse_lss
 from repro.pcl import Queue, Sink, Source

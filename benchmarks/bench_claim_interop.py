@@ -13,10 +13,8 @@ import pytest
 from repro import LSS, build_simulator, map_data
 from repro.ccl.packet import Packet
 from repro.ccl import Link
-from repro.mpl import StoreBuffer
-from repro.nil import EthernetFrame, FormatConverter, PCIUnpacker
-from repro.pcl import (Buffer, MemoryArray, MemRequest, Monitor, Queue,
-                       Sink, Source)
+from repro.nil import EthernetFrame
+from repro.pcl import Buffer, MemoryArray, MemRequest, Queue, Sink, Source
 
 # -- producers: (library, instance factory, payload produced) -----------
 PRODUCERS = {

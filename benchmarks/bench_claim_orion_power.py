@@ -7,12 +7,11 @@ the leakage-thermal feedback equilibrium.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Mesh, attach_traffic, build_mesh_network
-from repro.ccl.orion import (LinkEnergyModel, RouterEnergyModel,
-                             TechParams, ThermalRC, network_power_report)
+from repro.ccl.orion import (LinkEnergyModel, RouterEnergyModel, ThermalRC,
+                             network_power_report)
 
 
 def _network_power(rate, cycles=300):

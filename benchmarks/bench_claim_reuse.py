@@ -9,10 +9,9 @@ and reports that every context behaves per its discipline.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import LSS, build_simulator
-from repro.ccl import Mesh, Router, attach_traffic, build_mesh_network
+from repro.ccl import Mesh, attach_traffic, build_mesh_network
 from repro.pcl import (Buffer, Sink, Source, TraceSource, fifo_policy,
                        in_order_completion_policy, ready_policy)
 
@@ -125,7 +124,7 @@ def test_one_template_three_disciplines_summary(benchmark):
           f"out-of-order ({len(wp.values())} issued)")
     print(f"            reorder buffer     in_order_completion "
           f"in-order     ({len(rp.values())} committed)")
-    print(f"            router I/O buffer  fifo_policy         "
-          f"FIFO")
+    print("            router I/O buffer  fifo_policy         "
+          "FIFO")
     assert wp.values() != sorted(wp.values())   # genuinely OoO
     assert rp.values() == sorted(rp.values())   # genuinely in-order

@@ -9,6 +9,8 @@ each stage (instances -> leaves -> wires -> schedule entries).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import LSS, build_design, elaborate, parse_lss
@@ -46,6 +48,9 @@ def _large_spec() -> LSS:
 
 SPECS = {"small": _small_spec, "medium": _medium_spec, "large": _large_spec}
 
+#: CI smoke mode: single timing round per phase.
+ROUNDS = 1 if os.environ.get("REPRO_BENCH_QUICK") == "1" else 3
+
 TEXTUAL = """
 system textual;
 template Stage(depth=4) {
@@ -77,7 +82,7 @@ def test_construction_pipeline_phases(size, benchmark):
     def construct():
         return build_design(build())
 
-    design = benchmark.pedantic(construct, rounds=3, iterations=1)
+    design = benchmark.pedantic(construct, rounds=ROUNDS, iterations=1)
     flat = elaborate(build())
     print(f"\n[FIG1:{size}] instances={len(build().instances)} "
           f"leaves={len(design.leaves)} wires={len(design.wires)} "
@@ -91,7 +96,7 @@ def test_static_schedule_phase(size, benchmark):
     """Times the construction-time optimizer (ref [22])."""
     design = build_design(SPECS[size]())
     schedule = benchmark.pedantic(lambda: build_schedule(design),
-                                  rounds=3, iterations=1)
+                                  rounds=ROUNDS, iterations=1)
     clusters = sum(1 for e in schedule if e.cluster)
     print(f"\n[FIG1:{size}] schedule entries={len(schedule)} "
           f"clusters={clusters}")
@@ -104,7 +109,7 @@ def test_codegen_phase(benchmark):
     schedule = build_schedule(design)
     source = benchmark.pedantic(
         lambda: generate_stepper_source(schedule, design.name),
-        rounds=3, iterations=1)
+        rounds=ROUNDS, iterations=1)
     print(f"\n[FIG1] generated stepper: {len(source.splitlines())} lines")
     compile(source, "<bench>", "exec")
 

@@ -7,7 +7,6 @@ delivery-vs-loss series and end-to-end timing.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.systems import run_fig2b
 

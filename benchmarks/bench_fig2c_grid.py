@@ -6,7 +6,6 @@ reduction over a routed board-to-board bus.  Reports the scaling rows.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.systems import run_fig2c
 

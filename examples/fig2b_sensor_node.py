@@ -14,7 +14,7 @@ from repro.systems import run_fig2b
 
 def main() -> None:
     result = run_fig2b(2, readings_per_node=8, aggregate_every=4)
-    print(f"2 sensor nodes, 8 readings each, aggregate every 4:")
+    print("2 sensor nodes, 8 readings each, aggregate every 4:")
     print(f"  finished in {result['cycles']} cycles "
           f"(all DSP cores halted: {result['halted']})")
     print(f"  readings acquired: {result['readings']:g}")

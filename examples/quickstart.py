@@ -11,8 +11,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import LSS, build_simulator, parse_lss
-from repro.core.visualize import design_to_dot, spec_to_dot
-from repro.core.constructor import build_design
+from repro.core.visualize import spec_to_dot
 from repro.pcl import Monitor, Queue, Sink, Source
 
 

@@ -1,18 +1,25 @@
 """Command-line entry point.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro run SPEC.lss [--cycles N] [--engine ...] [--stats P]
                                  [--dot FILE] [--seed N] [--activity]
-                                 [--vcd FILE]
+                                 [--vcd FILE] [--profile]
     python -m repro campaign [SPEC.lss] --grid inst.param=v1,v2,...
-                                 [--workers N] [--resume] [--report] ...
+                                 [--workers N] [--resume] [--report]
+                                 [--profile] ...
+    python -m repro profile [SPEC.lss | --builder PKG.MOD:FN]
+                                 [--param k=v ...] [--cycles N]
+                                 [--out DIR] [--json F] [--trace F]
 
 ``run`` parses the specification against the full shipped library
 environment (:func:`repro.library_env`), constructs the simulator, runs
 it, and prints the statistics report — the paper's Figure-1 pipeline as
 a shell command.  ``campaign`` drives a parameter sweep over a spec as
 a parallel, resumable experiment campaign (see :mod:`repro.campaign`).
+``profile`` runs a model under the engine profiler
+(:mod:`repro.obs`) and emits a hot-spot report, a structured metrics
+dump, and a Chrome trace-event timeline loadable at ui.perfetto.dev.
 
 For backward compatibility, ``python -m repro SPEC.lss ...`` (no
 subcommand) is interpreted as ``run``.  Framework errors exit with
@@ -22,13 +29,16 @@ code 2 and a one-line message instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import __version__, build_simulator, library_env, parse_lss
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
-_SUBCOMMANDS = ("run", "campaign")
+_SUBCOMMANDS = ("run", "campaign", "profile")
+
+_ENGINES = ("worklist", "levelized", "codegen")
 
 
 def _add_run_parser(subparsers) -> None:
@@ -37,8 +47,7 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("spec", help="path to the .lss specification")
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
-    parser.add_argument("--engine", default="levelized",
-                        choices=("worklist", "levelized", "codegen"))
+    parser.add_argument("--engine", default="levelized", choices=_ENGINES)
     parser.add_argument("--stats", default="",
                         help="only print statistics under this path prefix")
     parser.add_argument("--dot", default=None,
@@ -49,6 +58,105 @@ def _add_run_parser(subparsers) -> None:
                         help="print the hottest wires after the run")
     parser.add_argument("--vcd", default=None,
                         help="dump a VCD waveform of every wire")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the engine profiler and print a "
+                             "hot-spot report after the statistics")
+    parser.add_argument("--profile-sample", type=int, default=4, metavar="N",
+                        help="profiler wall-time sampling period in "
+                             "timesteps (default 4)")
+
+
+def _add_profile_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "profile",
+        help="run a model under the engine profiler and export reports",
+        description="Run a model under the engine profiler and emit a "
+                    "hot-spot report, a structured metrics dump and a "
+                    "Chrome trace-event timeline (open the trace at "
+                    "ui.perfetto.dev).")
+    parser.add_argument("spec", nargs="?", default=None,
+                        help="path to the .lss specification "
+                             "(omit with --builder)")
+    parser.add_argument("--builder", default=None, metavar="PKG.MOD:FN",
+                        help="profile the LSS returned by a builder "
+                             "callable instead of a .lss file")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="keyword argument for --builder; repeatable")
+    parser.add_argument("--cycles", type=int, default=1000,
+                        help="timesteps to simulate (default 1000)")
+    parser.add_argument("--engine", default="levelized", choices=_ENGINES)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="engine RNG seed")
+    parser.add_argument("--sample", type=int, default=4, metavar="N",
+                        help="wall-time sampling period in timesteps: 1 "
+                             "times every step, N every N-th (default 4)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the hot-spot tables (default 15)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write report.txt, metrics.json and "
+                             "trace.json into DIR")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the structured metrics dump to FILE")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event timeline to FILE")
+
+
+def _profile_spec(args):
+    """Materialize the LSS to profile from --builder or a .lss path."""
+    if args.builder is not None:
+        from .campaign.cli import _parse_value
+        from .campaign.executor import _coerce_spec, resolve_target
+        params = {}
+        for item in args.param:
+            name, sep, value = item.partition("=")
+            if not sep or not name:
+                raise LibertyError(
+                    f"--param {item!r}: expected NAME=VALUE")
+            params[name] = _parse_value(value)
+        return _coerce_spec(resolve_target(args.builder)(**params))
+    if args.spec is None:
+        raise LibertyError("profile needs a .lss spec or --builder")
+    if args.param:
+        raise LibertyError("--param only applies with --builder")
+    with open(args.spec) as handle:
+        return parse_lss(handle.read(), library_env())
+
+
+def _profile_command(args) -> int:
+    from .obs import (Profiler, hotspot_report, write_chrome_trace,
+                      write_metrics_json)
+    spec = _profile_spec(args)
+    trace_path = args.trace
+    json_path = args.json
+    report_path = None
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        report_path = os.path.join(args.out, "report.txt")
+        json_path = json_path or os.path.join(args.out, "metrics.json")
+        trace_path = trace_path or os.path.join(args.out, "trace.json")
+    sim = build_simulator(spec, engine=args.engine, seed=args.seed)
+    prof = Profiler(sim, sample_every=args.sample,
+                    trace=trace_path is not None)
+    sim.run(args.cycles)
+    # Report while attached: wire activity needs the live design.
+    report = hotspot_report(prof, top=args.top)
+    print(report)
+    if report_path is not None:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    if json_path is not None:
+        write_metrics_json(prof, json_path)
+    if trace_path is not None:
+        write_chrome_trace(prof, trace_path)
+    prof.detach()
+    written = [p for p in (report_path, json_path, trace_path) if p]
+    if written:
+        print(f"# wrote {', '.join(written)}")
+    if trace_path is not None:
+        print("# open the trace at https://ui.perfetto.dev "
+              "(or chrome://tracing)")
+    return 0
 
 
 def _run_command(args) -> int:
@@ -63,6 +171,10 @@ def _run_command(args) -> int:
     if args.vcd:
         from .core.trace import VCDTracer
         tracer = VCDTracer(sim, path=args.vcd)
+    prof = None
+    if args.profile:
+        from .obs import Profiler
+        prof = Profiler(sim, sample_every=args.profile_sample)
     sim.run(args.cycles)
     if tracer is not None:
         tracer.close()
@@ -74,6 +186,11 @@ def _run_command(args) -> int:
         print(report)
     if args.activity:
         print(activity_report(sim))
+    if prof is not None:
+        from .obs import hotspot_report
+        print()
+        print(hotspot_report(prof))
+        prof.detach()
     return 0
 
 
@@ -94,11 +211,14 @@ def main(argv=None) -> int:
     _add_run_parser(subparsers)
     from .campaign.cli import add_campaign_parser, run_campaign_command
     add_campaign_parser(subparsers)
+    _add_profile_parser(subparsers)
 
     args = parser.parse_args(argv)
     try:
         if args.command == "run":
             return _run_command(args)
+        if args.command == "profile":
+            return _profile_command(args)
         return run_campaign_command(args)
     except BrokenPipeError:
         # Reader (e.g. `| head`) went away mid-report; not our error.

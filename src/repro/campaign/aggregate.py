@@ -12,7 +12,7 @@ aligned text report — the cross-run analogue of a single simulator's
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .errors import CampaignError
@@ -120,6 +120,27 @@ class CampaignResult:
             groups.setdefault(r.params[param], []).append(float(value))
         return {k: reduce(v) for k, v in sorted(groups.items(),
                                                 key=lambda kv: repr(kv[0]))}
+
+    # -- profiling -------------------------------------------------------
+    def profiles(self) -> Dict[str, Dict[str, Any]]:
+        """``run_id -> profiler summary`` for profiled completed runs."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for r in self.done:
+            if r.result and isinstance(r.result.get("profile"), dict):
+                out[r.run_id] = r.result["profile"]
+        return out
+
+    def hotspot_report(self, top: int = 15) -> str:
+        """Campaign-wide hot-spot table merged across profiled runs.
+
+        Empty string when no run carried a profile (campaign executed
+        without ``profile=True``).
+        """
+        profiles = self.profiles()
+        if not profiles:
+            return ""
+        from ..obs.report import campaign_hotspot_report
+        return campaign_hotspot_report(list(profiles.values()), top=top)
 
     # -- reporting -------------------------------------------------------
     def table(self, metrics: Sequence[str] = ()) -> str:

@@ -12,7 +12,7 @@ the final table from the journal, not re-run.
 from __future__ import annotations
 
 import os
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .aggregate import CampaignResult, RunRow
 from .errors import CampaignError
@@ -59,7 +59,8 @@ class Campaign:
                  retries: int = 1, backoff: float = 0.25,
                  checkpoint_every: Optional[int] = None,
                  checkpoint_dir: Optional[str] = None,
-                 ledger_path: Optional[str] = None):
+                 ledger_path: Optional[str] = None,
+                 profile: bool = False, profile_sample: int = 4):
         if kind not in ("fn", "spec", "lss"):
             raise CampaignError(
                 f"kind must be 'fn', 'spec' or 'lss', got {kind!r}")
@@ -81,6 +82,8 @@ class Campaign:
         self.backoff = backoff
         self.checkpoint_every = checkpoint_every
         self.checkpoint_dir = checkpoint_dir
+        self.profile = profile
+        self.profile_sample = profile_sample
         if checkpoint_every is not None and checkpoint_dir is None:
             self.checkpoint_dir = f"{name}.checkpoints"
         self.ledger_path = ledger_path or f"{name}.campaign.jsonl"
@@ -95,7 +98,9 @@ class Campaign:
                        engine=self.engine, cycles=self.cycles,
                        lss_text=self.lss_text,
                        checkpoint_dir=self.checkpoint_dir,
-                       checkpoint_every=self.checkpoint_every)
+                       checkpoint_every=self.checkpoint_every,
+                       profile=self.profile,
+                       profile_sample=self.profile_sample)
 
     def _executor(self):
         if self.workers == 0:
@@ -147,7 +152,8 @@ class Campaign:
                                         "engine": self.engine,
                                         "cycles": self.cycles,
                                         "target": _target_name(self.target),
-                                        "workers": self.workers}})
+                                        "workers": self.workers,
+                                        "profile": self.profile}})
                 for point in points:
                     ledger.record({"event": "point", "run_id": point.run_id,
                                    "index": point.index,

@@ -10,10 +10,10 @@ the aggregate table from the ledger without running anything.
 Examples::
 
     python -m repro campaign examples/pipeline.lss \
-        --grid q.depth=1,2,4,8 --grid src.rate=0.3,0.9 \
+        --grid s1.depth=1,2,4,8 --grid src.rate=0.3,0.9 \
         --cycles 2000 --workers 4 --ledger pipe.jsonl
     python -m repro campaign examples/pipeline.lss \
-        --grid q.depth=1,2,4,8 --grid src.rate=0.3,0.9 \
+        --grid s1.depth=1,2,4,8 --grid src.rate=0.3,0.9 \
         --cycles 2000 --ledger pipe.jsonl --resume
     python -m repro campaign --ledger pipe.jsonl --report
 """
@@ -70,6 +70,12 @@ def add_campaign_parser(subparsers) -> argparse.ArgumentParser:
                                           "cycles so retries resume mid-run")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="snapshot directory (default <name>.checkpoints)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile every run and print a campaign-wide "
+                             "hot-spot table after the results")
+    parser.add_argument("--profile-sample", type=int, default=4,
+                        metavar="N", help="profiler wall-time sampling "
+                                          "period in timesteps (default 4)")
     parser.add_argument("--ledger", default=None,
                         help="JSONL journal path (default <name>.campaign.jsonl)")
     parser.add_argument("--name", default=None,
@@ -135,6 +141,7 @@ def run_campaign_command(args) -> int:
         print(result.summary())
         print(result.table(metrics=metrics))
         _print_groups(result, args.group_by)
+        _print_profile(result)
         return 0
 
     if not args.grid:
@@ -154,12 +161,21 @@ def run_campaign_command(args) -> int:
         workers=args.workers, timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir, ledger_path=ledger_path,
+        profile=args.profile, profile_sample=args.profile_sample,
         **campaign_kw)
     result = campaign.run(resume=args.resume, progress=print)
     print(result.summary())
     print(result.table(metrics=metrics))
     _print_groups(result, args.group_by)
+    _print_profile(result)
     return 0 if not result.failed else 1
+
+
+def _print_profile(result) -> None:
+    report = result.hotspot_report()
+    if report:
+        print()
+        print(report)
 
 
 def _print_groups(result, group_specs: List[str]) -> None:

@@ -37,7 +37,7 @@ import multiprocessing
 import os
 import time
 import traceback
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from .checkpoint import clear as clear_checkpoint
@@ -88,6 +88,9 @@ class RunTask:
     lss_text: Optional[str] = None
     checkpoint_dir: Optional[str] = None
     checkpoint_every: Optional[int] = None
+    profile: bool = False                 # attach an engine profiler
+    profile_sample: int = 4               # profiler sampling period
+    profile_top: int = 25                 # hottest instances kept per run
     attempt: int = 1
 
     def checkpoint_path(self) -> Optional[str]:
@@ -108,16 +111,33 @@ class RunOutcome:
     duration: float = 0.0
 
 
+def _coerce_spec(obj):
+    """Accept builders returning an LSS or an ``(LSS, info)`` tuple."""
+    from ..core.lss import LSS
+    if isinstance(obj, tuple) and obj and isinstance(obj[0], LSS):
+        return obj[0]
+    return obj
+
+
 def _simulate(task: RunTask, spec) -> Dict[str, Any]:
     from ..core.constructor import build_simulator
-    sim = build_simulator(spec, engine=task.engine, seed=task.seed)
+    sim = build_simulator(_coerce_spec(spec), engine=task.engine,
+                          seed=task.seed)
+    profiler = None
+    if task.profile:
+        from ..obs import Profiler
+        profiler = Profiler(sim, sample_every=task.profile_sample)
     path = task.checkpoint_path()
     run_with_checkpoints(sim, task.cycles, every=task.checkpoint_every,
                          path=path)
     clear_checkpoint(path)
-    return {"cycles": sim.now, "transfers": sim.transfers_total,
-            "relaxations": sim.relaxations_total,
-            "stats": sim.stats.summary_dict()}
+    result = {"cycles": sim.now, "transfers": sim.transfers_total,
+              "relaxations": sim.relaxations_total,
+              "stats": sim.stats.summary_dict()}
+    if profiler is not None:
+        result["profile"] = profiler.summary_dict(top=task.profile_top)
+        profiler.detach()
+    return result
 
 
 def execute_task(task: RunTask) -> Dict[str, Any]:

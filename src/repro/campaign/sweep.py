@@ -21,8 +21,8 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence
 
 import numpy as np
 

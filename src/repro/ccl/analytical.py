@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import zlib
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from ..core import HierBody, HierTemplate, Parameter, PortDecl, INPUT, OUTPUT
 from ..pcl.arbiter import Arbiter, round_robin
 from ..pcl.routing import Demux, Tee
 from .link import Link
-from .packet import BusTransaction
 
 
 def _route_by_target(txn, out_width: int, now: int) -> int:

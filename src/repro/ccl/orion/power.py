@@ -21,7 +21,7 @@ models consume the event counts the CCL components already collect
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 
 class TechParams:

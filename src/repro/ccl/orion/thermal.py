@@ -9,7 +9,7 @@ leakage model this reproduces the classic positive feedback loop
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Tuple
 
 
 class ThermalRC:

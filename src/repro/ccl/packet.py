@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional, Tuple
+from typing import Any, Optional
 
 _packet_ids = itertools.count()
 

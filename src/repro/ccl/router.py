@@ -19,7 +19,7 @@ Dataflow (for a P-port router)::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from ..core import HierBody, HierTemplate, Parameter, PortDecl, INPUT, OUTPUT
 from ..pcl.arbiter import Arbiter, round_robin

@@ -13,7 +13,7 @@ builders alike)::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 NORTH, SOUTH, EAST, WEST, LOCAL = 0, 1, 2, 3, 4
 DIR_NAMES = ("N", "S", "E", "W", "L")

@@ -11,7 +11,7 @@ Both are Moore modules, so they never create scheduling cycles.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -75,12 +75,25 @@ class CodegenSimulator(LevelizedSimulator):
         super().__init__(design, **kw)
         self.generated_source = generate_stepper_source(
             self.schedule, design.name)
+        self._build_stepper()
+
+    def _build_stepper(self) -> None:
         namespace: dict = {}
         code = compile(self.generated_source,
-                       f"<generated stepper {design.name!r}>", "exec")
+                       f"<generated stepper {self.design.name!r}>", "exec")
         exec(code, namespace)
         self._stepper: Callable[[], None] = namespace["make_stepper"](
             self, self.schedule, self._cluster_wires)
+
+    def _instrumentation_changed(self) -> None:
+        """Rebind the stepper's hoisted ``react`` references.
+
+        The generated stepper closes over bound methods captured at
+        build time; attaching or detaching a profiler replaces the
+        per-instance dispatch, so the stepper must be rebuilt to pick
+        the new bindings up.
+        """
+        self._build_stepper()
 
     def _step(self) -> None:
         self._stepper()

@@ -9,7 +9,7 @@ the probe mechanism used to trace transfers on selected wires.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 class Histogram:

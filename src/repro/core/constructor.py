@@ -28,11 +28,11 @@ from typing import Any, Dict, List, Optional, Tuple
 from .control import ControlFunction
 from .errors import SpecificationError, WiringError
 from .lss import LSS
-from .module import HierBody, HierTemplate, LeafModule
+from .module import HierBody, LeafModule
 from .netlist import Design, FlatConnection, FlatDesign
 from .params import resolve_bindings
 from .ports import INPUT, OUTPUT, InView, OutView
-from .signals import CtrlStatus, DataStatus, Endpoint, Wire
+from .signals import Endpoint, Wire
 from .typesys import infer_types
 
 

@@ -31,15 +31,14 @@ from __future__ import annotations
 
 import copy
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from .collector import StatsRegistry, WireProbe
 from .errors import CombinationalCycleError, SimulationError
 from .netlist import Design
-from .signals import (ALL_SIGNALS, CtrlStatus, DataStatus, SIG_ACK, SIG_DATA,
-                      SIG_ENABLE, Wire)
+from .signals import SIG_ACK, SIG_DATA, SIG_ENABLE, Wire
 
 #: Upper bound on relaxations per timestep before declaring livelock.
 _MAX_RELAX_FACTOR = 3
@@ -53,7 +52,8 @@ class SimulatorBase:
         if design._owned:
             raise SimulationError(
                 f"Design {design.name!r} is already animated by another "
-                f"simulator; build a fresh one per simulator")
+                f"simulator; use design.copy() for an independent duplicate "
+                f"or build a fresh one per simulator")
         design._owned = True
         if cycle_policy not in ("relax", "error"):
             raise SimulationError(
@@ -67,6 +67,9 @@ class SimulatorBase:
         self.relaxations_total = 0
         self._probes: Dict[int, WireProbe] = {}
         self._observers: List = []
+        #: Attached :class:`repro.obs.Profiler`, or ``None``.  The only
+        #: profiler-off cost is one ``is not None`` test per timestep.
+        self.profiler = None
         self._instances: List = list(design.leaves.values())
         self._wires: List[Wire] = design.wires
         self._unknown = 0
@@ -75,6 +78,11 @@ class SimulatorBase:
             wire.engine = self
         for inst in self._instances:
             inst.sim = self
+            # Pre-bind react into the instance dict.  A profiler swaps
+            # this value in place instead of inserting/deleting a key,
+            # so CPython's shared-key (split) instance dicts never
+            # degrade to combined layout from attach/detach cycles.
+            inst.react = inst.react
         # Cache which instances override update() to skip no-op calls.
         default_update = _find_base_method("update")
         self._updaters = [i for i in self._instances
@@ -150,6 +158,8 @@ class SimulatorBase:
         for wire in self._wires:
             unknown += wire.begin_step()
         self._unknown = unknown
+        if self.profiler is not None:
+            self.profiler._on_step_begin(self.now, unknown)
 
     def _end_step(self) -> None:
         transfers = 0
@@ -168,13 +178,19 @@ class SimulatorBase:
             observer(self)
         for inst in self._updaters:
             inst.update()
+        if self.profiler is not None:
+            self.profiler._on_step_end(now, transfers)
         self.now += 1
+
+    def _instrumentation_changed(self) -> None:
+        """Hook for engines that cache bound dispatch (see codegen)."""
 
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
-    #: Instance attributes owned by the framework, never part of state.
-    _FRAMEWORK_ATTRS = ("path", "p", "_views", "sim")
+    #: Instance attributes owned by the framework, never part of state
+    #: ("react" shadows appear only while a profiler is attached).
+    _FRAMEWORK_ATTRS = ("path", "p", "_views", "sim", "react")
 
     def state_dict(self) -> Dict[str, Any]:
         """Snapshot the simulator's dynamic state between timesteps.
@@ -346,5 +362,7 @@ class Simulator(SimulatorBase):
                 if signal in wire.unresolved():
                     wire.force_default(signal)
                     self.relaxations_total += 1
+                    if self.profiler is not None:
+                        self.profiler._on_relax(wire)
                     return
         raise SimulationError("relax requested but no unresolved signal found")

@@ -22,11 +22,11 @@ resolved parameter dict and may compute sub-instance structure from it
 
 from __future__ import annotations
 
-from typing import Any, Callable, ClassVar, Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
 
 from .errors import SpecificationError
 from .params import Parameter, resolve_bindings
-from .ports import INPUT, OUTPUT, InView, OutView, PortDecl
+from .ports import InView, OutView, PortDecl
 
 #: Signal-group key helpers for ``DEPS`` maps.  ``fwd(port)`` names the
 #: forward (data+enable) signals of a port; ``ack(port)`` names the

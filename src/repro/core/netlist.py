@@ -11,6 +11,7 @@ consume the same :class:`Design` built from it.
 
 from __future__ import annotations
 
+import copy as _copy
 from typing import Any, Dict, List, Optional, Tuple
 
 from .module import LeafModule
@@ -92,6 +93,46 @@ class Design:
         """Wires that connect two actual leaf endpoints (non-stubs)."""
         stub_ids = {id(w) for w in self.stub_wires}
         return [w for w in self.wires if id(w) not in stub_ids]
+
+    def copy(self) -> "Design":
+        """An independent, un-owned duplicate of this design.
+
+        A :class:`Design` is consumed by exactly one simulator; to
+        animate the same structure with a second engine, copy it
+        instead of rebuilding from the specification.  The duplicate
+        shares nothing with the original: leaves, wires, port views and
+        parameter values are all deep-copied, engine bindings
+        (``wire.engine``, ``leaf.sim``) are cleared, profiler
+        instrumentation is dropped, and runtime counters (per-wire
+        transfer counts, probe marks) are reset.
+
+        Copying an already-animated design forks its *current* instance
+        state (module ``init()`` runs again when the new engine is
+        constructed, so modules that reset in ``init`` start fresh —
+        the shipped libraries all do).
+        """
+        memo: Dict[int, Any] = {}
+        for wire in self.wires:
+            if wire.engine is not None:
+                memo[id(wire.engine)] = None
+        for leaf in self.leaves.values():
+            sim = getattr(leaf, "sim", None)
+            if sim is not None:
+                memo[id(sim)] = None
+        dup = _copy.deepcopy(self, memo)
+        dup._owned = False
+        for wire in dup.wires:
+            wire.engine = None
+            wire.transfers = 0
+            wire.watched = False
+        for leaf in dup.leaves.values():
+            leaf.sim = None
+            # Rebind the react dispatch to the copy: the original's
+            # entry may be a profiler wrapper closing over the original
+            # instance, and deepcopy keeps function objects by reference.
+            if "react" in leaf.__dict__:
+                leaf.react = type(leaf).react.__get__(leaf)
+        return dup
 
     def wire_between(self, src_path: str, src_port: str,
                      dst_path: str, dst_port: str,

@@ -25,14 +25,14 @@ generated Python.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 import networkx as nx
 
 from .engine import SimulatorBase
 from .errors import CombinationalCycleError
 from .netlist import Design
-from .signals import SIG_ACK, SIG_DATA, SIG_ENABLE, Wire
+from .signals import Wire
 
 #: A signal group: ("fwd"|"ack", wire id)
 Group = Tuple[str, int]
@@ -207,6 +207,8 @@ class LevelizedSimulator(SimulatorBase):
                     if missing:
                         wire.force_default(missing[0])
                         self.relaxations_total += 1
+                        if self.profiler is not None:
+                            self.profiler._on_relax(wire)
                         break
 
     def _step(self) -> None:
@@ -239,6 +241,8 @@ class LevelizedSimulator(SimulatorBase):
                     if missing:
                         wire.force_default(missing[0])
                         self.relaxations_total += 1
+                        if self.profiler is not None:
+                            self.profiler._on_relax(wire)
                         break
 
     # ------------------------------------------------------------------

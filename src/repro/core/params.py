@@ -10,7 +10,7 @@ are bound to callables.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from .errors import ParameterError
 

@@ -50,7 +50,7 @@ consumed either).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from .errors import MonotonicityError
 

@@ -9,10 +9,9 @@ and activity reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from .lss import LSS
-from .module import HierTemplate, LeafModule
+from .module import LeafModule
 from .netlist import Design
 
 

@@ -23,8 +23,7 @@ paper's migration pitch.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Callable, Deque, Generic, Optional
+from typing import Any, Callable, Optional
 
 from .core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 

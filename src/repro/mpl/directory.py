@@ -23,7 +23,7 @@ Protocol (write-through invalidate, unordered network):
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..ccl.packet import Packet

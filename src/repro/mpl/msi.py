@@ -31,7 +31,7 @@ from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..ccl.packet import BusTransaction
 from ..pcl.memory import MemRequest, MemResponse
 
-M, S, I = "M", "S", "I"
+M, S, I = "M", "S", "I"  # noqa: E741 -- the protocol state names
 
 
 class MSIOp:

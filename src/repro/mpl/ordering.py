@@ -21,7 +21,7 @@ flag as 0; under SC they cannot.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, Optional
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..pcl.memory import MemRequest, MemResponse

@@ -7,7 +7,7 @@ sketches.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..ccl.bus import Bus
 from ..ccl.router import build_mesh_network
@@ -16,8 +16,7 @@ from ..pcl.arbiter import Arbiter
 from ..pcl.routing import Demux
 from ..upl.core import SimpleCore
 from ..upl.isa import Program
-from .directory import (CoherenceMsg, DirCacheCtl, DirectoryHome,
-                        is_home_bound)
+from .directory import DirCacheCtl, DirectoryHome, is_home_bound
 from .snoop import BusMemoryController, SnoopingCache
 
 

@@ -17,7 +17,7 @@ Address-map constants here must match :class:`repro.nil.tigon.ProgrammableNIC`.
 from __future__ import annotations
 
 from ..upl.assembler import assemble
-from ..upl.isa import MMIO_BASE, Program
+from ..upl.isa import Program
 
 #: Host memory window base in the NIC's address space (lui-loadable).
 HOST_WINDOW = 0x10 << 16

@@ -11,10 +11,9 @@ canonical NIL example.
 from __future__ import annotations
 
 import itertools
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
-from ..pcl.memory import MemRequest, MemResponse
 
 
 class EthernetFrame:

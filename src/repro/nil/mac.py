@@ -17,7 +17,7 @@ and drives it onto the wire.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..pcl.memory import MemRequest, MemResponse

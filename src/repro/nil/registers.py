@@ -30,7 +30,7 @@ off   name        semantics
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..mpl.dma import DMARequest

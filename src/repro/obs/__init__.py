@@ -1,0 +1,36 @@
+"""repro.obs — the observability layer.
+
+Zero-dependency instrumentation of the simulation framework itself
+(the model-facing statistics live in :mod:`repro.core.collector`):
+
+* :class:`Profiler` — attachable engine profiler: per-instance react
+  counts and sampled wall time, per-wire relaxation attribution,
+  per-timestep pressure, with a sampling knob bounding overhead;
+* :class:`MetricsRegistry` (+ :class:`Counter` / :class:`Gauge` /
+  :class:`Timer`) — structured framework metrics with a JSON snapshot
+  that campaigns roll into the run ledger;
+* :func:`hotspot_report` / :func:`metrics_json` — text and JSON views;
+* :func:`write_chrome_trace` — Perfetto-loadable trace-event timeline.
+
+See ``python -m repro profile --help`` for the command-line front end.
+"""
+
+from .metrics import (  # noqa: F401
+    Counter, Gauge, MetricsRegistry, Timer, merge_metrics,
+)
+from .profiler import (  # noqa: F401
+    DEFAULT_SAMPLE_EVERY, InstanceProfile, Profiler,
+)
+from .report import (  # noqa: F401
+    campaign_hotspot_report, hotspot_report, metrics_json, wire_label,
+    write_metrics_json, write_summary_json,
+)
+from .chrometrace import chrome_trace_dict, write_chrome_trace  # noqa: F401
+
+__all__ = [
+    "Counter", "Gauge", "Timer", "MetricsRegistry", "merge_metrics",
+    "Profiler", "InstanceProfile", "DEFAULT_SAMPLE_EVERY",
+    "hotspot_report", "metrics_json", "campaign_hotspot_report",
+    "wire_label", "write_metrics_json", "write_summary_json",
+    "chrome_trace_dict", "write_chrome_trace",
+]

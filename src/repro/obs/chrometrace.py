@@ -1,0 +1,91 @@
+"""Chrome trace-event export: open a simulation in Perfetto.
+
+Converts a :class:`~repro.obs.profiler.Profiler`'s timeline (collected
+with ``trace=True``) into the Chrome trace-event JSON format, loadable
+at https://ui.perfetto.dev (or ``chrome://tracing``).  The layout:
+
+* one process (``pid 0``) named after the design;
+* ``tid 0`` is the **timesteps** track: one complete (``ph="X"``) slice
+  per sampled timestep, annotated with reacts/transfers/unknowns;
+* one track per leaf instance with a slice per sampled ``react()``
+  dispatch — nested visually under the step slices, so a slow step can
+  be opened to see exactly which instances it spent its time in;
+* counter (``ph="C"``) tracks for transfers, reacts and unresolved
+  signals per step, rendered by Perfetto as line charts.
+
+This complements the VCD tracer in :mod:`repro.core.trace`: VCD shows
+*signal values* over model time, the Chrome trace shows *simulator
+cost* over wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .profiler import Profiler
+
+#: Trace timestamps are microseconds; perf_counter_ns gives nanoseconds.
+_NS_PER_US = 1000.0
+
+
+def chrome_trace_dict(prof: Profiler) -> Dict[str, Any]:
+    """Build the trace-event JSON object for one profile."""
+    origin = prof._origin_ns
+    events: List[Dict[str, Any]] = []
+
+    def us(t_ns: int) -> float:
+        return (t_ns - origin) / _NS_PER_US
+
+    design = prof.sim.design.name if prof.sim is not None else "design"
+    events.append({"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+                   "args": {"name": f"repro simulation {design!r}"}})
+    events.append({"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+                   "args": {"name": "timesteps"}})
+    for rec in prof.instances:
+        events.append({"ph": "M", "pid": 0, "tid": rec.index + 1,
+                       "name": "thread_name", "args": {"name": rec.path}})
+
+    for step, t0, t1, reacts, transfers, unknown in prof._step_events:
+        ts = us(t0)
+        events.append({
+            "ph": "X", "pid": 0, "tid": 0, "cat": "step",
+            "name": f"step {step}", "ts": ts,
+            "dur": max(0.0, (t1 - t0) / _NS_PER_US),
+            "args": {"reacts": reacts, "transfers": transfers,
+                     "unknown_at_start": unknown},
+        })
+        events.append({"ph": "C", "pid": 0, "name": "transfers", "ts": ts,
+                       "args": {"transfers": transfers}})
+        events.append({"ph": "C", "pid": 0, "name": "reacts", "ts": ts,
+                       "args": {"reacts": reacts}})
+        events.append({"ph": "C", "pid": 0, "name": "unknown_signals",
+                       "ts": ts, "args": {"unknown": unknown}})
+
+    instances = prof.instances
+    for index, t0, t1 in prof._react_events:
+        rec = instances[index]
+        events.append({
+            "ph": "X", "pid": 0, "tid": index + 1, "cat": "react",
+            "name": rec.template, "ts": us(t0),
+            "dur": max(0.0, (t1 - t0) / _NS_PER_US),
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "design": design,
+            "steps": prof.steps,
+            "sampled_steps": prof.sampled_steps,
+            "sample_every": prof.sample_every,
+            "dropped_events": prof._trace_dropped,
+        },
+    }
+
+
+def write_chrome_trace(prof: Profiler, path: str) -> None:
+    """Write the Perfetto-loadable trace-event file to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_dict(prof), handle)
+        handle.write("\n")

@@ -1,0 +1,220 @@
+"""Structured metrics: counters, gauges, and timers in one registry.
+
+The observability layer's common currency.  Where
+:class:`~repro.core.collector.StatsRegistry` holds *model* statistics
+(what the simulated system did), a :class:`MetricsRegistry` holds
+*framework* statistics (what the simulator itself did): instrument
+objects are cheap to update on hot paths and the whole registry
+flattens to a JSON-friendly dict that campaign runs ship back through
+the JSONL ledger.
+
+Instruments are keyed by name; dotted names (``"engine.steps"``,
+``"instance.cpu0/fetch.react_ns"``) are a convention, not a structure —
+the registry itself is flat so merging across runs stays trivial
+(:func:`merge_metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise SimulationError(
+                f"counter {self.name!r} is monotonic; cannot inc({n})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value:g})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value:g})"
+
+
+class Timer:
+    """A duration accumulator (nanoseconds) with count/min/max/mean.
+
+    Use :meth:`add_ns` from hot paths (the caller already has the two
+    ``perf_counter_ns`` readings), or :meth:`time` as a context manager
+    for coarse sections::
+
+        with registry.timer("campaign.aggregate").time():
+            ...
+    """
+
+    __slots__ = ("name", "count", "total_ns", "min_ns", "max_ns", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_ns = 0
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
+        self._t0: Optional[int] = None
+
+    def add_ns(self, ns: int) -> None:
+        self.count += 1
+        self.total_ns += ns
+        if self.min_ns is None or ns < self.min_ns:
+            self.min_ns = ns
+        if self.max_ns is None or ns > self.max_ns:
+            self.max_ns = ns
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    # -- context-manager form -------------------------------------------
+    def time(self) -> "Timer":
+        return self
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._t0 is not None:
+            self.add_ns(time.perf_counter_ns() - self._t0)
+            self._t0 = None
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "total_ns": self.total_ns,
+                "min_ns": self.min_ns or 0, "max_ns": self.max_ns or 0,
+                "mean_ns": self.mean_ns}
+
+    def __repr__(self) -> str:
+        return (f"Timer({self.name!r}, n={self.count}, "
+                f"total={self.total_ns / 1e6:.3f}ms)")
+
+
+class MetricsRegistry:
+    """A flat, typed store of framework metrics.
+
+    ``counter``/``gauge``/``timer`` create-or-return instruments by
+    name; an instrument name may only ever be one kind.  ``to_dict``
+    produces the JSON-friendly snapshot the campaign ledger records.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    # -- instrument accessors -------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name, "counter")
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name, "gauge")
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def timer(self, name: str) -> Timer:
+        inst = self._timers.get(name)
+        if inst is None:
+            self._check_free(name, "timer")
+            inst = self._timers[name] = Timer(name)
+        return inst
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (("counter", self._counters),
+                                  ("gauge", self._gauges),
+                                  ("timer", self._timers)):
+            if other_kind != kind and name in table:
+                raise SimulationError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot re-register as a {kind}")
+
+    # -- iteration / lookup ---------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return (name in self._counters or name in self._gauges
+                or name in self._timers)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        for table in (self._counters, self._gauges, self._timers):
+            yield from table.items()
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly snapshot: one sub-dict per instrument kind."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "timers": {n: t.summary() for n, t in sorted(self._timers.items())},
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry {len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, {len(self._timers)} timers>")
+
+
+def merge_metrics(snapshots: Any) -> Dict[str, Any]:
+    """Merge :meth:`MetricsRegistry.to_dict` snapshots across runs.
+
+    Counters and timer accumulators sum; gauges keep the last non-NaN
+    value seen; timer min/max widen.  Used by campaign-level hot-spot
+    aggregation, where each sweep point contributed one snapshot.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    timers: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            if not (isinstance(value, float) and math.isnan(value)):
+                gauges[name] = value
+        for name, summ in snap.get("timers", {}).items():
+            into = timers.setdefault(
+                name, {"count": 0, "total_ns": 0, "min_ns": 0, "max_ns": 0})
+            if summ.get("count"):
+                if into["count"] == 0:
+                    into["min_ns"] = summ["min_ns"]
+                else:
+                    into["min_ns"] = min(into["min_ns"], summ["min_ns"])
+                into["max_ns"] = max(into["max_ns"], summ["max_ns"])
+                into["count"] += summ["count"]
+                into["total_ns"] += summ["total_ns"]
+    for summ in timers.values():
+        summ["mean_ns"] = (summ["total_ns"] / summ["count"]
+                           if summ["count"] else 0.0)
+    return {"counters": counters, "gauges": gauges, "timers": timers}

@@ -1,0 +1,159 @@
+"""Human-readable and JSON views of a profile.
+
+Two exporters over :class:`~repro.obs.profiler.Profiler` data:
+
+* :func:`hotspot_report` — an aligned text table of the hottest
+  instances (sampled wall time, exact invoke counts), the busiest
+  wires, relaxation attribution and the per-timestep shape;
+* :func:`metrics_json` — the structured
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot as JSON text.
+
+Both work on a live (attached) or detached profiler; wire activity
+needs the live design and silently disappears after detach.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .profiler import Profiler
+
+
+def wire_label(wire) -> str:
+    """``src.port -> dst.port`` label for one wire (stub ends named)."""
+    src = f"{wire.src.instance.path}.{wire.src.port}" if wire.src else "const"
+    dst = f"{wire.dst.instance.path}.{wire.dst.port}" if wire.dst else "open"
+    return f"{src} -> {dst}"
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _ms(ns: float) -> str:
+    return f"{ns / 1e6:.3f}ms"
+
+
+def hotspot_report(prof: Profiler, top: int = 15) -> str:
+    """The text hot-spot report: where a model spends its time."""
+    lines: List[str] = []
+    sim = prof.sim
+    title = "profile"
+    if sim is not None:
+        title += (f" of design {sim.design.name!r} "
+                  f"(engine {type(sim).__name__})")
+    lines.append(title)
+    lines.append(
+        f"  {prof.steps} steps, {prof.sampled_steps} wall-timed "
+        f"(sample_every={prof.sample_every}), "
+        f"{prof.reacts_total} reacts, {prof.relaxations} relaxations, "
+        f"elapsed {_ms(prof.elapsed_ns)}")
+    if prof.step_ns.count:
+        lines.append(
+            f"  sampled step time: mean {_ms(prof.step_ns.mean)} "
+            f"(min {_ms(prof.step_ns.min)}, max {_ms(prof.step_ns.max)})")
+    lines.append(
+        f"  per step: {prof.reacts_per_step.mean:.1f} reacts, "
+        f"{prof.transfers_per_step.mean:.1f} transfers, "
+        f"{prof.unknown_per_step.mean:.1f} signals unknown at start")
+
+    ranked = prof.hotspots()
+    total_ns = sum(r.ns for r in ranked) or 1
+    lines.append("")
+    lines.append(f"hot instances (top {min(top, len(ranked))} "
+                 f"of {len(ranked)}, by sampled react time):")
+    rows, cumulative = [], 0.0
+    for rank, rec in enumerate(ranked[:top], 1):
+        share = 100.0 * rec.ns / total_ns
+        cumulative += share
+        rows.append([str(rank), rec.path, rec.template, str(rec.calls),
+                     _ms(rec.ns), f"{share:5.1f}%", f"{cumulative:5.1f}%"])
+    lines.extend(_table(["#", "instance", "template", "reacts",
+                         "sampled", "share", "cum"], rows))
+
+    hot_wires = prof.wire_activity(top)
+    if hot_wires:
+        lines.append("")
+        lines.append(f"hot wires (top {len(hot_wires)}, by transfers):")
+        rows = [[wire_label(w), str(n)] for w, n in hot_wires]
+        lines.extend(_table(["wire", "transfers"], rows))
+
+    relaxed = prof.relaxed_wires()
+    if relaxed:
+        lines.append("")
+        lines.append("relaxed wires (cycle policy forced a signal):")
+        by_wid = {w.wid: w for w in sim.design.wires} if sim is not None else {}
+        rows = []
+        for wid, count in sorted(relaxed.items(), key=lambda kv: -kv[1]):
+            wire = by_wid.get(wid)
+            label = wire_label(wire) if wire is not None else f"wire#{wid}"
+            rows.append([label, str(count)])
+        lines.extend(_table(["wire", "forced"], rows))
+    return "\n".join(lines)
+
+
+def metrics_json(prof: Profiler, indent: Optional[int] = 2) -> str:
+    """The structured metrics dump as JSON text."""
+    return prof.metrics().to_json(indent=indent)
+
+
+def campaign_hotspot_report(profiles: List[Dict[str, Any]],
+                            top: int = 15) -> str:
+    """Aggregate per-run ``profile`` dicts into one cross-sweep table.
+
+    ``profiles`` holds :meth:`Profiler.summary_dict` values, one per
+    completed run (what ``--profile`` campaigns record in the ledger).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    runs = 0
+    steps = reacts = relaxations = 0
+    for profile in profiles:
+        if not isinstance(profile, dict):
+            continue
+        runs += 1
+        steps += profile.get("steps", 0)
+        reacts += profile.get("reacts", 0)
+        relaxations += profile.get("relaxations", 0)
+        for path, rec in profile.get("instances", {}).items():
+            into = merged.setdefault(
+                path, {"template": rec.get("template", "?"),
+                       "calls": 0, "ns": 0, "runs": 0})
+            into["calls"] += rec.get("calls", 0)
+            into["ns"] += rec.get("ns", 0)
+            into["runs"] += 1
+    lines = [f"campaign hot spots across {runs} profiled runs "
+             f"({steps} steps, {reacts} reacts, {relaxations} relaxations):"]
+    if not merged:
+        lines.append("  (no profile data recorded; run with profiling on)")
+        return "\n".join(lines)
+    ranked = sorted(merged.items(), key=lambda kv: (-kv[1]["ns"], kv[0]))
+    total_ns = sum(rec["ns"] for _, rec in ranked) or 1
+    rows = []
+    for rank, (path, rec) in enumerate(ranked[:top], 1):
+        rows.append([str(rank), path, rec["template"], str(rec["runs"]),
+                     str(rec["calls"]), _ms(rec["ns"]),
+                     f"{100.0 * rec['ns'] / total_ns:5.1f}%"])
+    lines.extend(_table(["#", "instance", "template", "runs", "reacts",
+                         "sampled", "share"], rows))
+    return "\n".join(lines)
+
+
+def write_metrics_json(prof: Profiler, path: str) -> None:
+    """Write :func:`metrics_json` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_json(prof))
+        handle.write("\n")
+
+
+def write_summary_json(summary: Dict[str, Any], path: str) -> None:
+    """Write any JSON-friendly summary dict to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -9,7 +9,7 @@ fixed-priority, round-robin and oldest-first disciplines shipped.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence
+from typing import List, Sequence
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, ack, fwd
 

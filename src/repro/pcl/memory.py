@@ -14,9 +14,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
-import numpy as np
 
-from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, token
+from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 
 
 class MemRequest:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, ack, fwd
 

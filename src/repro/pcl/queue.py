@@ -10,7 +10,7 @@ ack); :class:`Delay` models fixed-latency lossless links.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, ack, fwd
 

@@ -7,7 +7,7 @@ semantics enable (§2.1).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Optional
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, ack, fwd
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -114,6 +114,9 @@ class Source(LeafModule):
                 self._pending[i] = self._make_value(now, i)
 
     def react(self) -> None:
+        # Must stay idempotent: the worklist engine may invoke react
+        # several times per timestep, so statistics are counted once in
+        # update() instead of here (cross-engine parity).
         out = self.port("out")
         for i in range(out.width):
             value = self._pending[i]
@@ -121,12 +124,12 @@ class Source(LeafModule):
                 out.send_nothing(i)
             else:
                 out.send(i, value)
-                self.collect("offered")
 
     def update(self) -> None:
         out = self.port("out")
         for i in range(out.width):
             if self._pending[i] is not None:
+                self.collect("offered")
                 if out.took(i):
                     self.collect("emitted")
                     self._pending[i] = None

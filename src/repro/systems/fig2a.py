@@ -14,7 +14,7 @@ coherent shared memory.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..ccl.topology import Mesh
 from ..core.lss import LSS

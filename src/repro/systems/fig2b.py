@@ -18,7 +18,7 @@ collects the aggregated summary frames.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from ..ccl.wireless import WirelessMedium
 from ..core.lss import LSS

@@ -18,7 +18,7 @@ running total (plus a doorbell) into node *i+1*'s memory.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..ccl.bus import Bus
 from ..ccl.packet import BusTransaction

@@ -30,7 +30,6 @@ from typing import Tuple
 from ..core.lss import LSS
 from ..ccl.wireless import WirelessMedium
 from ..nil.firmware import receive_forward, sensor_aggregate
-from ..nil.formats import EthernetFrame
 from ..nil.tigon import ProgrammableNIC
 from ..pcl.memory import MemoryArray
 from ..pcl.queue import Queue

@@ -16,7 +16,7 @@ write-allocate or write-through + no-allocate policies.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
 from ..pcl.memory import MemRequest, MemResponse

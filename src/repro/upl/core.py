@@ -18,10 +18,9 @@ models; the pipelined core in :mod:`repro.upl.pipeline` refines it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT
-from ..core.errors import FirmwareError
 from ..pcl.memory import MemRequest
 from .emulator import ArchState, OP_IFETCH, OP_READ, OP_WRITE, step_gen
 from .isa import Program

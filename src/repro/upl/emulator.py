@@ -21,8 +21,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.errors import FirmwareError
-from .isa import (Instruction, MMIO_BASE, NUM_REGS, Program, decode,
-                  to_signed32, to_unsigned32)
+from .isa import (Instruction, NUM_REGS, Program, decode, to_signed32,
+                  to_unsigned32)
 
 #: Operations yielded by :func:`step_gen`.
 OP_IFETCH = "ifetch"

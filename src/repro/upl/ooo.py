@@ -35,7 +35,7 @@ until the branch resolves on the CDB, so there is never a wrong path.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core import (HierBody, HierTemplate, LeafModule, Parameter, PortDecl,
                     INPUT, OUTPUT)

@@ -21,14 +21,14 @@ pass execute, so wrong-path operations never reach memory.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..core import (HierBody, HierTemplate, LeafModule, Parameter, PortDecl,
                     INPUT, OUTPUT, ack, fwd)
 from ..pcl.memory import MemRequest, MemResponse
 from ..pcl.queue import PipelineReg
 from .emulator import branch_taken, execute_alu
-from .isa import FORMATS, Instruction, Program
+from .isa import Instruction, Program
 from .predictors import StaticPredictor
 from .regfile import ReadReq, ReadResp, RegFile
 

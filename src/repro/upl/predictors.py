@@ -18,7 +18,7 @@ not-taken (``pc + 1``) unless the return-address stack knows better.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .isa import Instruction
 

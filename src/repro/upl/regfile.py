@@ -16,7 +16,7 @@ and by older instructions survive.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from ..core import LeafModule, Parameter, PortDecl, INPUT, OUTPUT, ack, fwd
 from .isa import NUM_REGS, to_signed32

@@ -168,3 +168,35 @@ class TestConfiguration:
         result = result_from_ledger("partial", Ledger.load(str(path)))
         assert {r.status for r in result.rows} == {"pending"}
         assert "pending" in result.summary()
+
+
+class TestProfiledCampaign:
+    def test_profile_rides_ledger_across_processes(self, tmp_path):
+        campaign = _pipe_campaign(tmp_path, name="profiled", workers=2,
+                                  profile=True, profile_sample=2)
+        result = campaign.run()
+        assert len(result.done) == 8
+        profiles = result.profiles()
+        assert set(profiles) == {r.run_id for r in result.done}
+        for profile in profiles.values():
+            assert profile["steps"] == 60
+            assert profile["sample_every"] == 2
+            assert profile["instances"]
+        report = result.hotspot_report()
+        assert "8 profiled runs" in report
+        # Replaying the journal preserves the profile data verbatim.
+        replayed = campaign.report()
+        assert replayed.profiles() == profiles
+
+    def test_unprofiled_campaign_has_no_profile_section(self, tmp_path):
+        result = _pipe_campaign(tmp_path, name="plain2", workers=0).run()
+        assert result.profiles() == {}
+        assert result.hotspot_report() == ""
+
+    def test_profile_top_bounds_ledger_payload(self, tmp_path):
+        campaign = _pipe_campaign(tmp_path, name="bounded", workers=0,
+                                  profile=True)
+        campaign.profile = True
+        result = campaign.run()
+        for profile in result.profiles().values():
+            assert len(profile["instances"]) <= 25

@@ -2,13 +2,12 @@
 
 import time
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import (AnalyticalFabric, Mesh, attach_analytical_traffic,
                        attach_traffic, build_mesh_network)
 from repro.ccl.packet import Packet
-from repro.pcl import Sink, Source
+from repro.pcl import Sink
 
 
 def _analytical_run(rate=0.1, cycles=300, jitter=0.0, seed=0, mesh=None):

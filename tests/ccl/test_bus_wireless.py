@@ -1,6 +1,5 @@
 """Unit tests for the Bus and WirelessMedium fabrics."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Bus, BusTransaction, WirelessMedium

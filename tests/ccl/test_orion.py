@@ -4,10 +4,9 @@ import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Mesh, attach_traffic, build_mesh_network
-from repro.ccl.orion import (DEFAULT_TECH, LinkEnergyModel,
-                             RouterEnergyModel, TechParams, ThermalRC,
-                             network_power_report, router_event_counts,
-                             router_power)
+from repro.ccl.orion import (LinkEnergyModel, RouterEnergyModel, TechParams,
+                             ThermalRC, network_power_report,
+                             router_event_counts, router_power)
 
 
 class TestEnergyModels:

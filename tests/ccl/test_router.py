@@ -1,10 +1,9 @@
 """Tests for the structural Router and mesh network builder."""
 
-import pytest
 
 from repro import LSS, build_simulator
-from repro.ccl import (LOCAL, Link, Mesh, PacketEjector, PacketInjector,
-                       Router, attach_traffic, build_mesh_network)
+from repro.ccl import (LOCAL, Link, Mesh, Router, attach_traffic,
+                       build_mesh_network)
 from repro.ccl.packet import Packet
 from repro.pcl import Sink, Source
 
@@ -135,7 +134,6 @@ class TestRingNetwork:
     def test_unidirectional_ring_delivers(self, engine):
         """A Ring of 2-port routers: NEXT hops forward, LOCAL ejects."""
         from repro.ccl import Ring
-        from repro.ccl.topology import Ring as RingTopo
         ring = Ring(4)
         spec = LSS("ring")
         routers = []

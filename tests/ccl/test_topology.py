@@ -1,6 +1,5 @@
 """Unit tests for mesh/torus/ring topologies and routing functions."""
 
-import pytest
 
 from repro.ccl.packet import Packet
 from repro.ccl.topology import (EAST, LOCAL, Mesh, NORTH, Ring, SOUTH,

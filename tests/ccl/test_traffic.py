@@ -1,11 +1,9 @@
 """Unit tests for traffic generation and ejection."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Mesh, PacketEjector, PacketInjector
 from repro.ccl.packet import Packet
-from repro.pcl import Sink
 
 
 def _inj_system(cycles=200, **inj_kw):

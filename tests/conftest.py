@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import LSS, build_simulator
+from repro import LSS
 from repro.pcl import Queue, Sink, Source
 
 ENGINES = ("worklist", "levelized", "codegen")

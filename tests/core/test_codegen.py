@@ -1,6 +1,5 @@
 """Unit tests for the generated-code engine (repro.core.codegen)."""
 
-import pytest
 
 from repro import build_simulator
 from repro.core.codegen import CodegenSimulator, generate_stepper_source

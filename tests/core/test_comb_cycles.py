@@ -8,11 +8,11 @@ iterate it; semantics must agree everywhere.
 
 import pytest
 
-from repro import LSS, LeafModule, PortDecl, INPUT, OUTPUT, build_simulator
+from repro import LSS, build_simulator
 from repro.core.errors import CombinationalCycleError
 from repro.core.optimize import build_schedule
 from repro.core.constructor import build_design
-from repro.pcl import Monitor, Queue, Sink, Source
+from repro.pcl import Monitor, Queue, Source
 
 
 def _ring_spec(n=2, with_register=False):
@@ -81,7 +81,6 @@ class TestRegisteredRing:
     def test_token_circulates_forever(self, engine):
         """Seed the ring with one token via a source + drop-after gate;
         then watch it orbit."""
-        from repro import map_data
         spec = LSS("token")
         q = spec.instance("q", Queue, depth=2)
         m = spec.instance("m", Monitor)

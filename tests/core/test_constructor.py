@@ -7,7 +7,6 @@ from repro import (HierTemplate, LSS, Parameter, PortDecl, INPUT, OUTPUT,
 from repro.core.errors import (SpecificationError, TypeMismatchError,
                                WiringError)
 from repro.core.module import LeafModule
-from repro.core.signals import CtrlStatus, DataStatus
 from repro.core.typesys import INT, token
 from repro.pcl import Queue, Sink, Source
 

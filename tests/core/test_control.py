@@ -4,8 +4,7 @@ import pytest
 
 from repro import LSS, build_simulator
 from repro.core.control import (ControlFunction, always_ack, compose,
-                                gate_enable, map_data, never_ack,
-                                squash_when)
+                                map_data, never_ack, squash_when)
 from repro.core.errors import SpecificationError
 from repro.core.signals import CtrlStatus, DataStatus
 from repro.pcl import Queue, Sink, Source

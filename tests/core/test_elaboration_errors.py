@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import (HierBody, HierTemplate, LSS, Parameter, PortDecl, INPUT,
-                   OUTPUT, build_design, build_simulator, elaborate)
+from repro import (HierTemplate, LSS, Parameter, PortDecl, INPUT, OUTPUT,
+                   build_design, build_simulator, elaborate)
 from repro.core.errors import SpecificationError
 from repro.pcl import Queue, Sink, Source
 

@@ -8,8 +8,8 @@ observable behaviour, and hierarchy must be semantically transparent
 
 from hypothesis import given, settings, strategies as st
 
-from repro import (HierTemplate, LSS, Parameter, PortDecl, INPUT, OUTPUT,
-                   build_design, build_simulator)
+from repro import (HierTemplate, LSS, PortDecl, INPUT, OUTPUT, build_design,
+                   build_simulator)
 from repro.pcl import Monitor, PipelineReg, Queue, Sink, Source
 
 ENGINES = ("worklist", "levelized", "codegen")

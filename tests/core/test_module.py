@@ -5,7 +5,7 @@ import pytest
 from repro import (HierBody, HierTemplate, LeafModule, LSS, Parameter,
                    PortDecl, INPUT, OUTPUT)
 from repro.core.errors import ParameterError, SpecificationError
-from repro.pcl import Queue, Sink, Source
+from repro.pcl import Queue
 
 
 class Probe(LeafModule):

@@ -1,11 +1,9 @@
 """Unit tests for static scheduling (repro.core.optimize)."""
 
-import pytest
 
 from repro import LSS, build_design, build_simulator
-from repro.core.optimize import (LevelizedSimulator, build_schedule,
-                                 build_signal_graph)
-from repro.pcl import Arbiter, Monitor, PipelineReg, Queue, Sink, Source
+from repro.core.optimize import build_schedule, build_signal_graph
+from repro.pcl import Arbiter, Monitor, PipelineReg, Sink, Source
 
 from ..conftest import simple_pipe_spec
 

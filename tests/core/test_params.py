@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ParameterError
-from repro.core.params import Parameter, REQUIRED, resolve_bindings
+from repro.core.params import Parameter, resolve_bindings
 
 
 class TestParameter:

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core.errors import MonotonicityError
-from repro.core.signals import (ALL_SIGNALS, CtrlStatus, DataStatus,
-                                Endpoint, SIG_ACK, SIG_DATA, SIG_ENABLE,
-                                Wire)
+from repro.core.signals import (ALL_SIGNALS, CtrlStatus, DataStatus, SIG_ACK,
+                                SIG_DATA, SIG_ENABLE, Wire)
 
 
 def make_wire(**kw):

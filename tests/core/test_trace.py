@@ -48,7 +48,7 @@ class TestSampling:
         """A steady signal is dumped once, not per cycle."""
         text = _traced_run(6)
         # Ack of src->q stays 1 throughout: exactly one dump of its bit.
-        lines = [l for l in text.splitlines() if l.startswith("#")]
+        lines = [ln for ln in text.splitlines() if ln.startswith("#")]
         # After warmup (cycle 0/1) the pipeline is in steady state with
         # changing data values only; markers exist but few var lines
         # per marker.

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.errors import TypeMismatchError
-from repro.core.typesys import (ANY, BITS, FLOAT, INT, ScalarType, Struct,
-                                Token, WireType, infer_types, token)
+from repro.core.typesys import (ANY, BITS, FLOAT, INT, Struct, infer_types,
+                                token)
 
 
 class TestUnification:

@@ -1,6 +1,5 @@
 """Tests for directory-based coherence over the mesh."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Mesh

@@ -1,10 +1,9 @@
 """Tests for the DMA controller and memory-ordering store buffers."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.mpl import DMAController, DMADone, DMARequest, StoreBuffer
-from repro.pcl import MemoryArray, Sink, Source, TraceSource
+from repro.pcl import MemoryArray, Sink, Source
 from repro.upl import SimpleCore, assemble
 
 from ..conftest import run_to_halt

@@ -1,6 +1,5 @@
 """Tests for the write-back MSI snooping protocol."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.mpl import build_msi_smp, build_snooping_smp

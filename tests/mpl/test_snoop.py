@@ -1,6 +1,5 @@
 """Tests for bus-based snooping coherence."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.mpl import build_snooping_smp

@@ -1,6 +1,5 @@
 """Tests for Ethernet/PCI formats and the format converters."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.nil import (EthernetFrame, FormatConverter, PCITransaction,

@@ -4,12 +4,11 @@ The integration tests in test_nic.py exercise these through firmware;
 here each block is driven in isolation through its ports.
 """
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.nil import (DMA_DONE, DMA_GO, DMA_LEN, DMA_SRC, DMA_DST,
-                       EthernetFrame, MACAssist, MACTx, NICRegisters,
-                       RX_CONS, RX_PROD, SCRATCH, TX_GO, TX_SLOT, TX_WORDS)
+                       EthernetFrame, MACAssist, NICRegisters, RX_CONS,
+                       RX_PROD, SCRATCH, TX_GO, TX_SLOT, TX_WORDS)
 from repro.pcl import MemoryArray, MemRequest, Sink, Source, TraceSource
 
 

@@ -1,7 +1,6 @@
 """Integration tests for the programmable NIC (MAC, registers, DMA,
 firmware) — the NIL's Tigon-2-style device."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.nil import (EthernetFrame, HOST_RING_OFFSET, ProgrammableNIC,

@@ -1,0 +1,85 @@
+"""Tests for the Chrome trace-event exporter (repro.obs.chrometrace)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import build_simulator
+from repro.obs import Profiler, chrome_trace_dict, write_chrome_trace
+
+from ..conftest import simple_pipe_spec
+
+
+def _traced(cycles=20, **prof_kw):
+    sim = build_simulator(simple_pipe_spec())
+    prof = Profiler(sim, trace=True, **prof_kw)
+    sim.run(cycles)
+    return sim, prof
+
+
+class TestTraceShape:
+    def test_required_top_level_keys(self):
+        _sim, prof = _traced()
+        trace = chrome_trace_dict(prof)
+        assert set(trace) >= {"traceEvents", "displayTimeUnit"}
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["steps"] == 20
+
+    def test_metadata_names_process_and_tracks(self):
+        sim, prof = _traced()
+        events = chrome_trace_dict(prof)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta
+                 if e["name"] == "thread_name"}
+        assert "timesteps" in names
+        assert set(sim.design.leaves) <= names
+
+    def test_step_slices_cover_sampled_steps(self):
+        _sim, prof = _traced(cycles=20, sample_every=4)
+        events = chrome_trace_dict(prof)["traceEvents"]
+        steps = [e for e in events if e["ph"] == "X" and e.get("cat") == "step"]
+        assert len(steps) == prof.sampled_steps == 5
+        for e in steps:
+            assert e["dur"] >= 0
+            assert e["ts"] >= 0
+            assert {"reacts", "transfers", "unknown_at_start"} <= set(e["args"])
+
+    def test_react_slices_land_on_instance_tracks(self):
+        sim, prof = _traced()
+        events = chrome_trace_dict(prof)["traceEvents"]
+        reacts = [e for e in events
+                  if e["ph"] == "X" and e.get("cat") == "react"]
+        assert reacts
+        tids = {e["tid"] for e in reacts}
+        assert tids <= set(range(1, len(sim.design.leaves) + 1))
+
+    def test_counter_events_present(self):
+        _sim, prof = _traced()
+        events = chrome_trace_dict(prof)["traceEvents"]
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert counters == {"transfers", "reacts", "unknown_signals"}
+
+    def test_trace_limit_drops_and_reports(self):
+        _sim, prof = _traced(cycles=30, sample_every=1, trace_limit=5)
+        assert len(prof._react_events) == 5
+        trace = chrome_trace_dict(prof)
+        assert trace["otherData"]["dropped_events"] > 0
+        assert prof.summary_dict()["trace_dropped"] > 0
+
+
+class TestWriter:
+    def test_file_is_valid_json(self, tmp_path):
+        _sim, prof = _traced()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(prof, str(path))
+        parsed = json.loads(path.read_text())
+        assert isinstance(parsed["traceEvents"], list)
+        assert parsed["traceEvents"]
+
+    def test_untraced_profiler_still_exports(self):
+        sim = build_simulator(simple_pipe_spec())
+        prof = Profiler(sim)  # trace=False
+        sim.run(10)
+        trace = chrome_trace_dict(prof)
+        # Metadata only — no slices were stored, but the file is valid.
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])

@@ -1,0 +1,102 @@
+"""Unit tests for the structured metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.obs import Counter, Gauge, MetricsRegistry, Timer, merge_metrics
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            Counter("hits").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_timer_accumulates_and_summarizes(self):
+        t = Timer("step")
+        t.add_ns(100)
+        t.add_ns(300)
+        s = t.summary()
+        assert s["count"] == 2
+        assert s["total_ns"] == 400
+        assert s["min_ns"] == 100
+        assert s["max_ns"] == 300
+        assert s["mean_ns"] == 200
+
+    def test_timer_context_manager_measures(self):
+        t = Timer("block")
+        with t:
+            pass
+        assert t.count == 1
+        assert t.total_ns >= 0
+
+
+class TestRegistry:
+    def test_create_or_return_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.timer("t") is reg.timer("t")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(SimulationError):
+            reg.gauge("x")
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.timer("t").add_ns(50)
+        d = reg.to_dict()
+        assert set(d) == {"counters", "gauges", "timers"}
+        assert d["counters"]["c"] == 2
+        assert d["gauges"]["g"] == 7
+        assert d["timers"]["t"]["total_ns"] == 50
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        parsed = json.loads(reg.to_json())
+        assert parsed["counters"]["c"] == 1
+
+
+class TestMerge:
+    def test_counters_sum_and_gauges_last_win(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(1)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.gauge("g").set(9)
+        merged = merge_metrics([a.to_dict(), b.to_dict()])
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 9
+
+    def test_timers_widen(self):
+        a = MetricsRegistry()
+        a.timer("t").add_ns(10)
+        b = MetricsRegistry()
+        b.timer("t").add_ns(90)
+        merged = merge_metrics([a.to_dict(), b.to_dict()])
+        t = merged["timers"]["t"]
+        assert t["count"] == 2
+        assert t["total_ns"] == 100
+        assert t["min_ns"] == 10
+        assert t["max_ns"] == 90

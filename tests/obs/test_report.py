@@ -1,0 +1,82 @@
+"""Tests for the text/JSON exporters (repro.obs.report)."""
+
+from __future__ import annotations
+
+import json
+
+from repro import build_simulator
+from repro.obs import (Profiler, campaign_hotspot_report, hotspot_report,
+                       metrics_json, wire_label, write_metrics_json,
+                       write_summary_json)
+
+from ..conftest import simple_pipe_spec
+
+
+def _profiled_sim(cycles=24, **prof_kw):
+    sim = build_simulator(simple_pipe_spec())
+    prof = Profiler(sim, **prof_kw)
+    sim.run(cycles)
+    return sim, prof
+
+
+class TestHotspotReport:
+    def test_contains_header_and_instances(self):
+        sim, prof = _profiled_sim()
+        report = hotspot_report(prof)
+        assert "24 steps" in report
+        assert "hot instances" in report
+        for path in sim.design.leaves:
+            assert path in report
+
+    def test_top_limits_rows(self):
+        _sim, prof = _profiled_sim()
+        report = hotspot_report(prof, top=1)
+        assert "top 1 of" in report
+
+    def test_wire_section_present_when_attached(self):
+        _sim, prof = _profiled_sim()
+        assert "hot wires" in hotspot_report(prof)
+        prof.detach()
+        assert "hot wires" not in hotspot_report(prof)
+
+    def test_wire_label_names_endpoints(self):
+        sim, _prof = _profiled_sim()
+        wire = sim.design.wire_between("src", "out", "q", "in")
+        assert wire_label(wire) == "src.out -> q.in"
+
+
+class TestMetricsJson:
+    def test_parses_and_has_sections(self):
+        _sim, prof = _profiled_sim()
+        parsed = json.loads(metrics_json(prof))
+        assert set(parsed) == {"counters", "gauges", "timers"}
+        assert parsed["counters"]["engine.steps"] == 24
+
+    def test_write_metrics_json(self, tmp_path):
+        _sim, prof = _profiled_sim()
+        path = tmp_path / "metrics.json"
+        write_metrics_json(prof, str(path))
+        assert json.loads(path.read_text())["counters"]["engine.steps"] == 24
+
+    def test_write_summary_json(self, tmp_path):
+        _sim, prof = _profiled_sim()
+        path = tmp_path / "summary.json"
+        write_summary_json(prof.summary_dict(), str(path))
+        assert json.loads(path.read_text())["steps"] == 24
+
+
+class TestCampaignReport:
+    def test_merges_runs(self):
+        profiles = []
+        for _ in range(3):
+            _sim, prof = _profiled_sim(cycles=10)
+            profiles.append(prof.summary_dict())
+        report = campaign_hotspot_report(profiles)
+        assert "3 profiled runs" in report
+        assert "30 steps" in report
+        assert "src" in report
+
+    def test_empty_input_degrades_gracefully(self):
+        report = campaign_hotspot_report([])
+        assert "0 profiled runs" in report
+        assert "no profile data" in report

@@ -1,6 +1,5 @@
 """Unit tests for the Arbiter and its policies."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.pcl import (Arbiter, Sink, Source, fixed_priority, oldest_first,
@@ -60,7 +59,9 @@ class TestPolicies:
         assert probe.values()[0] == "E"
 
     def test_custom_policy_callable(self):
-        reverse = lambda reqs, state, now: sorted(reqs, reverse=True)
+        def reverse(reqs, state, now):
+            return sorted(reqs, reverse=True)
+
         sim, (probe,) = _contended(reverse, cycles=5)
         assert set(probe.values()) == {2}
 

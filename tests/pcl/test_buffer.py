@@ -1,7 +1,6 @@
 """Unit tests for the generalized Buffer template — the paper's
 flagship reuse component (§2.1)."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.pcl import (Buffer, BufferEntry, Sink, Source, fifo_policy,

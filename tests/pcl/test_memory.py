@@ -1,6 +1,5 @@
 """Unit tests for MemoryArray and the request/response protocol."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.pcl import MemoryArray, MemRequest, MemResponse, Sink, Source

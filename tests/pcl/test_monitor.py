@@ -1,9 +1,8 @@
 """Unit tests for Monitor and Gate pass-throughs."""
 
-import pytest
 
 from repro import LSS, build_simulator
-from repro.pcl import Gate, Monitor, Queue, Sink, Source
+from repro.pcl import Gate, Monitor, Sink, Source
 
 
 class TestMonitor:

@@ -1,6 +1,5 @@
 """Unit tests for Tee / Mux / Demux / Combine / Splitter."""
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.pcl import Combine, Demux, Mux, Sink, Source, Splitter, Tee

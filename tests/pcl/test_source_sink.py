@@ -49,7 +49,9 @@ class TestSourcePatterns:
         assert 450 <= emitted <= 750  # ~600 expected
 
     def test_custom_generator(self):
-        gen = lambda now, i, rng: now if now % 2 == 0 else None
+        def gen(now, i, rng):
+            return now if now % 2 == 0 else None
+
         sim = _pipe({"pattern": "custom", "generator": gen}, cycles=10)
         assert sim.stats.counter("src", "emitted") == 5
 

@@ -6,7 +6,6 @@ out-of-order cores behind MSI-coherent caches on a broadcast bus,
 directory CMPs feeding NICs, etc. — with wiring alone.
 """
 
-import pytest
 
 from repro import LSS, build_simulator
 from repro.ccl import Bus
@@ -14,7 +13,6 @@ from repro.mpl import MSICache, MSIMemoryController
 from repro.pcl import MemoryArray
 from repro.upl import OoOCore, assemble, programs
 
-from .conftest import run_to_halt
 
 
 def _ooo_msi_smp(progs, *, engine="levelized", init_mem=None):
@@ -134,7 +132,6 @@ class TestGapFilling:
         assert sim.stats.counter("snk", "consumed") > 0
 
     def test_keep_samples_enables_percentiles(self):
-        from .conftest import simple_pipe_spec
         from repro.pcl import LatencySink
         spec = LSS("pct")
         from repro.pcl import Queue, Source

@@ -169,3 +169,84 @@ class TestCampaignCommand:
                 "--ledger", ledger, "--resume"]
         assert main(argv) == 2
         assert "different campaign" in capsys.readouterr().err
+
+
+class TestRunProfileFlag:
+    def test_run_profile_prints_hotspots(self, spec_file, capsys):
+        assert main(["run", spec_file, "--cycles", "20", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "snk:consumed = 19" in out       # normal report intact
+        assert "hot instances" in out
+        assert "20 steps" in out
+
+    def test_run_profile_sample_knob(self, spec_file, capsys):
+        assert main(["run", spec_file, "--cycles", "20", "--profile",
+                     "--profile-sample", "5"]) == 0
+        assert "sample_every=5" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_spec_prints_report(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--cycles", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "hot instances" in out
+        assert "hot wires" in out
+        assert "30 steps" in out
+
+    def test_out_dir_writes_all_artifacts(self, spec_file, tmp_path, capsys):
+        import json
+        out_dir = str(tmp_path / "prof")
+        assert main(["profile", spec_file, "--cycles", "20",
+                     "--out", out_dir]) == 0
+        capsys.readouterr()
+        report = open(os.path.join(out_dir, "report.txt")).read()
+        assert "hot instances" in report
+        metrics = json.load(open(os.path.join(out_dir, "metrics.json")))
+        assert metrics["counters"]["engine.steps"] == 20
+        trace = json.load(open(os.path.join(out_dir, "trace.json")))
+        assert trace["traceEvents"]
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_builder_with_params(self, capsys):
+        assert main(["profile", "--builder",
+                     "repro.systems.fig2a:build_fig2a_cmp",
+                     "--param", "width=2", "--param", "height=1",
+                     "--cycles", "15", "--engine", "codegen"]) == 0
+        out = capsys.readouterr().out
+        assert "CodegenSimulator" in out
+        assert "core_0_0" in out
+
+    def test_engine_parity_of_profile_counts(self, spec_file, capsys):
+        reports = {}
+        for engine in ("worklist", "levelized", "codegen"):
+            assert main(["profile", spec_file, "--cycles", "10",
+                         "--engine", engine]) == 0
+            reports[engine] = capsys.readouterr().out
+        # All engines agree on the exact react counts shown per instance.
+        for engine, out in reports.items():
+            assert "10 steps" in out, engine
+
+    def test_missing_spec_and_builder_exits_2(self, capsys):
+        assert main(["profile"]) == 2
+        assert "profile needs" in capsys.readouterr().err
+
+    def test_param_without_builder_exits_2(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--param", "x=1"]) == 2
+        assert "--param" in capsys.readouterr().err
+
+
+class TestCampaignProfileFlag:
+    def test_campaign_profile_prints_merged_hotspots(self, spec_file,
+                                                     tmp_path, capsys):
+        ledger = str(tmp_path / "prof.jsonl")
+        argv = ["campaign", spec_file, "--grid", "q.depth=1,4",
+                "--cycles", "30", "--workers", "0", "--retries", "0",
+                "--ledger", ledger, "--profile"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "campaign hot spots across 2 profiled runs" in out
+
+        # The profile rides the ledger: --report replays it without running.
+        assert main(["campaign", "--ledger", ledger, "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign hot spots across 2 profiled runs" in out

@@ -10,16 +10,14 @@ combinations none of them were written for and assert the contract
 holds them up.
 """
 
-import pytest
 
 from repro import LSS, build_simulator, map_data
-from repro.ccl import Bus, BusTransaction, Link, Mesh, Router
+from repro.ccl import Bus, BusTransaction, Mesh
 from repro.ccl.packet import Packet
 from repro.mpl import DMAController, DMARequest
-from repro.nil import EthernetFrame, FormatConverter, PCIUnpacker
-from repro.pcl import (Arbiter, Buffer, Delay, Gate, MemoryArray,
-                       MemRequest, Monitor, PipelineReg, Queue, Sink,
-                       Source, Tee)
+from repro.nil import EthernetFrame, FormatConverter
+from repro.pcl import (Arbiter, Buffer, Delay, Gate, MemoryArray, Monitor,
+                       PipelineReg, Queue, Sink, Source, Tee)
 from repro.upl import Cache, SimpleCore, programs
 
 from .conftest import run_to_halt

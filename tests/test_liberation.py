@@ -1,6 +1,5 @@
 """Tests for the Liberation wrapper (legacy simulators as LSE modules)."""
 
-import pytest
 
 from repro import (FunctionAdapter, LiberatedModule, LSS, build_simulator)
 from repro.pcl import Queue, Sink, Source

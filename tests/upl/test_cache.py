@@ -1,6 +1,5 @@
 """Unit + property tests for the set-associative Cache."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import LSS, build_simulator

@@ -8,7 +8,6 @@ three must agree on final architectural state — registers and memory.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import LSS, build_simulator

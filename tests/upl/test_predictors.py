@@ -1,6 +1,5 @@
 """Unit tests for branch predictors."""
 
-import pytest
 
 from repro.upl.isa import Instruction
 from repro.upl.predictors import (BimodalPredictor, GSharePredictor,

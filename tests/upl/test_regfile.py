@@ -1,11 +1,10 @@
 """Unit tests for the RegFile scoreboard module."""
 
-import pytest
 
 from repro import LSS, build_simulator
-from repro.pcl import Sink, Source, TraceSource
+from repro.pcl import Sink, TraceSource
 from repro.upl.pipeline import PipelineShared
-from repro.upl.regfile import ReadReq, ReadResp, RegFile
+from repro.upl.regfile import ReadReq, RegFile
 
 
 def _rf_system(reads=(), writes=(), claims=(), cycles=12, shared=None):
