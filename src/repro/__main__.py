@@ -1,16 +1,20 @@
 """Command-line entry point.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run SPEC.lss [--cycles N] [--engine ...] [--stats P]
                                  [--dot FILE] [--seed N] [--activity]
-                                 [--vcd FILE] [--profile]
+                                 [--vcd FILE] [--profile] [--strict]
     python -m repro campaign [SPEC.lss] --grid inst.param=v1,v2,...
                                  [--workers N] [--resume] [--report]
-                                 [--profile] ...
+                                 [--profile] [--strict] ...
     python -m repro profile [SPEC.lss | --builder PKG.MOD:FN]
                                  [--param k=v ...] [--cycles N]
                                  [--out DIR] [--json F] [--trace F]
+    python -m repro check [SPEC.lss | --builder PKG.MOD:FN]
+                                 [--param k=v ...] [--format text|json]
+                                 [--fail-on SEV] [--passes NAMES]
+                                 [--explain-schedule] [--list-rules]
 
 ``run`` parses the specification against the full shipped library
 environment (:func:`repro.library_env`), constructs the simulator, runs
@@ -20,6 +24,10 @@ a parallel, resumable experiment campaign (see :mod:`repro.campaign`).
 ``profile`` runs a model under the engine profiler
 (:mod:`repro.obs`) and emits a hot-spot report, a structured metrics
 dump, and a Chrome trace-event timeline loadable at ui.perfetto.dev.
+``check`` statically analyzes a model without simulating it
+(:mod:`repro.analysis`): connectivity lint, DEPS contract conformance,
+and MoC cycle analysis; ``--strict`` on ``run``/``campaign`` runs the
+same passes as a pre-flight and refuses to simulate on findings.
 
 For backward compatibility, ``python -m repro SPEC.lss ...`` (no
 subcommand) is interpreted as ``run``.  Framework errors exit with
@@ -36,7 +44,7 @@ from . import __version__, build_simulator, library_env, parse_lss
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
-_SUBCOMMANDS = ("run", "campaign", "profile")
+_SUBCOMMANDS = ("run", "campaign", "profile", "check")
 
 _ENGINES = ("worklist", "levelized", "codegen")
 
@@ -64,6 +72,10 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--profile-sample", type=int, default=4, metavar="N",
                         help="profiler wall-time sampling period in "
                              "timesteps (default 4)")
+    parser.add_argument("--strict", action="store_true",
+                        help="run the static analysis passes first and "
+                             "refuse to simulate on findings "
+                             "(warning or worse)")
 
 
 def _add_profile_parser(subparsers) -> None:
@@ -163,6 +175,9 @@ def _run_command(args) -> int:
     with open(args.spec) as handle:
         text = handle.read()
     spec = parse_lss(text, library_env())
+    if args.strict:
+        from .analysis import strict_preflight
+        strict_preflight(spec)
     sim = build_simulator(spec, engine=args.engine, seed=args.seed)
     if args.dot:
         with open(args.dot, "w") as handle:
@@ -212,6 +227,8 @@ def main(argv=None) -> int:
     from .campaign.cli import add_campaign_parser, run_campaign_command
     add_campaign_parser(subparsers)
     _add_profile_parser(subparsers)
+    from .analysis.cli import add_check_parser, run_check_command
+    add_check_parser(subparsers)
 
     args = parser.parse_args(argv)
     try:
@@ -219,6 +236,8 @@ def main(argv=None) -> int:
             return _run_command(args)
         if args.command == "profile":
             return _profile_command(args)
+        if args.command == "check":
+            return run_check_command(args)
         return run_campaign_command(args)
     except BrokenPipeError:
         # Reader (e.g. `| head`) went away mid-report; not our error.

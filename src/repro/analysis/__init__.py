@@ -1,0 +1,64 @@
+"""Static model checking and contract verification (``repro check``).
+
+The paper's fixed model of computation makes specifications statically
+analyzable before any simulator exists (§2.3).  This package turns that
+property into a checking subsystem:
+
+* :mod:`~repro.analysis.diagnostics` — structured findings
+  (:class:`Diagnostic`, :class:`Report`) with text and JSON rendering;
+* :mod:`~repro.analysis.passes` — the :class:`PassManager` framework
+  and pass registry;
+* :mod:`~repro.analysis.connectivity` — wiring lint (unconnected
+  ports, dead instances, constant subgraphs, dangling exports);
+* :mod:`~repro.analysis.contracts` — static ``DEPS``-vs-``react``
+  conformance in the assume-guarantee style;
+* :mod:`~repro.analysis.moc` — combinational-cycle and
+  relaxation-race reporting on the signal-group graph;
+* :mod:`~repro.analysis.monitor` — the opt-in runtime
+  :class:`ContractMonitor`;
+* :mod:`~repro.analysis.cli` — the ``python -m repro check``
+  subcommand and the ``--strict`` pre-flight.
+
+Quick use::
+
+    from repro.analysis import check
+    report = check(spec)          # or check(design)
+    if report.has_errors:
+        print(report.to_text())
+"""
+
+from .diagnostics import Diagnostic, Report, Severity
+from .passes import (PASS_REGISTRY, AnalysisContext, AnalysisPass,
+                     PassManager, all_rules, check, register_pass)
+
+# Importing the pass modules registers the default suite, in order.
+from . import connectivity as _connectivity  # noqa: E402,F401
+from . import contracts as _contracts        # noqa: E402,F401
+from . import moc as _moc                    # noqa: E402,F401
+
+from .cli import strict_preflight            # noqa: E402
+from .contracts import ContractPass, ReactFootprint, react_footprint
+from .connectivity import ConnectivityPass
+from .moc import MoCPass
+from .monitor import MONITOR_RULES, ContractMonitor
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisPass",
+    "ConnectivityPass",
+    "ContractMonitor",
+    "ContractPass",
+    "Diagnostic",
+    "MoCPass",
+    "MONITOR_RULES",
+    "PASS_REGISTRY",
+    "PassManager",
+    "ReactFootprint",
+    "Report",
+    "Severity",
+    "all_rules",
+    "check",
+    "react_footprint",
+    "register_pass",
+    "strict_preflight",
+]

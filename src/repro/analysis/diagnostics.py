@@ -1,0 +1,213 @@
+"""Structured diagnostics emitted by analysis passes.
+
+Every finding an analysis pass makes is a :class:`Diagnostic`: a stable
+rule id (``pass.rule-name``), a :class:`Severity`, the instance/port
+path it is anchored to (rendered with
+:func:`repro.core.errors.fmt_endpoint` so analysis findings read
+exactly like construction-time errors), a message, and an optional fix
+hint.  A :class:`Report` aggregates the diagnostics of one pass-manager
+run and renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}") from None
+
+    @property
+    def letter(self) -> str:
+        return self.name[0]
+
+
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Parameters
+    ----------
+    rule:
+        Stable dotted rule id, e.g. ``'connectivity.dangling-output'``.
+        The prefix names the pass that owns the rule.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        One-line statement of the problem.
+    path:
+        Instance path the finding is anchored to ('' for design-level
+        findings).
+    port:
+        Endpoint rendering (``instance.port[index]``) when the finding
+        is about a specific port, else ''.
+    hint:
+        Optional actionable fix suggestion.
+    data:
+        Extra JSON-friendly detail (lists of members, declared deps,
+        counts, ...), carried into the JSON report verbatim.
+    """
+
+    __slots__ = ("rule", "severity", "message", "path", "port", "hint",
+                 "data")
+
+    def __init__(self, rule: str, severity: Severity, message: str, *,
+                 path: str = "", port: str = "", hint: str = "",
+                 data: Optional[Dict[str, Any]] = None):
+        self.rule = rule
+        self.severity = Severity(severity)
+        self.message = message
+        self.path = path
+        self.port = port
+        self.hint = hint
+        self.data = dict(data or {})
+
+    @property
+    def pass_name(self) -> str:
+        """The pass owning the rule (the id's first dotted component)."""
+        return self.rule.split(".", 1)[0]
+
+    def anchor(self) -> str:
+        """The most specific location this finding points at."""
+        return self.port or self.path
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+        }
+        if self.path:
+            out["path"] = self.path
+        if self.port:
+            out["port"] = self.port
+        if self.hint:
+            out["hint"] = self.hint
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    def format(self) -> str:
+        where = self.anchor()
+        loc = f" {where}:" if where else ""
+        text = f"{self.severity.letter} [{self.rule}]{loc} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def __repr__(self) -> str:
+        return (f"Diagnostic({self.rule!r}, {self.severity.name}, "
+                f"{self.anchor()!r})")
+
+
+class Report:
+    """The collected findings of one analysis run."""
+
+    def __init__(self, design_name: str = "",
+                 diagnostics: Optional[Iterable[Diagnostic]] = None):
+        self.design_name = design_name
+        self.diagnostics: List[Diagnostic] = list(diagnostics or ())
+        #: Names of the passes that actually ran (in order).
+        self.passes_run: List[str] = []
+
+    # -- collection ----------------------------------------------------
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- queries -------------------------------------------------------
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.errors > 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        """Findings at or above ``severity``."""
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def rules(self) -> List[str]:
+        """Distinct rule ids present, sorted."""
+        return sorted({d.rule for d in self.diagnostics})
+
+    # -- rendering -----------------------------------------------------
+    def summary(self) -> str:
+        if self.clean:
+            return (f"check {self.design_name!r}: clean "
+                    f"({len(self.passes_run)} passes)")
+        infos = self.count(Severity.INFO)
+        return (f"check {self.design_name!r}: {self.errors} error(s), "
+                f"{self.warnings} warning(s), {infos} info "
+                f"({len(self.passes_run)} passes)")
+
+    def to_text(self) -> str:
+        """Human-readable report, worst findings first."""
+        lines = [self.summary()]
+        ranked = sorted(self.diagnostics,
+                        key=lambda d: (-int(d.severity), d.rule, d.anchor()))
+        for diag in ranked:
+            lines.append(diag.format())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "design": self.design_name,
+            "passes": list(self.passes_run),
+            "clean": self.clean,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.count(Severity.INFO),
+            "findings": [d.to_dict() for d in sorted(
+                self.diagnostics,
+                key=lambda d: (-int(d.severity), d.rule, d.anchor()))],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def __repr__(self) -> str:
+        return (f"<Report {self.design_name!r}: {len(self.diagnostics)} "
+                f"findings ({self.errors} errors)>")

@@ -86,6 +86,10 @@ def add_campaign_parser(subparsers) -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="print the aggregate table from the ledger "
                              "and exit without running")
+    parser.add_argument("--strict", action="store_true",
+                        help="run the static analysis passes over the "
+                             "base model first and refuse to launch on "
+                             "findings (warning or worse)")
     parser.add_argument("--metrics", default="",
                         help="comma-separated metric columns for the table "
                              "(e.g. 'transfers,snk:consumed')")
@@ -156,6 +160,11 @@ def run_campaign_command(args) -> int:
         with open(args.spec) as handle:
             campaign_kw = {"kind": "lss", "lss_text": handle.read()}
 
+    if args.strict:
+        # Pre-flight the unswept base model before burning worker time.
+        from ..analysis import strict_preflight
+        strict_preflight(_base_spec(args, campaign_kw))
+
     campaign = Campaign(
         name, sweep, engine=args.engine, cycles=args.cycles,
         workers=args.workers, timeout=args.timeout, retries=args.retries,
@@ -169,6 +178,15 @@ def run_campaign_command(args) -> int:
     _print_groups(result, args.group_by)
     _print_profile(result)
     return 0 if not result.failed else 1
+
+
+def _base_spec(args, campaign_kw: Dict[str, Any]):
+    """The unswept model a ``--strict`` campaign pre-flights."""
+    if args.builder is not None:
+        from .executor import _coerce_spec, resolve_target
+        return _coerce_spec(resolve_target(args.builder)())
+    from .. import library_env, parse_lss
+    return parse_lss(campaign_kw["lss_text"], library_env())
 
 
 def _print_profile(result) -> None:

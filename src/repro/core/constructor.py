@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from .control import ControlFunction
-from .errors import SpecificationError, WiringError
+from .errors import SpecificationError, WiringError, fmt_endpoint
 from .lss import LSS
 from .module import HierBody, LeafModule
 from .netlist import Design, FlatConnection, FlatDesign
@@ -138,17 +138,22 @@ def elaborate(spec: LSS) -> FlatDesign:
         dst_leaf = flat.leaves[dp]
         src_decl = src_leaf.port_decl(spt)
         dst_decl = dst_leaf.port_decl(dpt)
+        src_ep = fmt_endpoint(sp, spt, si)
+        dst_ep = fmt_endpoint(dp, dpt, di)
         if src_decl.direction != OUTPUT:
             raise WiringError(
-                f"{rc.origin}: source endpoint {sp}.{spt} is not an output port")
+                f"{rc.origin}: connection {src_ep} -> {dst_ep}: source "
+                f"endpoint {src_ep} is an {src_decl.direction} port "
+                f"({src_decl.wtype}), not an output")
         if dst_decl.direction != INPUT:
             raise WiringError(
-                f"{rc.origin}: destination endpoint {dp}.{dpt} is not an "
-                f"input port")
+                f"{rc.origin}: connection {src_ep} -> {dst_ep}: destination "
+                f"endpoint {dst_ep} is an {dst_decl.direction} port "
+                f"({dst_decl.wtype}), not an input")
         control = rc.control
         if control is not None and not isinstance(control, ControlFunction):
             raise WiringError(
-                f"{rc.origin}: control for {sp}.{spt}->{dp}.{dpt} is not a "
+                f"{rc.origin}: control for {src_ep} -> {dst_ep} is not a "
                 f"ControlFunction")
         conns.append(FlatConnection(sp, spt, si, dp, dpt, di, control,
                                     src_type=src_decl.wtype,
@@ -167,8 +172,8 @@ def _assign_indices(flat: FlatDesign, conns: List[FlatConnection]) -> None:
         slots = taken.setdefault(key, {})
         if index in slots:
             raise WiringError(
-                f"port {key[0]}.{key[1]} index {index} connected twice "
-                f"({slots[index]!r} and {conn!r})")
+                f"endpoint {fmt_endpoint(key[0], key[1], index)} connected "
+                f"twice ({slots[index]!r} and {conn!r})")
         slots[index] = conn
 
     # First pass: reserve explicit indices.
@@ -202,8 +207,8 @@ def _assign_indices(flat: FlatDesign, conns: List[FlatConnection]) -> None:
         width = max(slots) + 1
         if decl.max_width is not None and width > decl.max_width:
             raise WiringError(
-                f"port {path}.{port}: {width} connections exceed declared "
-                f"max_width {decl.max_width}")
+                f"port {fmt_endpoint(path, port, max(slots))}: {width} "
+                f"connections exceed declared max_width {decl.max_width}")
 
 
 def build_design(spec: LSS) -> Design:

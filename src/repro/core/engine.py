@@ -339,10 +339,15 @@ class Simulator(SimulatorBase):
                 break
             # Worklist drained with unresolved signals: cycle policy.
             if self.cycle_policy == "error":
+                # Lazy import: optimize imports this module at load time.
+                from .optimize import _cycle_detail, unresolved_cycle_report
+                members, groups = unresolved_cycle_report(self.design)
                 raise CombinationalCycleError(
                     f"timestep {self.now}: signal resolution reached a fixed "
                     f"point with {self._unknown} signal(s) unresolved:\n"
-                    + self._unresolved_report())
+                    + self._unresolved_report()
+                    + _cycle_detail(members, groups),
+                    members=members, groups=groups)
             self._relax_one()
             relax_budget -= 1
             if relax_budget <= 0:  # pragma: no cover - defensive

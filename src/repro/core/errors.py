@@ -7,6 +7,20 @@ inside user module code.
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence
+
+
+def fmt_endpoint(path: str, port: str, index: Optional[int] = None) -> str:
+    """Canonical ``instance.port[index]`` rendering of one wire endpoint.
+
+    Every layer that names an endpoint — construction errors, the
+    :mod:`repro.analysis` diagnostics, the runtime contract monitor —
+    goes through this helper so a given endpoint reads identically
+    everywhere.  ``index=None`` (not yet assigned) renders as ``[*]``.
+    """
+    idx = "*" if index is None else index
+    return f"{path}.{port}[{idx}]"
+
 
 class LibertyError(Exception):
     """Base class of all errors raised by the framework."""
@@ -73,7 +87,24 @@ class CombinationalCycleError(SimulationError):
     Raised only when the engine's ``cycle_policy`` is ``'error'``; with
     ``'relax'`` the engine instead forces pessimistic defaults onto the
     unresolved signals one at a time.
+
+    Attributes
+    ----------
+    members:
+        Instance paths participating in the stuck combinational
+        cluster(s), when the engine could attribute them.
+    groups:
+        Human-readable descriptions of the unresolved signal groups
+        (same rendering as the ``moc.combinational-cycle`` analysis
+        diagnostic).
     """
+
+    def __init__(self, message: str,
+                 members: Optional[Sequence[str]] = None,
+                 groups: Optional[Sequence[str]] = None):
+        super().__init__(message)
+        self.members: List[str] = list(members or ())
+        self.groups: List[str] = list(groups or ())
 
 
 class ContractViolationError(SimulationError):

@@ -30,9 +30,9 @@ from typing import Dict, List, Sequence, Set, Tuple
 import networkx as nx
 
 from .engine import SimulatorBase
-from .errors import CombinationalCycleError
+from .errors import CombinationalCycleError, fmt_endpoint
 from .netlist import Design
-from .signals import Wire
+from .signals import SIG_ACK, SIG_DATA, SIG_ENABLE, Wire
 
 #: A signal group: ("fwd"|"ack", wire id)
 Group = Tuple[str, int]
@@ -122,6 +122,91 @@ def build_signal_graph(design: Design) -> nx.DiGraph:
     return graph
 
 
+def combinational_clusters(graph: nx.DiGraph) -> List[List[Group]]:
+    """Non-trivial SCCs of the signal graph: potential combinational cycles.
+
+    Each cluster is returned as a sorted list of signal groups.  These
+    are exactly the clusters :func:`build_schedule` must iterate to a
+    fixed point, and what the ``moc.combinational-cycle`` analysis rule
+    reports before any simulator is built.
+    """
+    out: List[List[Group]] = []
+    for scc in nx.strongly_connected_components(graph):
+        if len(scc) > 1 or any(graph.has_edge(g, g) for g in scc):
+            out.append(sorted(scc, key=lambda g: (g[1], g[0])))
+    return out
+
+
+def describe_wire_group(kind: str, wire: Wire) -> str:
+    """Human-readable rendering of one signal group, e.g.
+    ``fwd src.out[0] -> q.in[0]``."""
+    def end(ep) -> str:
+        if ep is None:
+            return "<const>"
+        return fmt_endpoint(ep.instance.path, ep.port, ep.index)
+    return f"{kind} {end(wire.src)} -> {end(wire.dst)}"
+
+
+def cluster_report(graph: nx.DiGraph,
+                   members: Sequence[Group]) -> Tuple[List[str], List[str]]:
+    """``(instance paths, group descriptions)`` of one cycle cluster."""
+    paths: List[str] = []
+    groups: List[str] = []
+    for group in members:
+        node = graph.nodes[group]
+        driver = node["driver"]
+        if driver is not None and driver.path not in paths:
+            paths.append(driver.path)
+        groups.append(describe_wire_group(group[0], node["wire"]))
+    return sorted(paths), groups
+
+
+def _group_unresolved(kind: str, wire: Wire) -> bool:
+    missing = wire.unresolved()
+    if kind == "fwd":
+        return SIG_DATA in missing or SIG_ENABLE in missing
+    return SIG_ACK in missing
+
+
+def unresolved_cycle_report(design: Design) -> Tuple[List[str], List[str]]:
+    """Attribute a stuck resolution state to its combinational cycles.
+
+    Rebuilds the signal graph and returns the instance paths and
+    still-unresolved group descriptions of every cycle cluster that
+    contains an unresolved signal.  Used by the engines to enrich
+    :class:`~repro.core.errors.CombinationalCycleError` and by the
+    analysis ``moc`` pass for its pre-simulation report.
+    """
+    graph = build_signal_graph(design)
+    members: List[str] = []
+    groups: List[str] = []
+    for cluster in combinational_clusters(graph):
+        stuck = [g for g in cluster
+                 if _group_unresolved(g[0], graph.nodes[g]["wire"])]
+        if not stuck:
+            continue
+        paths, _ = cluster_report(graph, cluster)
+        for path in paths:
+            if path not in members:
+                members.append(path)
+        groups.extend(describe_wire_group(g[0], graph.nodes[g]["wire"])
+                      for g in stuck)
+    return members, groups
+
+
+def _cycle_detail(members: Sequence[str], groups: Sequence[str]) -> str:
+    """Render the members/groups attribution appended to cycle errors."""
+    if not members and not groups:
+        return ""
+    lines = []
+    if members:
+        lines.append("  cycle members: " + ", ".join(members))
+    if groups:
+        lines.append("  unresolved groups:")
+        lines.extend(f"    {g}" for g in groups)
+    return "\n" + "\n".join(lines)
+
+
 def build_schedule(design: Design) -> List[ScheduleEntry]:
     """Condense the signal graph and emit the static schedule."""
     graph = build_signal_graph(design)
@@ -198,10 +283,18 @@ class LevelizedSimulator(SimulatorBase):
             if pending and self._unknown == before:
                 # No progress: apply the cycle policy inside the cluster.
                 if self.cycle_policy == "error":
+                    members = sorted({inst.path
+                                      for inst in entry.instances})
+                    wmap = {w.wid: w for w in wires}
+                    groups = [describe_wire_group(kind, wmap[wid])
+                              for kind, wid in entry.groups
+                              if _group_unresolved(kind, wmap[wid])]
                     raise CombinationalCycleError(
                         f"timestep {self.now}: combinational cluster "
                         f"{entry!r} did not converge:\n"
-                        + self._unresolved_report())
+                        + self._unresolved_report()
+                        + _cycle_detail(members, groups),
+                        members=members, groups=groups)
                 for wire in wires:
                     missing = wire.unresolved()
                     if missing:
@@ -233,9 +326,12 @@ class LevelizedSimulator(SimulatorBase):
                 inst.react()
             if self._unknown == before:
                 if self.cycle_policy == "error":
+                    members, groups = unresolved_cycle_report(self.design)
                     raise CombinationalCycleError(
                         f"timestep {self.now}: static schedule incomplete "
-                        f"and iteration stuck:\n" + self._unresolved_report())
+                        f"and iteration stuck:\n" + self._unresolved_report()
+                        + _cycle_detail(members, groups),
+                        members=members, groups=groups)
                 for wire in self._wires:
                     missing = wire.unresolved()
                     if missing:

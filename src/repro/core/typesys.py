@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from .errors import TypeMismatchError
+from .errors import TypeMismatchError, fmt_endpoint
 
 
 class WireType:
@@ -138,7 +138,22 @@ def infer_types(connections) -> None:
 
     Each record must expose ``src_type`` and ``dst_type`` attributes and
     a writable ``wtype``.  After inference ``wtype`` holds the unified
-    type of the wire.
+    type of the wire.  When a record also carries endpoint naming
+    (``src_path``/``src_port``/``src_index`` and the ``dst_`` triple, as
+    :class:`~repro.core.netlist.FlatConnection` does), an irreconcilable
+    pair is reported with both ``instance.port[index]`` endpoints so the
+    message reads like an :mod:`repro.analysis` diagnostic.
     """
     for conn in connections:
-        conn.wtype = conn.src_type.unify(conn.dst_type)
+        try:
+            conn.wtype = conn.src_type.unify(conn.dst_type)
+        except TypeMismatchError as exc:
+            src_path = getattr(conn, "src_path", None)
+            if src_path is None:
+                raise
+            src = fmt_endpoint(src_path, conn.src_port, conn.src_index)
+            dst = fmt_endpoint(conn.dst_path, conn.dst_port, conn.dst_index)
+            raise TypeMismatchError(
+                f"connection {src} -> {dst}: {exc} "
+                f"(source port type {conn.src_type}, destination port "
+                f"type {conn.dst_type})") from None

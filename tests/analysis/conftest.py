@@ -1,0 +1,125 @@
+"""Shared mutant modules and specs for the analysis-pass tests.
+
+Each helper builds one *seeded defect*: a model that is wrong in
+exactly one way, so a test can assert the matching pass catches it
+with the right rule id and nothing else fires spuriously.
+"""
+
+from repro import LSS
+from repro.core import INPUT, OUTPUT, LeafModule, PortDecl, ack, fwd
+from repro.pcl import Monitor, Queue, Sink, Source
+
+
+class FlowThrough(LeafModule):
+    """Pure combinational pass-through with an unbounded-width input.
+
+    Forwards ``in[0]`` to ``out``; extra input indices exist only so a
+    test can wire several producers into one flow-through stage (the
+    shipped Monitor caps its input at width 1).
+    """
+
+    PORTS = (PortDecl("in", INPUT, min_width=1),
+             PortDecl("out", OUTPUT, min_width=1))
+    DEPS = {fwd("out"): (fwd("in"),), ack("in"): (ack("out"),)}
+
+    def react(self):
+        inp, out = self.port("in"), self.port("out")
+        if inp.known(0):
+            if inp.present(0):
+                out.send(0, inp.value(0))
+            else:
+                out.send_nothing(0)
+        if out.ack_known(0):
+            for i in range(inp.width):
+                inp.set_ack(i, out.accepted(0) if i == 0 else False)
+
+    def update(self):
+        pass
+
+
+def pipe_spec(name="pipe"):
+    """source -> queue -> sink; the canonical clean model."""
+    spec = LSS(name)
+    src = spec.instance("src", Source, pattern="counter")
+    q = spec.instance("q", Queue, depth=4)
+    snk = spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def disconnected_pipe_spec():
+    """The queue's output was (mistakenly) never connected."""
+    spec = LSS("cut")
+    src = spec.instance("src", Source, pattern="counter")
+    q = spec.instance("q", Queue, depth=4)
+    spec.instance("snk", Sink)
+    spec.connect(src.port("out"), q.port("in"))
+    return spec
+
+
+def monitor_ring_spec(n=2):
+    """A closed ring of flow-through Monitors: a combinational cycle
+    fed by nothing but stub constants."""
+    spec = LSS("ring")
+    stages = [spec.instance(f"m{i}", Monitor) for i in range(n)]
+    for a, b in zip(stages, stages[1:] + stages[:1]):
+        spec.connect(a.port("out"), b.port("in"))
+    return spec
+
+
+class Liar(LeafModule):
+    """Declares a Moore contract but reads its input during react.
+
+    The scheduler believes ``DEPS = {}`` and may run this before the
+    input resolves — the canonical undeclared-read defect, visible to
+    both the static contracts pass and the runtime monitor.
+    """
+
+    PORTS = (PortDecl("in", INPUT, min_width=1),)
+    DEPS = {}
+
+    def react(self):
+        inp = self.port("in")
+        if inp.present(0):  # undeclared read of fwd('in')
+            inp.set_ack(0, True)
+        else:
+            inp.set_ack(0, False)
+
+    def update(self):
+        if self.port("in").took(0):
+            self.collect("got")
+
+
+def liar_spec():
+    spec = LSS("liar")
+    src = spec.instance("src", Source, pattern="counter")
+    bad = spec.instance("bad", Liar)
+    spec.connect(src.port("out"), bad.port("in"))
+    return spec
+
+
+class WrongDirectionDeps(LeafModule):
+    """DEPS inverted: declares fwd(in) as driven and fwd(out) as read."""
+
+    PORTS = (PortDecl("in", INPUT, min_width=1),)
+    DEPS = {fwd("in"): (ack("in"),)}
+
+    def react(self):
+        self.port("in").set_ack(0, True)
+
+    def update(self):
+        pass
+
+
+class TypoDeps(LeafModule):
+    """DEPS names a port the template never declares."""
+
+    PORTS = (PortDecl("in", INPUT, min_width=1),)
+    DEPS = {ack("in"): (fwd("inn"),)}  # 'inn' is a typo
+
+    def react(self):
+        self.port("in").set_ack(0, True)
+
+    def update(self):
+        pass

@@ -1,0 +1,161 @@
+"""The ``python -m repro check`` subcommand and ``--strict`` pre-flight."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+CLEAN_SPEC = """
+system clean;
+instance src : Source(pattern="counter");
+instance q : Queue(depth=4);
+instance snk : Sink();
+connect src.out -> q.in;
+connect q.out -> snk.in;
+"""
+
+# The queue's output is cut and a stray sink floats free: one
+# dead-instance warning plus info-level stub-port inventory.
+WARNING_SPEC = """
+system cut;
+instance src : Source(pattern="counter");
+instance q : Queue(depth=4);
+instance snk : Sink();
+connect src.out -> q.in;
+"""
+
+# Two Monitors in a closed ring: constant-subgraph + combinational
+# cycles — warnings, never errors.
+RING_SPEC = """
+system ring;
+instance m0 : Monitor();
+instance m1 : Monitor();
+connect m0.out -> m1.in;
+connect m1.out -> m0.in;
+"""
+
+# Input used as a source: design construction itself fails.
+BROKEN_SPEC = """
+system broken;
+instance a : Queue(depth=2);
+instance b : Queue(depth=2);
+connect a.in -> b.in;
+"""
+
+
+def _write(tmp_path, text, name="model.lss"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_spec_exits_0(self, tmp_path, capsys):
+        assert main(["check", _write(tmp_path, CLEAN_SPEC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        assert main(["check", _write(tmp_path, WARNING_SPEC)]) == 1
+        out = capsys.readouterr().out
+        assert "connectivity.dead-instance" in out
+
+    def test_fail_on_error_tolerates_warnings(self, tmp_path):
+        assert main(["check", _write(tmp_path, WARNING_SPEC),
+                     "--fail-on", "error"]) == 0
+
+    def test_fail_on_info_flags_inventory(self, tmp_path):
+        # CLEAN_SPEC still has stub-padded optional ports at info level.
+        spec = _write(tmp_path, WARNING_SPEC)
+        assert main(["check", spec, "--fail-on", "info"]) == 1
+
+    def test_missing_spec_exits_2(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "absent.lss")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_spec_exits_2(self, capsys):
+        assert main(["check"]) == 2
+        assert "needs a .lss spec or --builder" in capsys.readouterr().err
+
+    def test_broken_spec_reports_build_error(self, tmp_path, capsys):
+        assert main(["check", _write(tmp_path, BROKEN_SPEC)]) == 1
+        out = capsys.readouterr().out
+        assert "build.error" in out
+
+
+class TestOutputFormats:
+    def test_json_document(self, tmp_path, capsys):
+        main(["check", _write(tmp_path, RING_SPEC), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "ring"
+        assert payload["clean"] is False
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "moc.combinational-cycle" in rules
+        assert "connectivity.constant-subgraph" in rules
+
+    def test_json_with_schedule_stays_one_document(self, tmp_path, capsys):
+        main(["check", _write(tmp_path, CLEAN_SPEC), "--format", "json",
+              "--explain-schedule"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "levelization depth" in payload["schedule"]
+
+    def test_text_explain_schedule(self, tmp_path, capsys):
+        main(["check", _write(tmp_path, CLEAN_SPEC), "--explain-schedule"])
+        out = capsys.readouterr().out
+        assert "levelization depth" in out
+
+    def test_pass_subset(self, tmp_path, capsys):
+        assert main(["check", _write(tmp_path, WARNING_SPEC),
+                     "--passes", "moc"]) == 0  # the cut is not a cycle
+        assert "clean" in capsys.readouterr().out
+
+    def test_list_rules_covers_static_and_monitor(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("connectivity.unconnected-input",
+                     "contracts.undeclared-read",
+                     "moc.combinational-cycle",
+                     "contract-monitor.premature-took"):
+            assert rule in out
+
+
+class TestBuilderTarget:
+    def test_builder_with_params(self, capsys):
+        code = main(["check", "--builder",
+                     "repro.systems.fig2a:build_fig2a_cmp",
+                     "--param", "width=2", "--param", "height=2"])
+        assert code == 0
+
+    def test_param_without_builder_rejected(self, tmp_path, capsys):
+        assert main(["check", _write(tmp_path, CLEAN_SPEC),
+                     "--param", "x=1"]) == 2
+
+
+class TestStrictPreflight:
+    def test_run_strict_refuses_findings(self, tmp_path, capsys):
+        spec = _write(tmp_path, WARNING_SPEC)
+        assert main(["run", spec, "--strict", "--cycles", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "strict pre-flight failed" in err
+        assert "connectivity.dead-instance" in err
+
+    def test_run_strict_passes_clean_model(self, tmp_path, capsys):
+        spec = _write(tmp_path, CLEAN_SPEC)
+        assert main(["run", spec, "--strict", "--cycles", "5"]) == 0
+
+    def test_campaign_strict_refuses_findings(self, tmp_path, capsys):
+        spec = _write(tmp_path, WARNING_SPEC)
+        ledger = str(tmp_path / "led.jsonl")
+        code = main(["campaign", spec, "--strict",
+                     "--grid", "q.depth=1,2", "--cycles", "5",
+                     "--workers", "0", "--ledger", ledger])
+        assert code == 2
+        assert "strict pre-flight failed" in capsys.readouterr().err
+
+    def test_campaign_strict_passes_clean_model(self, tmp_path, capsys):
+        spec = _write(tmp_path, CLEAN_SPEC)
+        ledger = str(tmp_path / "led.jsonl")
+        code = main(["campaign", spec, "--strict",
+                     "--grid", "q.depth=1,2", "--cycles", "5",
+                     "--workers", "0", "--ledger", ledger])
+        assert code == 0

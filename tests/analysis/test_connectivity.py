@@ -1,0 +1,133 @@
+"""Connectivity lint: each seeded wiring defect trips its rule."""
+
+from repro import LSS, HierTemplate, PortDecl, INPUT, OUTPUT
+from repro.analysis import Severity, check
+from repro.pcl import Queue, Sink, Source
+
+from .conftest import (FlowThrough, disconnected_pipe_spec,
+                       monitor_ring_spec, pipe_spec)
+
+
+def _connectivity(spec):
+    return check(spec, passes=["connectivity"])
+
+
+class TestCleanModels:
+    def test_fully_wired_pipe_is_clean(self):
+        assert _connectivity(pipe_spec()).clean
+
+    def test_single_instance_design_not_flagged_dead(self):
+        spec = LSS("solo")
+        spec.instance("q", Queue, depth=2)
+        report = _connectivity(spec)
+        assert not report.by_rule("connectivity.dead-instance")
+
+
+class TestStubPorts:
+    def test_disconnected_output_reported_at_info(self):
+        report = _connectivity(disconnected_pipe_spec())
+        rules = report.rules()
+        assert "connectivity.dangling-output" in rules
+        assert "connectivity.unconnected-input" in rules
+        dangling = report.by_rule("connectivity.dangling-output")
+        assert any("q.out" in d.port for d in dangling)
+        assert all(d.severity is Severity.INFO for d in dangling)
+
+    def test_sink_cut_off_is_dead(self):
+        report = _connectivity(disconnected_pipe_spec())
+        dead = report.by_rule("connectivity.dead-instance")
+        assert any(d.path == "snk" for d in dead)
+
+    def test_subgraph_that_cannot_reach_an_endpoint_is_dead(self):
+        # A healthy pipe (so an endpoint exists) next to a fed
+        # flow-through ring whose traffic never escapes to any consumer.
+        spec = LSS("noreach")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=2)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), q.port("in"))
+        spec.connect(q.port("out"), snk.port("in"))
+        feeder = spec.instance("feeder", Source, pattern="counter")
+        f0 = spec.instance("f0", FlowThrough)
+        f1 = spec.instance("f1", FlowThrough)
+        spec.connect(feeder.port("out"), f0.port("in"))
+        spec.connect(f0.port("out"), f1.port("in"))
+        spec.connect(f1.port("out"), f0.port("in"))
+        report = _connectivity(spec)
+        dead = {d.path for d in report.by_rule("connectivity.dead-instance")}
+        assert {"feeder", "f0", "f1"} <= dead
+        assert "src" not in dead and "q" not in dead
+        # The ring is fed, so it is not a constant subgraph.
+        assert not report.by_rule("connectivity.constant-subgraph")
+
+    def test_terminal_service_loop_counts_as_endpoint(self):
+        # A request/response loop with a stateful member (the fig2d
+        # gateway shape: NIC <-> memory) consumes what reaches it.
+        spec = LSS("service")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=2)
+        f = spec.instance("f", FlowThrough)
+        spec.connect(src.port("out"), f.port("in"))
+        spec.connect(f.port("out"), q.port("in"))
+        spec.connect(q.port("out"), f.port("in"))
+        report = _connectivity(spec)
+        assert not report.by_rule("connectivity.dead-instance")
+
+
+class TestConstantSubgraph:
+    def test_flow_through_ring_flagged(self):
+        report = _connectivity(monitor_ring_spec(2))
+        flagged = report.by_rule("connectivity.constant-subgraph")
+        assert len(flagged) == 1
+        assert sorted(flagged[0].data["members"]) == ["m0", "m1"]
+        assert flagged[0].severity is Severity.WARNING
+
+    def test_fed_ring_not_flagged(self):
+        spec = monitor_ring_spec(2)
+        src = spec.instance("src", Source, pattern="counter")
+        spec.connect(src.port("out"), spec.instances["m0"].port("in"))
+        report = _connectivity(spec)
+        assert not report.by_rule("connectivity.constant-subgraph")
+
+    def test_stateful_member_exempts_ring(self):
+        # A Queue (Moore) in the loop can originate traffic from state.
+        spec = LSS("qring")
+        q = spec.instance("q", Queue, depth=2)
+        from repro.pcl import Monitor
+        m = spec.instance("m", Monitor)
+        spec.connect(q.port("out"), m.port("in"))
+        spec.connect(m.port("out"), q.port("in"))
+        report = _connectivity(spec)
+        assert not report.by_rule("connectivity.constant-subgraph")
+
+
+class TestDanglingExport:
+    class Leaky(HierTemplate):
+        PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT),
+                 PortDecl("tap", OUTPUT))  # never exported
+
+        def build(self, body, params):
+            q = body.instance("q", Queue, depth=2)
+            body.export("in", q, "in")
+            body.export("out", q, "out")
+
+    def test_unexported_port_is_an_error(self):
+        spec = LSS("leak")
+        src = spec.instance("src", Source, pattern="counter")
+        h = spec.instance("h", self.Leaky)
+        snk = spec.instance("snk", Sink)
+        spec.connect(src.port("out"), h.port("in"))
+        spec.connect(h.port("out"), snk.port("in"))
+        report = _connectivity(spec)
+        dangling = report.by_rule("connectivity.dangling-export")
+        assert len(dangling) == 1
+        assert dangling[0].severity is Severity.ERROR
+        assert "tap" in dangling[0].message
+        assert dangling[0].data["ports"] == ["tap"]
+
+    def test_reported_once_per_template(self):
+        spec = LSS("leak2")
+        for i in range(3):
+            spec.instance(f"h{i}", self.Leaky)
+        report = _connectivity(spec)
+        assert len(report.by_rule("connectivity.dangling-export")) == 1

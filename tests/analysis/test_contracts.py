@@ -1,0 +1,156 @@
+"""Static DEPS-vs-react conformance on seeded contract defects."""
+
+from repro import LSS
+from repro.core import INPUT, OUTPUT, LeafModule, PortDecl, ack, fwd
+from repro.analysis import Severity, check, react_footprint
+from repro.pcl import Monitor, Queue, Sink, Source
+
+import pytest
+
+from .conftest import Liar, TypoDeps, WrongDirectionDeps, pipe_spec
+
+
+def _contracts(spec):
+    return check(spec, passes=["contracts"])
+
+
+def _single(spec_name, template, **bindings):
+    spec = LSS(spec_name)
+    spec.instance("x", template, **bindings)
+    return spec
+
+
+class TestCleanLibrary:
+    def test_shipped_pipe_has_no_contract_findings(self):
+        assert _contracts(pipe_spec()).clean
+
+
+class TestSeededDefects:
+    def test_undeclared_read_caught(self):
+        report = _contracts(_single("liar", Liar))
+        found = report.by_rule("contracts.undeclared-read")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "fwd('in')" in found[0].message
+        assert found[0].data["template"] == "Liar"
+
+    def test_wrong_direction_key_and_value_caught(self):
+        report = _contracts(_single("wd", WrongDirectionDeps))
+        found = report.by_rule("contracts.wrong-direction")
+        # Both the inverted key fwd('in') and the inverted dep ack('in').
+        assert len(found) == 2
+        assert all(d.severity is Severity.ERROR for d in found)
+
+    def test_deps_typo_caught_as_unknown_port(self):
+        report = _contracts(_single("typo", TypoDeps))
+        found = report.by_rule("contracts.unknown-port")
+        assert len(found) == 1
+        assert "'inn'" in found[0].message
+
+    def test_direction_misuse_caught(self):
+        class Backwards(LeafModule):
+            PORTS = (PortDecl("in", INPUT, min_width=1),)
+            DEPS = {}
+
+            def react(self):
+                self.port("in").send(0, 1)  # output API on an input
+
+            def update(self):
+                pass
+
+        report = _contracts(_single("bw", Backwards))
+        found = report.by_rule("contracts.direction-misuse")
+        assert len(found) == 1
+        assert "send()" in found[0].message
+
+    def test_unused_dep_reported_at_info(self):
+        class OverDeclared(LeafModule):
+            PORTS = (PortDecl("in", INPUT, min_width=1),)
+            DEPS = {ack("in"): (fwd("in"),)}  # never actually reads
+
+            def react(self):
+                self.port("in").set_ack(0, True)
+
+            def update(self):
+                pass
+
+        report = _contracts(_single("over", OverDeclared))
+        found = report.by_rule("contracts.unused-dep")
+        assert len(found) == 1
+        assert found[0].severity is Severity.INFO
+
+    def test_one_diagnostic_per_template_not_per_instance(self):
+        spec = LSS("many")
+        for i in range(4):
+            spec.instance(f"b{i}", Liar)
+        report = _contracts(spec)
+        found = report.by_rule("contracts.undeclared-read")
+        assert len(found) == 1
+        assert found[0].data["instances"] == 4
+
+
+class TestReactFootprint:
+    def test_sink_footprint(self):
+        fp = react_footprint(Sink)
+        assert ("ack", "in") in fp.writes
+        assert fp.misuses == [] and not fp.unknown_ports
+
+    def test_monitor_footprint_reads_input(self):
+        fp = react_footprint(Monitor)
+        assert ("fwd", "in") in fp.reads
+        assert ("fwd", "out") in fp.writes
+
+    def test_dynamic_port_names_mark_incomplete(self):
+        class Dynamic(LeafModule):
+            PORTS = (PortDecl("a", INPUT), PortDecl("b", OUTPUT))
+            DEPS = None
+
+            def react(self):
+                for name in ("a",):
+                    if self.port(name).present(0):
+                        pass
+
+            def update(self):
+                pass
+
+        assert react_footprint(Dynamic).complete is False
+
+    def test_helper_methods_are_followed(self):
+        class Helper(LeafModule):
+            PORTS = (PortDecl("in", INPUT), PortDecl("out", OUTPUT))
+            DEPS = {fwd("out"): (fwd("in"),), ack("in"): (ack("out"),)}
+
+            def react(self):
+                self._fwd_path()
+
+            def _fwd_path(self):
+                inp = self.port("in")
+                if inp.present(0):
+                    self.port("out").send(0, inp.value(0))
+                inp.set_ack(0, self.port("out").accepted(0))
+
+            def update(self):
+                pass
+
+        fp = react_footprint(Helper)
+        assert ("fwd", "in") in fp.reads
+        assert ("ack", "out") in fp.reads
+        assert ("fwd", "out") in fp.writes
+        assert ("ack", "in") in fp.writes
+        # And the declared contract is judged conformant.
+        report = _contracts(_single("help", Helper))
+        assert report.clean
+
+    def test_rejects_non_template(self):
+        with pytest.raises(TypeError):
+            react_footprint(object)
+
+
+class TestQueueStyleModules:
+    def test_moore_queue_is_conformant(self):
+        report = _contracts(_single("q", Queue, depth=2))
+        assert report.clean
+
+    def test_source_is_conformant(self):
+        report = _contracts(_single("s", Source, pattern="counter"))
+        assert report.clean

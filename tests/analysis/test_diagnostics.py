@@ -1,0 +1,94 @@
+"""Diagnostic/Report data model: ordering, rendering, queries."""
+
+import json
+
+import pytest
+
+from repro.analysis import Diagnostic, Report, Severity
+
+
+def _diag(rule="connectivity.dead-instance", sev=Severity.WARNING, **kw):
+    kw.setdefault("path", "a/b")
+    return Diagnostic(rule, sev, "something is off", **kw)
+
+
+class TestSeverity:
+    def test_ordered_for_max(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.INFO, Severity.ERROR]) is Severity.ERROR
+
+    @pytest.mark.parametrize("text,expected", [
+        ("info", Severity.INFO), ("WARNING", Severity.WARNING),
+        ("Error", Severity.ERROR)])
+    def test_parse(self, text, expected):
+        assert Severity.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_letters(self):
+        assert [s.letter for s in Severity] == ["I", "W", "E"]
+
+
+class TestDiagnostic:
+    def test_pass_name_is_rule_prefix(self):
+        assert _diag("moc.combinational-cycle").pass_name == "moc"
+
+    def test_anchor_prefers_port(self):
+        d = _diag(port="a/b.in[0]")
+        assert d.anchor() == "a/b.in[0]"
+        assert _diag().anchor() == "a/b"
+
+    def test_format_carries_rule_and_hint(self):
+        d = _diag(hint="rewire it")
+        text = d.format()
+        assert text.startswith("W [connectivity.dead-instance] a/b:")
+        assert "hint: rewire it" in text
+
+    def test_to_dict_omits_empty_fields(self):
+        d = Diagnostic("moc.x", Severity.INFO, "msg")
+        assert set(d.to_dict()) == {"rule", "severity", "message"}
+        full = _diag(hint="h", data={"k": 1}).to_dict()
+        assert full["data"] == {"k": 1} and full["hint"] == "h"
+
+
+class TestReport:
+    def _report(self):
+        r = Report("dsg")
+        r.add(_diag("a.x", Severity.INFO))
+        r.add(_diag("b.y", Severity.ERROR))
+        r.add(_diag("a.x", Severity.WARNING))
+        r.passes_run = ["a", "b"]
+        return r
+
+    def test_counts_and_worst(self):
+        r = self._report()
+        assert (r.errors, r.warnings, r.count(Severity.INFO)) == (1, 1, 1)
+        assert r.worst() is Severity.ERROR
+        assert r.has_errors and not r.clean
+
+    def test_at_least_threshold(self):
+        r = self._report()
+        assert len(r.at_least(Severity.INFO)) == 3
+        assert len(r.at_least(Severity.WARNING)) == 2
+        assert [d.rule for d in r.at_least(Severity.ERROR)] == ["b.y"]
+
+    def test_text_report_is_worst_first(self):
+        lines = self._report().to_text().splitlines()
+        assert "1 error(s), 1 warning(s), 1 info" in lines[0]
+        assert lines[1].startswith("E ")
+        assert lines[-1].startswith("I ")
+
+    def test_json_round_trips(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["design"] == "dsg"
+        assert payload["errors"] == 1 and payload["clean"] is False
+        assert [f["severity"] for f in payload["findings"]] \
+            == ["error", "warning", "info"]
+
+    def test_clean_summary(self):
+        r = Report("dsg")
+        r.passes_run = ["a"]
+        assert "clean" in r.summary()
+        assert r.worst() is None

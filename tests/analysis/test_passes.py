@@ -1,0 +1,82 @@
+"""Pass-manager framework: registry, contexts, graceful degradation."""
+
+import pytest
+
+from repro import LSS
+from repro.analysis import (PASS_REGISTRY, AnalysisPass, Diagnostic,
+                            PassManager, Severity, all_rules, check)
+from repro.core.constructor import build_design
+from repro.core.errors import LibertyError
+from repro.pcl import Queue
+
+from .conftest import pipe_spec
+
+
+class TestRegistry:
+    def test_default_suite_registered_in_order(self):
+        assert list(PASS_REGISTRY) == ["connectivity", "contracts", "moc"]
+
+    def test_all_rules_covers_every_pass(self):
+        catalog = all_rules()
+        for name in PASS_REGISTRY:
+            assert any(rule.startswith(name + ".") for rule in catalog)
+
+    def test_unknown_pass_name_rejected(self):
+        with pytest.raises(LibertyError, match="unknown analysis pass"):
+            PassManager(["nope"])
+
+
+class TestPassManager:
+    def test_accepts_spec_and_design(self):
+        spec = pipe_spec()
+        from_spec = check(spec)
+        from_design = check(build_design(pipe_spec()))
+        assert from_spec.design_name == from_design.design_name == "pipe"
+        assert from_spec.rules() == from_design.rules()
+
+    def test_pass_subset_by_name(self):
+        report = check(pipe_spec(), passes=["moc"])
+        assert report.passes_run == ["moc"]
+
+    def test_rejects_foreign_target(self):
+        with pytest.raises(LibertyError, match="cannot analyze"):
+            check(42)
+
+    def test_foreign_rule_id_rejected(self):
+        class Rogue(AnalysisPass):
+            name = "rogue"
+            needs_design = False
+
+            def run(self, ctx):
+                return [Diagnostic("other.thing", Severity.INFO, "m")]
+
+        with pytest.raises(LibertyError, match="foreign rule"):
+            PassManager([Rogue()]).run(pipe_spec())
+
+    def test_malformed_spec_degrades_to_build_error(self):
+        spec = LSS("broken")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("in"), b.port("in"))  # input as source
+        report = check(spec)
+        assert report.has_errors
+        build_errors = report.by_rule("build.error")
+        assert len(build_errors) == 1
+        # Design-needing passes were skipped, not crashed.
+        assert report.passes_run == []
+
+    def test_context_is_shared_and_lazy(self):
+        seen = []
+
+        class Probe(AnalysisPass):
+            name = "probe"
+
+            def run(self, ctx):
+                seen.append(ctx.design)
+                seen.append(ctx.signal_graph)
+                return []
+
+        mgr = PassManager([Probe(), Probe()])
+        mgr.run(pipe_spec())
+        assert seen[0] is seen[2]  # same design object both runs
+        assert seen[1] is seen[3]  # same signal graph

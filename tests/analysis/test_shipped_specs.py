@@ -1,0 +1,62 @@
+"""Every shipped model must pass its own static analysis.
+
+Info-level findings are allowed — partial specification is a feature
+and the connectivity pass inventories deliberately-unconnected ports at
+info severity — but nothing shipped may carry a warning or an error,
+except the findings documented in :data:`EXPECTED` (also listed in the
+README's "Checking a model" section).
+"""
+
+import os
+
+import pytest
+
+from repro import library_env, parse_lss
+from repro.analysis import Severity, check
+from repro.systems.fig2a import build_fig2a_cmp
+from repro.systems.fig2b import build_fig2b_sensors
+from repro.systems.fig2c import build_fig2c_grid
+from repro.systems.fig2d import build_fig2d
+from repro.systems.refinement import build_stage
+
+_EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+BUILDERS = [
+    pytest.param(lambda: build_fig2a_cmp(2, 2)[0], id="fig2a"),
+    pytest.param(lambda: build_fig2b_sensors(2)[0], id="fig2b"),
+    pytest.param(lambda: build_fig2c_grid(4)[0], id="fig2c"),
+    pytest.param(lambda: build_fig2d(2, backend="statistical")[0],
+                 id="fig2d-statistical"),
+    pytest.param(lambda: build_fig2d(2, backend="detailed")[0],
+                 id="fig2d-detailed"),
+] + [
+    pytest.param(lambda stage=s: build_stage(stage)[0],
+                 id=f"refinement-stage{s}")
+    for s in range(1, 6)
+]
+
+
+#: Documented expected findings: (spec name, rule, path) triples.  The
+#: fig2d detailed gateway keeps its transmit MAC unbuilt (with_tx=False)
+#: and the NIC template anchors the exported-but-unconnected wire_out
+#: port on a stub instance — isolated by design, not by accident.
+EXPECTED = {
+    ("fig2d_sos", "connectivity.dead-instance", "gateway/txstub"),
+}
+
+
+@pytest.mark.parametrize("builder", BUILDERS)
+def test_shipped_builder_has_no_warnings(builder):
+    spec = builder()
+    report = check(spec)
+    offending = [d for d in report.at_least(Severity.WARNING)
+                 if (spec.name, d.rule, d.path) not in EXPECTED]
+    assert not offending, report.to_text()
+
+
+def test_shipped_example_spec_is_clean():
+    path = os.path.join(_EXAMPLES, "pipeline.lss")
+    with open(path) as handle:
+        spec = parse_lss(handle.read(), library_env())
+    report = check(spec)
+    assert report.clean, report.to_text()

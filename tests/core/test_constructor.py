@@ -211,3 +211,42 @@ class TestBuildSimulator:
         Simulator(design)
         with pytest.raises(SimulationError):
             Simulator(design)
+
+
+class TestEnrichedErrorMessages:
+    """Construction errors name endpoints like analysis diagnostics
+    (``instance.port[index]``, via ``fmt_endpoint``) and include the
+    two wire types where a type is the problem."""
+
+    def test_type_mismatch_names_both_endpoints_and_types(self):
+        spec = LSS("types")
+        a = spec.instance("a", TestTypeChecking.IntOut)
+        b = spec.instance("b", TestTypeChecking.PacketIn)
+        spec.connect(a.port("out"), b.port("in"))
+        with pytest.raises(TypeMismatchError) as exc:
+            build_design(spec)
+        text = str(exc.value)
+        assert "a.out[0]" in text
+        assert "b.in[0]" in text
+        assert "int" in text and "packet" in text
+
+    def test_direction_error_names_both_endpoints(self):
+        spec = LSS("bad")
+        a = spec.instance("a", Queue)
+        b = spec.instance("b", Queue)
+        spec.connect(a.port("in"), b.port("in"))
+        with pytest.raises(WiringError) as exc:
+            elaborate(spec)
+        text = str(exc.value)
+        assert "a.in[*]" in text and "b.in[*]" in text
+        assert "input port" in text
+
+    def test_double_connection_names_the_endpoint(self):
+        spec = LSS("idx")
+        s1 = spec.instance("s1", Source, pattern="counter")
+        s2 = spec.instance("s2", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        spec.connect(s1.port("out"), q.port("in", 0))
+        spec.connect(s2.port("out"), q.port("in", 0))
+        with pytest.raises(WiringError, match=r"q\.in\[0\]"):
+            elaborate(spec)
