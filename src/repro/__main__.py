@@ -15,6 +15,9 @@ Four subcommands::
                                  [--param k=v ...] [--format text|json]
                                  [--fail-on SEV] [--passes NAMES]
                                  [--explain-schedule] [--list-rules]
+    python -m repro bench [--quick] [--select SUBSTR] [--json FILE]
+                                 [--compare BASELINE] [--tolerance F]
+                                 [--absolute] [--update-baseline FILE]
 
 ``run`` parses the specification against the full shipped library
 environment (:func:`repro.library_env`), constructs the simulator, runs
@@ -28,6 +31,8 @@ dump, and a Chrome trace-event timeline loadable at ui.perfetto.dev.
 (:mod:`repro.analysis`): connectivity lint, DEPS contract conformance,
 and MoC cycle analysis; ``--strict`` on ``run``/``campaign`` runs the
 same passes as a pre-flight and refuses to simulate on findings.
+``bench`` runs the ``benchmarks/`` suite, writes ``BENCH_<rev>.json``
+and guards against performance regressions (:mod:`repro.bench`).
 
 For backward compatibility, ``python -m repro SPEC.lss ...`` (no
 subcommand) is interpreted as ``run``.  Framework errors exit with
@@ -44,7 +49,7 @@ from . import __version__, build_simulator, library_env, parse_lss
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
-_SUBCOMMANDS = ("run", "campaign", "profile", "check")
+_SUBCOMMANDS = ("run", "campaign", "profile", "check", "bench")
 
 _ENGINES = ("worklist", "levelized", "codegen")
 
@@ -229,6 +234,8 @@ def main(argv=None) -> int:
     _add_profile_parser(subparsers)
     from .analysis.cli import add_check_parser, run_check_command
     add_check_parser(subparsers)
+    from .bench import add_bench_parser, run_bench_command
+    add_bench_parser(subparsers)
 
     args = parser.parse_args(argv)
     try:
@@ -238,6 +245,8 @@ def main(argv=None) -> int:
             return _profile_command(args)
         if args.command == "check":
             return run_check_command(args)
+        if args.command == "bench":
+            return run_bench_command(args)
         return run_campaign_command(args)
     except BrokenPipeError:
         # Reader (e.g. `| head`) went away mid-report; not our error.

@@ -48,6 +48,7 @@ class AnalysisContext:
         self._design = design
         self._signal_graph = None
         self._condensation = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def design_name(self) -> str:
@@ -78,6 +79,18 @@ class AnalysisContext:
             import networkx as nx
             self._condensation = nx.condensation(self.signal_graph)
         return self._condensation
+
+    @property
+    def fingerprint(self) -> str:
+        """The design's canonical compile-cache fingerprint.
+
+        See :func:`repro.core.compile_cache.design_fingerprint`; lets
+        reports correlate analysis results with cached compilations.
+        """
+        if self._fingerprint is None:
+            from ..core.compile_cache import design_fingerprint
+            self._fingerprint = design_fingerprint(self.design)
+        return self._fingerprint
 
 
 class AnalysisPass:

@@ -1,0 +1,273 @@
+"""The ``python -m repro bench`` subcommand: run and guard benchmarks.
+
+Executes the ``benchmarks/bench_*.py`` suite under pytest-benchmark,
+emits a compact per-bench report — ``BENCH_<rev>.json``, one entry per
+benchmark with wall-time statistics and (where a bench records it) a
+``steps_per_second`` figure — and optionally compares the run against a
+committed baseline, failing on regression beyond a tolerance.  This is
+how the repo's performance trajectory accumulates: every CI run uploads
+its ``BENCH_*.json``, and the ``bench-regression`` job diffs against
+``baselines/bench_baseline.json``.
+
+Cross-machine comparison
+------------------------
+Raw wall times are machine-dependent, so by default the comparison is
+**machine-normalized**: each shared benchmark's current/baseline
+wall-time ratio (min-of-rounds, the robust timing statistic) is
+computed, the *median* ratio is taken as the machine-speed factor, and
+a benchmark regresses only when its ratio exceeds
+``median * (1 + tolerance)``.  A uniform slowdown (slower CI runner)
+moves the median and flags nothing; one benchmark drifting against its
+peers is exactly what gets caught.  Pass ``--absolute`` to compare raw
+times instead (sensible only against a baseline from the same machine).
+
+Exit codes: 0 clean, 1 regression detected, 2 harness error (no
+benchmarks found, pytest failure, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Schema version of the emitted BENCH_<rev>.json report.
+REPORT_SCHEMA = 1
+
+_DEFAULT_TOLERANCE = 0.25
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def add_bench_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and compare against a baseline",
+        description="Run benchmarks/bench_*.py under pytest-benchmark, "
+                    "write BENCH_<rev>.json, and optionally fail on "
+                    "regression against a committed baseline.")
+    parser.add_argument("--dir", default="benchmarks", metavar="DIR",
+                        help="directory holding bench_*.py files "
+                             "(default: benchmarks)")
+    parser.add_argument("--select", default=None, metavar="SUBSTR",
+                        help="only run bench files whose name contains "
+                             "this substring")
+    parser.add_argument("--quick", action="store_true",
+                        help="set REPRO_BENCH_QUICK=1 (small models, "
+                             "few rounds) for CI smoke timing")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="report path (default: BENCH_<rev>.json in "
+                             "the current directory)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="baseline report to compare against; exit 1 "
+                             "on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float,
+                        default=_DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="allowed slowdown fraction before a bench "
+                             "counts as regressed (default 0.25)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw wall times instead of "
+                             "machine-normalized ratios")
+    parser.add_argument("--update-baseline", default=None, metavar="FILE",
+                        help="also write this run's report as the new "
+                             "baseline file")
+
+
+def _revision() -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except Exception:
+        pass
+    return "local"
+
+
+def discover(bench_dir: str, select: Optional[str] = None) -> List[str]:
+    """The bench files to run, sorted for stable ordering."""
+    files = sorted(glob.glob(os.path.join(bench_dir, "bench_*.py")))
+    if select:
+        files = [f for f in files if select in os.path.basename(f)]
+    return files
+
+
+# ----------------------------------------------------------------------
+# Suite execution
+# ----------------------------------------------------------------------
+def run_suite(files: List[str], quick: bool) \
+        -> Tuple[int, Optional[Dict[str, Any]]]:
+    """Run pytest-benchmark over ``files``; (returncode, parsed JSON)."""
+    fd, tmp = tempfile.mkstemp(prefix="repro-bench-", suffix=".json")
+    os.close(fd)
+    env = dict(os.environ)
+    if quick:
+        env["REPRO_BENCH_QUICK"] = "1"
+    # Make sure the child resolves the same `repro` package we did,
+    # even when the parent was launched via PYTHONPATH manipulation.
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+           *files, f"--benchmark-json={tmp}"]
+    try:
+        proc = subprocess.run(cmd, env=env)
+        try:
+            with open(tmp, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except Exception:
+            payload = None
+        return proc.returncode, payload
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def summarize(payload: Dict[str, Any], *, revision: str,
+              quick: bool) -> Dict[str, Any]:
+    """Reduce a pytest-benchmark JSON payload to the BENCH report form."""
+    benches: Dict[str, Any] = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entry = {
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+        sps = (bench.get("extra_info") or {}).get("steps_per_second")
+        if sps is not None:
+            entry["steps_per_second"] = sps
+        benches[bench.get("fullname", bench.get("name", "?"))] = entry
+    return {"schema": REPORT_SCHEMA, "revision": revision,
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "quick": quick, "benchmarks": benches}
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+def _metric(entry: Dict[str, Any]) -> Optional[float]:
+    """The wall-time figure a report entry is compared on.
+
+    Min-of-rounds, not the mean: the minimum is the standard robust
+    timing statistic (immune to one GC pause or scheduler hiccup in a
+    round), while construction-bench means carry ~50% first-round noise.
+    """
+    return entry.get("min_s") or entry.get("mean_s")
+
+
+def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
+                    tolerance: float, *, absolute: bool = False) \
+        -> Dict[str, Any]:
+    """Diff two BENCH reports; see the module docstring for the model."""
+    cur = current.get("benchmarks", {})
+    base = baseline.get("benchmarks", {})
+    shared = sorted(k for k in cur if k in base
+                    and _metric(cur[k]) and _metric(base[k]))
+    ratios = {k: _metric(cur[k]) / _metric(base[k]) for k in shared}
+    if absolute or len(ratios) < 3:
+        machine_factor = 1.0
+    else:
+        machine_factor = statistics.median(ratios.values())
+    threshold = machine_factor * (1.0 + tolerance)
+    rows = []
+    regressions = []
+    for key in shared:
+        ratio = ratios[key]
+        status = "ok"
+        if ratio > threshold:
+            status = "REGRESSED"
+            regressions.append(key)
+        elif ratio < machine_factor / (1.0 + tolerance):
+            status = "improved"
+        rows.append({"bench": key, "ratio": ratio, "status": status,
+                     "current_s": _metric(cur[key]),
+                     "baseline_s": _metric(base[key])})
+    return {"machine_factor": machine_factor, "threshold": threshold,
+            "tolerance": tolerance, "absolute": bool(absolute),
+            "rows": rows, "regressions": regressions,
+            "new": sorted(k for k in cur if k not in base),
+            "missing": sorted(k for k in base if k not in cur)}
+
+
+def _print_comparison(diff: Dict[str, Any]) -> None:
+    print(f"# baseline comparison: machine factor "
+          f"{diff['machine_factor']:.2f}x, regression threshold "
+          f"{diff['threshold']:.2f}x"
+          + (" (absolute)" if diff["absolute"] else ""))
+    for row in diff["rows"]:
+        marker = {"ok": " ", "improved": "+", "REGRESSED": "!"}[row["status"]]
+        print(f" {marker} {row['ratio']:6.2f}x  "
+              f"{row['current_s'] * 1e3:10.2f}ms  {row['bench']}")
+    for key in diff["new"]:
+        print(f" ?   new   {key}")
+    for key in diff["missing"]:
+        print(f" ? missing {key}")
+    if diff["regressions"]:
+        print(f"# {len(diff['regressions'])} benchmark(s) regressed beyond "
+              f"tolerance {diff['tolerance']:.0%}:")
+        for key in diff["regressions"]:
+            print(f"#   {key}")
+    else:
+        print("# no regressions beyond tolerance "
+              f"{diff['tolerance']:.0%}")
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def run_bench_command(args) -> int:
+    files = discover(args.dir, args.select)
+    if not files:
+        print(f"error: no bench_*.py files under {args.dir!r}"
+              + (f" matching {args.select!r}" if args.select else ""),
+              file=sys.stderr)
+        return 2
+    print(f"# running {len(files)} benchmark file(s)"
+          + (" [quick]" if args.quick else ""))
+    returncode, payload = run_suite(files, args.quick)
+    if payload is None:
+        print("error: benchmark run produced no JSON payload",
+              file=sys.stderr)
+        return 2
+    revision = _revision()
+    report = summarize(payload, revision=revision, quick=args.quick)
+    out_path = args.json or f"BENCH_{revision}.json"
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"# wrote {out_path} ({len(report['benchmarks'])} benchmarks)")
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(args.update_baseline) or ".",
+                    exist_ok=True)
+        with open(args.update_baseline, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote baseline {args.update_baseline}")
+    if returncode != 0:
+        print(f"error: pytest exited with status {returncode}",
+              file=sys.stderr)
+        return 2
+    if args.compare:
+        try:
+            with open(args.compare, encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except Exception as exc:
+            print(f"error: cannot read baseline {args.compare!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        diff = compare_reports(report, baseline, args.tolerance,
+                               absolute=args.absolute)
+        _print_comparison(diff)
+        if diff["regressions"]:
+            return 1
+    return 0

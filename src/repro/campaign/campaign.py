@@ -16,7 +16,8 @@ from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from .aggregate import CampaignResult, RunRow
 from .errors import CampaignError
-from .executor import InlineExecutor, ProcessExecutor, RunOutcome, RunTask
+from .executor import (InlineExecutor, ProcessExecutor, RunOutcome, RunTask,
+                       _coerce_spec, resolve_target)
 from .ledger import Ledger, LedgerState
 from .sweep import Sweep, SweepPoint
 
@@ -108,6 +109,46 @@ class Campaign:
         return ProcessExecutor(workers=self.workers, timeout=self.timeout,
                                retries=self.retries, backoff=self.backoff)
 
+    def _prewarm(self, todo: Sequence[SweepPoint]) -> int:
+        """Compile each distinct topology once before workers fan out.
+
+        Simulator campaigns (``kind`` in ``spec``/``lss``) pay schedule
+        construction per worker process otherwise.  Warming the compile
+        cache in the parent means forked workers find every schedule in
+        the inherited in-memory layer (and, with the disk layer on, in
+        ``.repro-cache/`` even under spawn).  Strictly best-effort: any
+        failure here is left for the worker to report with full context.
+        Returns the number of distinct fingerprints warmed.
+        """
+        if (not todo or self.workers == 0
+                or self.kind not in ("spec", "lss")
+                or self.engine == "worklist"):
+            return 0
+        from ..core.compile_cache import get_cache, warm_spec
+        if not get_cache().enabled:
+            return 0
+        fingerprints: set = set()
+        try:
+            build = (resolve_target(self.target) if self.kind == "spec"
+                     else None)
+        except Exception:
+            return 0
+        for point in todo:
+            try:
+                if self.kind == "spec":
+                    spec = _coerce_spec(build(**point.params))
+                else:
+                    from .. import library_env, parse_lss
+                    spec = parse_lss(self.lss_text, library_env())
+                    for dotted, value in point.params.items():
+                        inst_name, _, param = dotted.partition(".")
+                        if param:
+                            spec.get_instance(inst_name).bindings[param] = value
+                fingerprints.add(warm_spec(spec))
+            except Exception:
+                continue
+        return len(fingerprints)
+
     # ------------------------------------------------------------------
     def run(self, resume: bool = False,
             progress: Optional[Callable[[str], None]] = None) -> CampaignResult:
@@ -141,6 +182,10 @@ class Campaign:
         if progress:
             progress(f"{self.name}: {len(points)} points, "
                      f"{len(previous)} already done, {len(todo)} to run")
+        warmed = self._prewarm(todo)
+        if progress and warmed:
+            progress(f"  compile cache warmed for {warmed} distinct "
+                     f"topolog{'y' if warmed == 1 else 'ies'}")
 
         ledger = Ledger(self.ledger_path).open(append=resume)
         try:

@@ -73,15 +73,30 @@ class CodegenSimulator(LevelizedSimulator):
 
     def __init__(self, design: Design, **kw):
         super().__init__(design, **kw)
-        self.generated_source = generate_stepper_source(
-            self.schedule, design.name)
+        # The generated source depends only on the schedule shape, so on
+        # a compile-cache hit both the text and its compiled code object
+        # are reused (the code object via the in-memory layer only).
+        from .compile_cache import get_cache
+        cache = get_cache()
+        source = code = None
+        if self.compile_fingerprint:
+            source, code = cache.load_stepper(self.compile_fingerprint)
+        if source is None:
+            source = generate_stepper_source(self.schedule, design.name)
+        self.generated_source = source
+        self._stepper_code = code
         self._build_stepper()
+        if self.compile_fingerprint and code is None:
+            cache.save_stepper(self.compile_fingerprint, source,
+                               self._stepper_code)
 
     def _build_stepper(self) -> None:
         namespace: dict = {}
-        code = compile(self.generated_source,
-                       f"<generated stepper {self.design.name!r}>", "exec")
-        exec(code, namespace)
+        if self._stepper_code is None:
+            self._stepper_code = compile(
+                self.generated_source,
+                f"<generated stepper {self.design.name!r}>", "exec")
+        exec(self._stepper_code, namespace)
         self._stepper: Callable[[], None] = namespace["make_stepper"](
             self, self.schedule, self._cluster_wires)
 

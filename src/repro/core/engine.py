@@ -38,7 +38,7 @@ import numpy as np
 from .collector import StatsRegistry, WireProbe
 from .errors import CombinationalCycleError, SimulationError
 from .netlist import Design
-from .signals import SIG_ACK, SIG_DATA, SIG_ENABLE, Wire
+from .signals import SIG_ACK, CtrlStatus, DataStatus, Wire
 
 #: Upper bound on relaxations per timestep before declaring livelock.
 _MAX_RELAX_FACTOR = 3
@@ -65,7 +65,7 @@ class SimulatorBase:
         self.rng = np.random.default_rng(seed)
         self.transfers_total = 0
         self.relaxations_total = 0
-        self._probes: Dict[int, WireProbe] = {}
+        self._probes: Dict[int, List[WireProbe]] = {}
         self._observers: List = []
         #: Attached :class:`repro.obs.Profiler`, or ``None``.  The only
         #: profiler-off cost is one ``is not None`` test per timestep.
@@ -87,6 +87,29 @@ class SimulatorBase:
         default_update = _find_base_method("update")
         self._updaters = [i for i in self._instances
                           if type(i).update is not default_update]
+        # Partition the wires once so the per-timestep loops touch only
+        # the wires that can actually do work.  Stub constants are fixed
+        # at wiring time, so: wires with no constant signal reset via
+        # the branch-free Wire.reset_step; wires with constants keep the
+        # full begin_step; the per-step UNKNOWN total is a constant; and
+        # wires whose constants make a transfer impossible (e.g. an
+        # input-port stub held at NOTHING) are skipped when counting
+        # transfers at end of step.
+        self._plain_wires: List[Wire] = []
+        self._const_wires: List[Wire] = []
+        self._begin_unknown = 0
+        for w in self._wires:
+            consts = ((w.const_data is not None)
+                      + (w.const_enable is not None)
+                      + (w.const_ack is not None))
+            self._begin_unknown += 3 - consts
+            (self._const_wires if consts else self._plain_wires).append(w)
+        self._transfer_wires = [w for w in self._wires
+                                if _transfer_possible(w)]
+        #: Relaxation scan cursor: wires below it are fully resolved for
+        #: the current timestep (resolution is monotone, so the cursor
+        #: only ever advances between relaxations of one step).
+        self._relax_cursor = 0
         # Initialize every instance eagerly: ports are already bound and
         # ``sim`` is set, so module state (memories, rings, FSMs) is
         # inspectable before the first timestep runs.
@@ -109,9 +132,15 @@ class SimulatorBase:
 
     def probe(self, wire: Wire, label: Optional[str] = None,
               limit: Optional[int] = None) -> WireProbe:
-        """Attach a transfer probe to ``wire`` and return it."""
+        """Attach a transfer probe to ``wire`` and return it.
+
+        A wire may carry any number of probes; attaching a second one
+        does not detach the first — every attached probe keeps
+        recording (historically the newest probe silently replaced its
+        predecessor, leaving the caller's handle stale).
+        """
         probe = WireProbe(label or repr(wire), limit=limit)
-        self._probes[wire.wid] = probe
+        self._probes.setdefault(wire.wid, []).append(probe)
         wire.watched = True
         return probe
 
@@ -154,24 +183,25 @@ class SimulatorBase:
         self._initialized = True
 
     def _begin_step(self) -> None:
-        unknown = 0
-        for wire in self._wires:
-            unknown += wire.begin_step()
-        self._unknown = unknown
+        for wire in self._plain_wires:
+            wire.reset_step()
+        for wire in self._const_wires:
+            wire.begin_step()
+        self._unknown = self._begin_unknown
+        self._relax_cursor = 0
         if self.profiler is not None:
-            self.profiler._on_step_begin(self.now, unknown)
+            self.profiler._on_step_begin(self.now, self._begin_unknown)
 
     def _end_step(self) -> None:
         transfers = 0
         now = self.now
         probes = self._probes
-        for wire in self._wires:
+        for wire in self._transfer_wires:
             if wire.transfer_happened():
                 transfers += 1
                 wire.transfers += 1
                 if wire.watched:
-                    probe = probes.get(wire.wid)
-                    if probe is not None:
+                    for probe in probes.get(wire.wid, ()):
                         probe.record(now, wire.data_value)
         self.transfers_total += transfers
         for observer in self._observers:
@@ -184,6 +214,48 @@ class SimulatorBase:
 
     def _instrumentation_changed(self) -> None:
         """Hook for engines that cache bound dispatch (see codegen)."""
+
+    def _force_next_unresolved(self) -> bool:
+        """Force the lowest-numbered unresolved signal to its default.
+
+        The shared core of the ``'relax'`` cycle policy.  Scans forward
+        from :attr:`_relax_cursor` instead of rescanning every wire:
+        within one timestep signals only ever move from UNKNOWN to
+        known, so a wire found fully resolved stays resolved and the
+        cursor never needs to back up.  Returns ``False`` when no
+        unresolved signal exists.
+        """
+        wires = self._wires
+        i = self._relax_cursor
+        n = len(wires)
+        while i < n:
+            wire = wires[i]
+            signal = wire.first_unresolved()
+            if signal is not None:
+                self._relax_cursor = i
+                wire.force_default(signal)
+                self.relaxations_total += 1
+                if self.profiler is not None:
+                    self.profiler._on_relax(wire)
+                return True
+            i += 1
+        self._relax_cursor = n
+        return False
+
+    # ------------------------------------------------------------------
+    # Engine-specific checkpoint state (overridable)
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> Dict[str, Any]:
+        """Engine-specific counters to ride along in :meth:`state_dict`.
+
+        Engines with extra dynamic state (e.g. the levelized engine's
+        ``fallback_steps``) override this (and
+        :meth:`_load_extra_state`) so checkpoints round-trip it.
+        """
+        return {}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        """Restore the :meth:`_extra_state` payload (tolerates absence)."""
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -226,6 +298,7 @@ class SimulatorBase:
             "stats": self.stats.state_dict(),
             "wires": [wire.transfers for wire in self._wires],
             "instances": instances,
+            "engine_extra": self._extra_state(),
         }
 
     def load_state_dict(self, state: Dict[str, Any]) -> "SimulatorBase":
@@ -265,6 +338,8 @@ class SimulatorBase:
                 if key not in self._FRAMEWORK_ATTRS and key not in saved:
                     del inst.__dict__[key]
             inst.__dict__.update(saved)
+        # Engine-specific counters (absent in pre-upgrade checkpoints).
+        self._load_extra_state(state.get("engine_extra") or {})
         self._initialized = True
         return self
 
@@ -289,6 +364,22 @@ class SimulatorBase:
 def _find_base_method(name: str):
     from .module import LeafModule
     return getattr(LeafModule, name)
+
+
+def _transfer_possible(wire: Wire) -> bool:
+    """Whether ``wire`` can ever observe a destination-side transfer.
+
+    A stub wire whose constant side is held at a non-committing default
+    (data NOTHING / enable DEASSERTED / ack DEASSERTED) can never
+    satisfy :meth:`Wire.took_dst`, so the end-of-step transfer scan
+    skips it outright.
+    """
+    if wire.src is None and (wire.const_data is not DataStatus.SOMETHING
+                             or wire.const_enable is not CtrlStatus.ASSERTED):
+        return False
+    if wire.dst is None and wire.const_ack is not CtrlStatus.ASSERTED:
+        return False
+    return True
 
 
 class Simulator(SimulatorBase):
@@ -362,12 +453,6 @@ class Simulator(SimulatorBase):
 
     def _relax_one(self) -> None:
         """Force the first unresolved signal to its pessimistic default."""
-        for wire in self._wires:
-            for signal in (SIG_DATA, SIG_ENABLE, SIG_ACK):
-                if signal in wire.unresolved():
-                    wire.force_default(signal)
-                    self.relaxations_total += 1
-                    if self.profiler is not None:
-                        self.profiler._on_relax(wire)
-                    return
-        raise SimulationError("relax requested but no unresolved signal found")
+        if not self._force_next_unresolved():
+            raise SimulationError(
+                "relax requested but no unresolved signal found")

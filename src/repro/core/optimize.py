@@ -254,7 +254,25 @@ class LevelizedSimulator(SimulatorBase):
 
     def __init__(self, design: Design, **kw):
         super().__init__(design, **kw)
-        self.schedule = build_schedule(design)
+        # Construction-time compilation is content-addressed: on a cache
+        # hit the signal graph, condensation and schedule construction
+        # are all skipped and the cached schedule is rebound onto this
+        # design's instances and wires (see repro.core.compile_cache).
+        from .compile_cache import design_fingerprint, get_cache
+        cache = get_cache()
+        schedule = None
+        self.compile_fingerprint: str = ""
+        self.compiled_from_cache = False
+        if cache.enabled:
+            self.compile_fingerprint = design_fingerprint(design)
+            schedule = cache.load_schedule(self.compile_fingerprint, design)
+            self.compiled_from_cache = schedule is not None
+        if schedule is None:
+            schedule = build_schedule(design)
+            if cache.enabled:
+                cache.save_schedule(self.compile_fingerprint, schedule,
+                                    design)
+        self.schedule = schedule
         self.fallback_steps = 0
         # Pre-resolve wire-id -> unresolved check sets per cluster.
         self._cluster_wires: List[List[Wire]] = []
@@ -279,7 +297,7 @@ class LevelizedSimulator(SimulatorBase):
             before = self._unknown
             for inst in entry.instances:
                 inst.react()
-            pending = any(w.unresolved() for w in wires)
+            pending = any(not w.fully_resolved() for w in wires)
             if pending and self._unknown == before:
                 # No progress: apply the cycle policy inside the cluster.
                 if self.cycle_policy == "error":
@@ -296,9 +314,9 @@ class LevelizedSimulator(SimulatorBase):
                         + _cycle_detail(members, groups),
                         members=members, groups=groups)
                 for wire in wires:
-                    missing = wire.unresolved()
-                    if missing:
-                        wire.force_default(missing[0])
+                    signal = wire.first_unresolved()
+                    if signal is not None:
+                        wire.force_default(signal)
                         self.relaxations_total += 1
                         if self.profiler is not None:
                             self.profiler._on_relax(wire)
@@ -332,14 +350,18 @@ class LevelizedSimulator(SimulatorBase):
                         f"and iteration stuck:\n" + self._unresolved_report()
                         + _cycle_detail(members, groups),
                         members=members, groups=groups)
-                for wire in self._wires:
-                    missing = wire.unresolved()
-                    if missing:
-                        wire.force_default(missing[0])
-                        self.relaxations_total += 1
-                        if self.profiler is not None:
-                            self.profiler._on_relax(wire)
-                        break
+                if not self._force_next_unresolved():
+                    break
+
+    # ------------------------------------------------------------------
+    # Engine-specific checkpoint state
+    # ------------------------------------------------------------------
+    def _extra_state(self):
+        return {"fallback_steps": self.fallback_steps}
+
+    def _load_extra_state(self, extra) -> None:
+        self.fallback_steps = extra.get("fallback_steps",
+                                        self.fallback_steps)
 
     # ------------------------------------------------------------------
     def schedule_report(self) -> str:

@@ -78,6 +78,55 @@ SIG_ACK = "ack"
 ALL_SIGNALS = (SIG_DATA, SIG_ENABLE, SIG_ACK)
 
 
+def values_equal(a: Any, b: Any) -> bool:
+    """Identity-first, exception-safe payload equality for re-drives.
+
+    Used to decide whether a second ``drive_data`` of an already-driven
+    wire is an idempotent repeat (allowed) or a conflicting value (a
+    monotonicity violation).  Plain ``==`` is wrong for two payload
+    classes modules actually send:
+
+    * **array-likes** (numpy arrays): ``a == b`` returns an elementwise
+      array whose truth value raises ``ValueError``;
+    * **NaN floats**: ``nan == nan`` is ``False``, so an idempotent
+      handler re-offering the same not-a-number was misreported as a
+      conflict.
+
+    The helper therefore checks identity first, falls back to ``==``,
+    resolves ambiguous (array) comparisons with ``.all()``, treats two
+    self-unequal values (NaNs) as equal, and maps any comparison
+    exception to "not equal" rather than propagating it.
+    """
+    if a is b:
+        return True
+    try:
+        eq = a == b
+    except Exception:
+        return False
+    if eq is True:
+        return True
+    if eq is False:
+        try:
+            return bool(a != a) and bool(b != b)  # NaN re-driven as NaN
+        except Exception:
+            return False
+    try:
+        return bool(eq)
+    except Exception:
+        pass
+    try:
+        # Broadcasting can silently compare mismatched shapes (an empty
+        # array against anything yields an empty, vacuously-true
+        # elementwise result); require equal shapes when both declare one.
+        shape_a = getattr(a, "shape", None)
+        shape_b = getattr(b, "shape", None)
+        if shape_a is not None and shape_b is not None and shape_a != shape_b:
+            return False
+        return bool(eq.all())  # elementwise array comparison
+    except Exception:
+        return False
+
+
 class Endpoint:
     """One end of a wire: a (leaf instance, port name, port index) triple."""
 
@@ -191,6 +240,23 @@ class Wire:
             unknown -= 1
         return unknown
 
+    def reset_step(self) -> None:
+        """Branch-free :meth:`begin_step` for wires without constants.
+
+        The engine pre-partitions its wires at construction time; the
+        vast majority carry no stub constants, so their per-timestep
+        reset needs none of the const checks (and always leaves exactly
+        three signals UNKNOWN).
+        """
+        self.raw_data_status = DataStatus.UNKNOWN
+        self.raw_data_value = None
+        self.raw_enable = CtrlStatus.UNKNOWN
+        self.raw_ack = CtrlStatus.UNKNOWN
+        self.data_status = DataStatus.UNKNOWN
+        self.data_value = None
+        self.enable = CtrlStatus.UNKNOWN
+        self.ack = CtrlStatus.UNKNOWN
+
     def unresolved(self) -> list:
         """Names of committed signals still UNKNOWN (diagnostics)."""
         out = []
@@ -201,6 +267,21 @@ class Wire:
         if self.ack is CtrlStatus.UNKNOWN:
             out.append(SIG_ACK)
         return out
+
+    def first_unresolved(self) -> Optional[str]:
+        """The first still-UNKNOWN committed signal, or ``None``.
+
+        Allocation-free replacement for ``unresolved()`` on the hot
+        relaxation/cluster paths; checks in the same data → enable →
+        ack order the relax policy forces in.
+        """
+        if self.data_status is DataStatus.UNKNOWN:
+            return SIG_DATA
+        if self.enable is CtrlStatus.UNKNOWN:
+            return SIG_ENABLE
+        if self.ack is CtrlStatus.UNKNOWN:
+            return SIG_ACK
+        return None
 
     # ------------------------------------------------------------------
     # Monotone writes (called from the port views)
@@ -234,7 +315,7 @@ class Wire:
         cur = self.raw_data_status
         if cur is not DataStatus.UNKNOWN:
             if cur is status and (status is not DataStatus.SOMETHING
-                                  or self.raw_data_value == value):
+                                  or values_equal(self.raw_data_value, value)):
                 return  # idempotent re-drive
             raise MonotonicityError(
                 f"wire {self!r}: data already {cur.name}"

@@ -80,3 +80,14 @@ class TestPassManager:
         mgr.run(pipe_spec())
         assert seen[0] is seen[2]  # same design object both runs
         assert seen[1] is seen[3]  # same signal graph
+
+    def test_context_exposes_compile_fingerprint(self):
+        from repro.analysis.passes import AnalysisContext
+        from repro.core.compile_cache import design_fingerprint
+
+        ctx = AnalysisContext(spec=pipe_spec())
+        fingerprint = ctx.fingerprint
+        assert fingerprint == design_fingerprint(ctx.design)
+        assert ctx.fingerprint is fingerprint  # computed once, memoized
+        # Same structure analyzed twice -> same fingerprint.
+        assert AnalysisContext(spec=pipe_spec()).fingerprint == fingerprint

@@ -156,6 +156,70 @@ class TestCheckpointFiles:
             load_state(str(path))
 
 
+def stuck_pipe(name="stuck"):
+    """A pipe whose sink never resolves its input ack, so the compiled
+    engines go through the relaxation fallback on every timestep —
+    ``fallback_steps`` is guaranteed non-zero and checkpoint-relevant.
+    """
+    from repro import INPUT, LeafModule, PortDecl
+    from repro.pcl import Source
+
+    class MuteSink(LeafModule):
+        PORTS = (PortDecl("in", INPUT, min_width=1),)
+
+        def react(self):
+            pass  # leaves the input ack UNKNOWN forever
+
+    spec = LSS(name)
+    src = spec.instance("src", Source, pattern="counter")
+    snk = spec.instance("snk", MuteSink)
+    spec.connect(src.port("out"), snk.port("in"))
+    return spec
+
+
+class TestEngineExtraState:
+    """Engine-specific counters must survive checkpoint round-trips.
+
+    Regression: ``LevelizedSimulator.fallback_steps`` was reset to zero
+    by ``load_state_dict``, so a resumed campaign run under-reported
+    how often the static schedule failed to resolve the step.
+    """
+
+    def test_fallback_steps_round_trip(self, engine):
+        sim = build_simulator(stuck_pipe(), engine=engine, seed=1)
+        sim.run(40)
+        expected = getattr(sim, "fallback_steps", None)
+        if engine != "worklist":
+            assert expected == 40  # DEPS=None forces fallback every step
+        state = sim.state_dict()
+        assert "engine_extra" in state
+
+        fresh = build_simulator(stuck_pipe(), engine=engine)
+        fresh.load_state_dict(state)
+        assert getattr(fresh, "fallback_steps", None) == expected
+        fresh.run(10)
+        if engine != "worklist":
+            assert fresh.fallback_steps == 50
+
+    def test_old_checkpoint_without_engine_extra_still_loads(self, engine):
+        sim = build_simulator(stuck_pipe(), engine=engine, seed=1)
+        sim.run(20)
+        state = sim.state_dict()
+        state.pop("engine_extra")  # a checkpoint from before the field
+        fresh = build_simulator(stuck_pipe(), engine=engine)
+        fresh.load_state_dict(state)
+        assert fresh.now == 20
+
+    def test_extra_state_is_snapshotted_not_aliased(self, engine):
+        sim = build_simulator(stuck_pipe(), engine=engine, seed=1)
+        sim.run(10)
+        state = sim.state_dict()
+        sim.run(10)
+        if engine != "worklist":
+            assert state["engine_extra"]["fallback_steps"] == 10
+            assert sim.fallback_steps == 20
+
+
 class TestAnimatedDesignError:
     def test_error_names_the_offending_design(self):
         from repro.core.constructor import build_design

@@ -85,6 +85,25 @@ class TestTransfersAndProbes:
         sim.run(10)
         assert probe.count == 3
 
+    def test_two_probes_on_one_wire_both_record(self, engine):
+        """Regression: a second probe used to silently replace the first."""
+        sim = build_simulator(simple_pipe_spec(), engine=engine)
+        first = sim.probe_between("src", "out", "q", "in", label="first")
+        second = sim.probe_between("src", "out", "q", "in", label="second")
+        assert first is not second
+        sim.run(5)
+        assert first.count == 5
+        assert second.count == 5
+        assert first.log == second.log
+
+    def test_probes_with_distinct_limits_coexist(self, engine):
+        sim = build_simulator(simple_pipe_spec(), engine=engine)
+        capped = sim.probe_between("src", "out", "q", "in", limit=2)
+        open_ended = sim.probe_between("src", "out", "q", "in")
+        sim.run(6)
+        assert capped.count == 2
+        assert open_ended.count == 6
+
 
 class _AckNeverDriver(LeafModule):
     """Pathological module: never resolves its input ack."""

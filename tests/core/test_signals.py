@@ -1,10 +1,11 @@
 """Unit tests for the three-signal contract (repro.core.signals)."""
 
+import numpy as np
 import pytest
 
 from repro.core.errors import MonotonicityError
 from repro.core.signals import (ALL_SIGNALS, CtrlStatus, DataStatus, SIG_ACK,
-                                SIG_DATA, SIG_ENABLE, Wire)
+                                SIG_DATA, SIG_ENABLE, Wire, values_equal)
 
 
 def make_wire(**kw):
@@ -89,6 +90,73 @@ class TestMonotonicity:
         wire = make_wire()
         wire.drive_data(DataStatus.SOMETHING, (1, 2))
         wire.drive_data(DataStatus.SOMETHING, (1, 2))
+
+
+class TestPayloadEquality:
+    """Regression: re-drive equality must survive rich payload types.
+
+    The old check was ``raw_data_value == value``, which raises
+    ``ValueError`` for numpy arrays ("truth value of an array is
+    ambiguous") and wrongly treats a NaN re-drive as a conflict.
+    """
+
+    def test_numpy_array_redrive_identical_object(self):
+        wire = make_wire()
+        payload = np.array([1.0, 2.0, 3.0])
+        wire.drive_data(DataStatus.SOMETHING, payload)
+        wire.drive_data(DataStatus.SOMETHING, payload)  # no ValueError
+        assert wire.data_value is payload
+
+    def test_numpy_array_redrive_equal_copy(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 2.0]))
+        wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 2.0]))
+
+    def test_numpy_array_conflicting_redrive_raises(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 2.0]))
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 9.0]))
+
+    def test_numpy_shape_mismatch_is_conflict_not_crash(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 2.0]))
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.SOMETHING, np.array([1.0, 2.0, 3.0]))
+
+    def test_nan_redrive_same_object_is_idempotent(self):
+        wire = make_wire()
+        nan = float("nan")
+        wire.drive_data(DataStatus.SOMETHING, nan)
+        wire.drive_data(DataStatus.SOMETHING, nan)  # identity wins
+
+    def test_nan_redrive_equal_nan_is_idempotent(self):
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, float("nan"))
+        wire.drive_data(DataStatus.SOMETHING, float("nan"))
+
+    def test_comparison_raising_payload_treated_as_conflict(self):
+        class Grumpy:
+            def __eq__(self, other):
+                raise RuntimeError("no comparisons, please")
+
+            __hash__ = None
+
+        wire = make_wire()
+        wire.drive_data(DataStatus.SOMETHING, Grumpy())
+        with pytest.raises(MonotonicityError):
+            wire.drive_data(DataStatus.SOMETHING, Grumpy())
+
+    def test_values_equal_helper(self):
+        sentinel = object()
+        assert values_equal(sentinel, sentinel)
+        assert values_equal(3, 3.0)
+        assert not values_equal(3, 4)
+        assert values_equal(float("nan"), float("nan"))
+        assert values_equal(np.array([1, 2]), np.array([1, 2]))
+        assert not values_equal(np.array([1, 2]), np.array([1, 3]))
+        assert not values_equal(np.array([1, 2]), np.array([1, 2, 3]))
+        assert not values_equal(np.array([]), np.array([1]))
 
 
 class TestTransfer:

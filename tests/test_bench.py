@@ -1,0 +1,172 @@
+"""Unit and CLI tests for the benchmark runner (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import compare_reports, discover, summarize
+
+
+def _report(benches):
+    return {"schema": 1, "revision": "test", "quick": True,
+            "benchmarks": benches}
+
+
+def _entry(min_s, mean_s=None):
+    return {"min_s": min_s, "mean_s": mean_s or min_s * 1.2,
+            "stddev_s": 0.0, "rounds": 5}
+
+
+class TestDiscover:
+    def test_finds_and_sorts_bench_files(self, tmp_path):
+        for name in ("bench_zeta.py", "bench_alpha.py", "helper.py",
+                     "test_other.py"):
+            (tmp_path / name).write_text("")
+        files = discover(str(tmp_path))
+        assert [f.rsplit("/", 1)[-1] for f in files] \
+            == ["bench_alpha.py", "bench_zeta.py"]
+
+    def test_select_substring(self, tmp_path):
+        for name in ("bench_cache.py", "bench_mesh.py"):
+            (tmp_path / name).write_text("")
+        files = discover(str(tmp_path), select="cache")
+        assert len(files) == 1 and files[0].endswith("bench_cache.py")
+
+
+class TestSummarize:
+    def test_reduces_pytest_benchmark_payload(self):
+        payload = {"benchmarks": [
+            {"fullname": "benchmarks/bench_x.py::test_a",
+             "stats": {"mean": 0.01, "min": 0.008, "stddev": 0.001,
+                       "rounds": 5},
+             "extra_info": {"steps_per_second": 123.0}},
+            {"fullname": "benchmarks/bench_x.py::test_b",
+             "stats": {"mean": 0.5, "min": 0.4, "stddev": 0.05,
+                       "rounds": 3},
+             "extra_info": {}},
+        ]}
+        report = summarize(payload, revision="abc1234", quick=True)
+        assert report["revision"] == "abc1234"
+        assert report["quick"] is True
+        entry = report["benchmarks"]["benchmarks/bench_x.py::test_a"]
+        assert entry["min_s"] == 0.008
+        assert entry["steps_per_second"] == 123.0
+        other = report["benchmarks"]["benchmarks/bench_x.py::test_b"]
+        assert "steps_per_second" not in other
+
+
+class TestCompare:
+    def test_uniform_slowdown_is_machine_normalized_away(self):
+        base = _report({f"b{i}": _entry(0.01 * (i + 1)) for i in range(5)})
+        cur = _report({f"b{i}": _entry(0.02 * (i + 1)) for i in range(5)})
+        diff = compare_reports(cur, base, 0.25)
+        assert diff["machine_factor"] == pytest.approx(2.0)
+        assert diff["regressions"] == []
+
+    def test_single_bench_drifting_against_peers_regresses(self):
+        base = _report({f"b{i}": _entry(0.01) for i in range(5)})
+        benches = {f"b{i}": _entry(0.01) for i in range(4)}
+        benches["b4"] = _entry(0.02)  # 2x while peers hold still
+        diff = compare_reports(_report(benches), base, 0.25)
+        assert diff["regressions"] == ["b4"]
+
+    def test_improvement_is_flagged_not_failed(self):
+        base = _report({f"b{i}": _entry(0.01) for i in range(5)})
+        benches = {f"b{i}": _entry(0.01) for i in range(4)}
+        benches["b4"] = _entry(0.004)
+        diff = compare_reports(_report(benches), base, 0.25)
+        assert diff["regressions"] == []
+        statuses = {row["bench"]: row["status"] for row in diff["rows"]}
+        assert statuses["b4"] == "improved"
+
+    def test_absolute_mode_skips_normalization(self):
+        base = _report({f"b{i}": _entry(0.01) for i in range(5)})
+        cur = _report({f"b{i}": _entry(0.02) for i in range(5)})
+        diff = compare_reports(cur, base, 0.25, absolute=True)
+        assert diff["machine_factor"] == 1.0
+        assert len(diff["regressions"]) == 5
+
+    def test_few_shared_benches_fall_back_to_absolute(self):
+        base = _report({"a": _entry(0.01), "b": _entry(0.01)})
+        cur = _report({"a": _entry(0.02), "b": _entry(0.02)})
+        diff = compare_reports(cur, base, 0.25)
+        assert diff["machine_factor"] == 1.0
+        assert len(diff["regressions"]) == 2
+
+    def test_new_and_missing_benches_reported(self):
+        base = _report({"gone": _entry(0.01), "kept": _entry(0.01)})
+        cur = _report({"kept": _entry(0.01), "fresh": _entry(0.01)})
+        diff = compare_reports(cur, base, 0.25)
+        assert diff["new"] == ["fresh"]
+        assert diff["missing"] == ["gone"]
+
+
+TINY_BENCH = """
+def test_tiny(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+"""
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    d = tmp_path / "benches"
+    d.mkdir()
+    (d / "bench_tiny.py").write_text(TINY_BENCH)
+    return d
+
+
+class TestBenchCli:
+    def _main(self, argv):
+        from repro.__main__ import main
+        return main(argv)
+
+    def test_empty_dir_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert self._main(["bench", "--dir", str(empty)]) == 2
+        assert "no bench_*.py" in capsys.readouterr().err
+
+    def test_run_writes_report(self, bench_dir, tmp_path, capsys):
+        out = tmp_path / "BENCH_test.json"
+        code = self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["quick"] is True
+        assert any("test_tiny" in k for k in report["benchmarks"])
+
+    def test_compare_round_trip_is_clean(self, bench_dir, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        out1 = tmp_path / "a.json"
+        assert self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(out1),
+                           "--update-baseline", str(baseline)]) == 0
+        out2 = tmp_path / "b.json"
+        code = self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(out2),
+                           "--compare", str(baseline),
+                           "--tolerance", "1000"])
+        assert code == 0
+
+    def test_regression_exits_1(self, bench_dir, tmp_path, capsys):
+        # First run discovers the benchmark's reported key, then the
+        # baseline claims it used to be near-instant: a sure regression.
+        first = tmp_path / "first.json"
+        assert self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(first)]) == 0
+        key = next(iter(json.loads(first.read_text())["benchmarks"]))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "schema": 1, "revision": "old", "quick": True,
+            "benchmarks": {key: {"min_s": 1e-12, "mean_s": 1e-12}}}))
+        code = self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(tmp_path / "c.json"),
+                           "--compare", str(baseline),
+                           "--tolerance", "0.25"])
+        assert code == 1
+        assert "regressed beyond tolerance" in capsys.readouterr().out
+
+    def test_unreadable_baseline_exits_2(self, bench_dir, tmp_path, capsys):
+        assert self._main(["bench", "--quick", "--dir", str(bench_dir),
+                           "--json", str(tmp_path / "d.json"),
+                           "--compare", str(tmp_path / "absent.json")]) == 2
