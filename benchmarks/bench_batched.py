@@ -1,0 +1,127 @@
+"""Batched lockstep backend: fingerprint-grouped campaigns vs per-run.
+
+The acceptance experiment for :class:`repro.BatchedSimulator`: a sweep
+whose points all share one structural fingerprint (parameter bindings
+only — rate and seed) is regrouped by ``Campaign(batch=True)`` into a
+single lockstep task.  Per-run execution pays the full worker cost for
+every point: fork, import, spec build, design elaboration, compile,
+simulate, teardown.  The batched path pays it once per structure and
+amortizes everything but the simulation itself across the lanes, so on
+short-to-medium runs — the regime sweeps actually live in — the grouped
+campaign must finish at least 3x faster while producing bit-identical
+per-point results.
+
+A second benchmark measures raw lockstep overhead without the campaign
+machinery: one 8-lane BatchedSimulator stepping against 8 standalone
+LevelizedSimulator runs, in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import BatchedSimulator, LSS, build_design
+from repro.campaign import Campaign, GridSweep
+from repro.core.optimize import LevelizedSimulator
+
+#: CI smoke mode: tiny workloads validate wiring and determinism only;
+#: the speedup bar is dropped (absolute times are too small to trust).
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+CYCLES = 60 if QUICK else 100
+
+#: Eight parameter variants of ONE structure: rate and the sink's
+#: accept-rate are runtime bindings, so every point fingerprints alike
+#: and the batched campaign folds the whole sweep into one task.
+GRID = {"rate": [0.2, 0.4, 0.6, 0.8], "sink_rate": [0.7, 1.0]}
+
+
+def build_variant(rate: float, sink_rate: float) -> LSS:
+    """Campaign spec builder: same shape for every sweep point."""
+    from repro.pcl import Queue, Sink, Source
+    spec = LSS("batched-bench")
+    src = spec.instance("src", Source, pattern="bernoulli", rate=rate, seed=1)
+    q = spec.instance("q", Queue, depth=4)
+    snk = spec.instance("snk", Sink, accept="bernoulli", rate=sink_rate,
+                        seed=2)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def _campaign(name, tmp_path, **kw):
+    return Campaign(name, GridSweep(GRID, base_seed=21),
+                    target=build_variant, kind="spec", engine="levelized",
+                    cycles=CYCLES, workers=2, retries=0,
+                    ledger_path=str(tmp_path / f"{name}.jsonl"), **kw)
+
+
+def test_fingerprint_grouped_campaign_speedup(benchmark, tmp_path):
+    per_run = _campaign("batched-perrun", tmp_path)
+    grouped = _campaign("batched-grouped", tmp_path, batch=True)
+
+    t0 = time.perf_counter()
+    per_run_result = per_run.run()
+    per_run_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    grouped_result = grouped.run()
+    grouped_s = time.perf_counter() - t0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert len(per_run_result.done) == len(grouped_result.done) == 8
+    assert not per_run_result.failed and not grouped_result.failed
+
+    # Lockstep batching must not perturb results: bit-identical rows.
+    for solo, lane in zip(per_run_result.rows, grouped_result.rows):
+        assert solo.params == lane.params
+        assert solo.result == lane.result, solo.params
+
+    speedup = per_run_s / grouped_s
+    benchmark.extra_info["per_run_s"] = round(per_run_s, 4)
+    benchmark.extra_info["grouped_s"] = round(grouped_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(f"\n[BATCHED] 8 points x {CYCLES} cycles: per-run {per_run_s:.2f}s,"
+          f" grouped {grouped_s:.2f}s -> {speedup:.2f}x")
+
+    if QUICK:
+        assert speedup > 0.5, f"batching pathologically slow: {speedup:.2f}x"
+    else:
+        assert speedup >= 3.0, \
+            f"expected >=3x from fingerprint grouping, got {speedup:.2f}x"
+
+
+def test_lockstep_throughput(benchmark):
+    """Raw lockstep stepping: 8 lanes in one batch vs 8 solo runs."""
+    cycles = CYCLES
+    rates = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+    def _designs():
+        return [build_design(build_variant(r, 1.0)) for r in rates]
+
+    def batched_run():
+        sim = BatchedSimulator(_designs(), seeds=list(range(8)))
+        sim.run(cycles)
+        totals = [lane.transfers_total for lane in sim.lanes]
+        sim.close()
+        return totals
+
+    t0 = time.perf_counter()
+    solo_totals = []
+    for i, design in enumerate(_designs()):
+        sim = LevelizedSimulator(design, seed=i)
+        sim.run(cycles)
+        solo_totals.append(sim.transfers_total)
+        sim.close()
+    solo_s = time.perf_counter() - t0
+
+    batched_totals = benchmark(batched_run)
+    assert batched_totals == solo_totals
+
+    batched_s = benchmark.stats.stats.mean
+    benchmark.extra_info["solo_s"] = round(solo_s, 4)
+    benchmark.extra_info["lane_step_us"] = round(
+        batched_s / (8 * cycles) * 1e6, 2)
+    print(f"\n[LOCKSTEP] 8 lanes x {cycles} cycles: solo {solo_s:.3f}s, "
+          f"batched {batched_s:.3f}s per round")

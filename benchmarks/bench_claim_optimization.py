@@ -14,10 +14,11 @@ import time
 import pytest
 
 from repro import LSS, build_simulator
+from repro.core.backends import engine_names
 from repro.ccl import Mesh, attach_traffic, build_mesh_network
 from repro.pcl import Monitor, Queue, Sink, Source
 
-ENGINES = ("worklist", "levelized", "codegen")
+ENGINES = tuple(n for n in engine_names() if n != "batched")
 
 
 def _chain_spec(n_stages=12):

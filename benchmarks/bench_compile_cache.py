@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.core import compile_cache as cc
+from repro.core.backends import engine_names
 from repro.core.codegen import CodegenSimulator
 from repro.core.constructor import build_design, build_simulator
 from repro.core.optimize import LevelizedSimulator
@@ -35,7 +36,7 @@ ROUNDS = 5
 #: Simulated timesteps for the throughput / fidelity checks.
 RUN_CYCLES = 60 if QUICK else 200
 
-ENGINES = ("worklist", "levelized", "codegen")
+ENGINES = tuple(n for n in engine_names() if n != "batched")
 
 
 @pytest.fixture()

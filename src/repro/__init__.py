@@ -26,15 +26,18 @@ True
 
 from .core import (  # noqa: F401
     ANY, BITS, FLOAT, INT,
-    CombinationalCycleError, ContractViolationError, ControlFunction,
+    BatchedSimulator, CombinationalCycleError, CompiledModel,
+    ContractViolationError, ControlFunction,
     CtrlStatus, DataStatus, FirmwareError, HierBody, HierTemplate,
     Histogram, LSS, LeafModule, LibertyError, MonotonicityError,
     OUTPUT, INPUT, Parameter, ParameterError, ParseError, PortDecl,
     REQUIRED, SimulationError, Simulator, SpecificationError,
     StatsRegistry, Struct, Token, TypeMismatchError, Wire, WireProbe,
     WireType, WiringError, ack, always_ack, build_design, build_simulator,
-    compose, elaborate, fwd, gate_enable, in_port, library_env, map_data,
-    never_ack, out_port, parse_lss, squash_when, token,
+    compile_model, compose, elaborate, engine_names, fwd, gate_enable,
+    get_backend, in_port, library_env, map_data,
+    never_ack, out_port, parse_lss, register_backend, resolve_engine,
+    squash_when, token,
 )
 
 from .liberation import (  # noqa: F401  (imported late: needs .core)
@@ -51,6 +54,8 @@ __all__ = [
     "ControlFunction", "squash_when", "map_data", "always_ack", "never_ack",
     "gate_enable", "compose",
     "elaborate", "build_design", "build_simulator", "Simulator",
+    "BatchedSimulator", "CompiledModel", "compile_model",
+    "engine_names", "get_backend", "register_backend", "resolve_engine",
     "parse_lss", "library_env",
     "StatsRegistry", "Histogram", "WireProbe",
     "LibertyError", "SpecificationError", "ParameterError", "WiringError",

@@ -46,12 +46,13 @@ import os
 import sys
 
 from . import __version__, build_simulator, library_env, parse_lss
+from .core.backends import engine_names
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
 _SUBCOMMANDS = ("run", "campaign", "profile", "check", "bench")
 
-_ENGINES = ("worklist", "levelized", "codegen")
+_ENGINES = engine_names()
 
 
 def _add_run_parser(subparsers) -> None:

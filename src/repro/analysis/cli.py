@@ -46,14 +46,17 @@ def explain_schedule(spec) -> str:
     import networkx as nx
 
     from ..core.constructor import build_design
-    from ..core.optimize import build_schedule, build_signal_graph
+    from .passes import AnalysisContext
 
     design = build_design(spec)
-    graph = build_signal_graph(design)
+    # One IR compilation yields both the graph and the schedule (and
+    # reuses a cached CompiledModel when one exists).
+    ctx = AnalysisContext(design=design)
+    graph = ctx.signal_graph
     condensed = nx.condensation(graph)
     depth = (nx.dag_longest_path_length(condensed) + 1
              if condensed.number_of_nodes() else 0)
-    schedule = build_schedule(design)
+    schedule = ctx.compiled.schedule
     clusters = [e for e in schedule if e.cluster]
     lines = [
         f"schedule for {design.name!r}:",

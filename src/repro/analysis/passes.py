@@ -46,6 +46,7 @@ class AnalysisContext:
             raise LibertyError("analysis needs a specification or a design")
         self.spec = spec
         self._design = design
+        self._compiled = None
         self._signal_graph = None
         self._condensation = None
         self._fingerprint: Optional[str] = None
@@ -65,11 +66,33 @@ class AnalysisContext:
         return self._design
 
     @property
+    def compiled(self):
+        """The design's :class:`~repro.core.ir.BoundModel`.
+
+        Analysis consumes the same compiled artifact the execution
+        backends run — one ``Design → CompiledModel`` compilation
+        (cache-aware) shared by checking and simulation alike.
+        """
+        if self._compiled is None:
+            from ..core.ir import compile_model
+            self._compiled = compile_model(self.design)
+        return self._compiled
+
+    @property
     def signal_graph(self):
-        """The signal-group dependency graph (see ``core.optimize``)."""
+        """The signal-group dependency graph (see ``core.optimize``).
+
+        Materialized from the compiled model's stored edge list when
+        available (so a cache hit skips dependency expansion entirely);
+        rebuilt from the design only for artifacts predating graph
+        storage.
+        """
         if self._signal_graph is None:
-            from ..core.optimize import build_signal_graph
-            self._signal_graph = build_signal_graph(self.design)
+            graph = self.compiled.model.signal_graph(self.design)
+            if graph is None:
+                from ..core.optimize import build_signal_graph
+                graph = build_signal_graph(self.design)
+            self._signal_graph = graph
         return self._signal_graph
 
     @property

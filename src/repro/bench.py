@@ -20,6 +20,13 @@ a benchmark regresses only when its ratio exceeds
 moves the median and flags nothing; one benchmark drifting against its
 peers is exactly what gets caught.  Pass ``--absolute`` to compare raw
 times instead (sensible only against a baseline from the same machine).
+Benchmarks under 5ms in either report are listed (marker ``.``) but
+never gated — at that scale timing noise exceeds any regression signal.
+First-pass regressions are re-measured in isolation (fresh interpreter,
+only the flagged files) and kept only if they reproduce: a full sweep
+shares one process across the whole suite, and GC pressure from earlier
+files routinely moves a mid-size bench 1.5-2x with no code change.
+``--no-retry`` disables the confirmation pass.
 
 Exit codes: 0 clean, 1 regression detected, 2 harness error (no
 benchmarks found, pytest failure, unreadable baseline).
@@ -41,6 +48,12 @@ from typing import Any, Dict, List, Optional, Tuple
 REPORT_SCHEMA = 1
 
 _DEFAULT_TOLERANCE = 0.25
+
+#: Benchmarks faster than this (min-of-rounds, in either report) are
+#: listed but never gated: at sub-5ms scale, scheduler jitter and cache
+#: state swamp any real regression signal, and several benches time a
+#: one-round sentinel that is pure noise.
+_MIN_COMPARABLE_S = 0.005
 
 
 # ----------------------------------------------------------------------
@@ -78,6 +91,10 @@ def add_bench_parser(subparsers) -> None:
     parser.add_argument("--update-baseline", default=None, metavar="FILE",
                         help="also write this run's report as the new "
                              "baseline file")
+    parser.add_argument("--no-retry", action="store_true",
+                        help="fail on first-pass regressions without "
+                             "re-running the flagged files in isolation "
+                             "to filter shared-process timing noise")
 
 
 def _revision() -> str:
@@ -173,22 +190,28 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
     base = baseline.get("benchmarks", {})
     shared = sorted(k for k in cur if k in base
                     and _metric(cur[k]) and _metric(base[k]))
+    gated = [k for k in shared
+             if _metric(cur[k]) >= _MIN_COMPARABLE_S
+             and _metric(base[k]) >= _MIN_COMPARABLE_S]
     ratios = {k: _metric(cur[k]) / _metric(base[k]) for k in shared}
-    if absolute or len(ratios) < 3:
+    if absolute or len(gated) < 3:
         machine_factor = 1.0
     else:
-        machine_factor = statistics.median(ratios.values())
+        machine_factor = statistics.median(ratios[k] for k in gated)
     threshold = machine_factor * (1.0 + tolerance)
     rows = []
     regressions = []
     for key in shared:
         ratio = ratios[key]
-        status = "ok"
-        if ratio > threshold:
+        if key not in gated:
+            status = "tiny"
+        elif ratio > threshold:
             status = "REGRESSED"
             regressions.append(key)
         elif ratio < machine_factor / (1.0 + tolerance):
             status = "improved"
+        else:
+            status = "ok"
         rows.append({"bench": key, "ratio": ratio, "status": status,
                      "current_s": _metric(cur[key]),
                      "baseline_s": _metric(base[key])})
@@ -205,7 +228,8 @@ def _print_comparison(diff: Dict[str, Any]) -> None:
           f"{diff['threshold']:.2f}x"
           + (" (absolute)" if diff["absolute"] else ""))
     for row in diff["rows"]:
-        marker = {"ok": " ", "improved": "+", "REGRESSED": "!"}[row["status"]]
+        marker = {"ok": " ", "improved": "+", "REGRESSED": "!",
+                  "tiny": "."}[row["status"]]
         print(f" {marker} {row['ratio']:6.2f}x  "
               f"{row['current_s'] * 1e3:10.2f}ms  {row['bench']}")
     for key in diff["new"]:
@@ -268,6 +292,46 @@ def run_bench_command(args) -> int:
         diff = compare_reports(report, baseline, args.tolerance,
                                absolute=args.absolute)
         _print_comparison(diff)
+        if diff["regressions"] and not args.no_retry:
+            confirmed = _confirm_regressions(diff, baseline, args,
+                                             revision=revision)
+            if not confirmed:
+                print("# all regressions vanished on isolated re-run "
+                      "(shared-process timing noise); passing")
+            diff["regressions"] = confirmed
         if diff["regressions"]:
             return 1
     return 0
+
+
+def _confirm_regressions(diff: Dict[str, Any], baseline: Dict[str, Any],
+                         args, *, revision: str) -> List[str]:
+    """Re-measure flagged benches in a fresh process; keep survivors.
+
+    A full-suite sweep shares one interpreter across ~100 benchmarks:
+    GC pressure and allocator state from earlier files routinely move a
+    mid-size bench 1.5-2x with no code change.  A real regression is a
+    property of the code, so it must reproduce when the flagged files
+    run alone; one that vanishes in isolation was sweep noise.
+    """
+    files = sorted({key.split("::", 1)[0] for key in diff["regressions"]})
+    print(f"# re-running {len(files)} flagged file(s) in isolation "
+          "to confirm")
+    returncode, payload = run_suite(files, args.quick)
+    if payload is None or returncode != 0:
+        return diff["regressions"]  # can't confirm: keep the failure
+    retry = summarize(payload, revision=revision, quick=args.quick)
+    rediff = compare_reports(retry, baseline, args.tolerance,
+                             absolute=args.absolute)
+    redo = {row["bench"]: row for row in rediff["rows"]}
+    confirmed = []
+    for key in diff["regressions"]:
+        row = redo.get(key)
+        if row is None or row["status"] == "REGRESSED":
+            confirmed.append(key)
+            print(f"#   confirmed {row['ratio']:.2f}x on re-run: {key}"
+                  if row else f"#   missing from re-run: {key}")
+        else:
+            print(f"#   not reproduced ({row['ratio']:.2f}x on re-run): "
+                  f"{key}")
+    return confirmed

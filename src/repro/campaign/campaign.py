@@ -49,6 +49,17 @@ class Campaign:
         retried attempt resumes from the last snapshot.
     ledger_path:
         JSONL journal location; default ``<name>.campaign.jsonl``.
+    batch / batch_max:
+        ``batch=True`` enables the fingerprint-grouped fast path for
+        simulator kinds: sweep points whose built designs share a
+        structural fingerprint are dispatched as **one** task running a
+        lockstep :class:`~repro.core.batched.BatchedSimulator` (at most
+        ``batch_max`` lanes per task), amortizing process launch and
+        schedule walking across the group.  Per-lane results and ledger
+        rows are identical to per-point runs — a batched campaign can
+        be resumed un-batched and vice versa.  Points whose specs fail
+        to build (or that end up alone in a group) run per-point as
+        usual.
     """
 
     def __init__(self, name: str, sweep: Sweep,
@@ -61,7 +72,8 @@ class Campaign:
                  checkpoint_every: Optional[int] = None,
                  checkpoint_dir: Optional[str] = None,
                  ledger_path: Optional[str] = None,
-                 profile: bool = False, profile_sample: int = 4):
+                 profile: bool = False, profile_sample: int = 4,
+                 batch: bool = False, batch_max: int = 16):
         if kind not in ("fn", "spec", "lss"):
             raise CampaignError(
                 f"kind must be 'fn', 'spec' or 'lss', got {kind!r}")
@@ -69,6 +81,25 @@ class Campaign:
             raise CampaignError("kind='lss' requires lss_text")
         if kind != "lss" and target is None:
             raise CampaignError(f"kind={kind!r} requires a target")
+        from ..core.backends import get_backend
+        from ..core.errors import SpecificationError
+        try:
+            get_backend(engine)
+        except SpecificationError as exc:
+            raise CampaignError(str(exc)) from None
+        if batch:
+            if kind == "fn":
+                raise CampaignError(
+                    "batch=True requires a simulator kind ('spec' or 'lss')")
+            if checkpoint_every is not None:
+                raise CampaignError(
+                    "batch=True is incompatible with checkpoint_every "
+                    "(lockstep lanes do not checkpoint individually)")
+            if batch_max < 1:
+                raise CampaignError(
+                    f"batch_max must be >= 1, got {batch_max}")
+        self.batch = batch
+        self.batch_max = batch_max
         self.name = name
         self.sweep = sweep
         self.target = target
@@ -109,6 +140,59 @@ class Campaign:
         return ProcessExecutor(workers=self.workers, timeout=self.timeout,
                                retries=self.retries, backoff=self.backoff)
 
+    def _batch_tasks(self, todo: Sequence[SweepPoint]):
+        """Group ``todo`` by design fingerprint into batch tasks.
+
+        Each point's spec is built in the parent, its design
+        fingerprinted (which also warms the compile cache for the
+        workers), and groups of structurally identical points become
+        ``kind="batch"`` tasks of at most ``batch_max`` lanes.
+        Singleton groups and points that fail to build fall back to
+        ordinary per-point tasks (the worker then reports the build
+        failure with full context).
+        """
+        from ..core.compile_cache import get_cache, warm_design
+        from ..core.constructor import build_design
+        from .executor import build_point_spec
+        warm = get_cache().enabled
+        groups: Dict[str, list] = {}
+        singles: list = []
+        for point in todo:
+            try:
+                spec = build_point_spec(self.kind, self.target,
+                                        self.lss_text, point.params,
+                                        point.run_id)
+                design = build_design(spec)
+                if warm:
+                    fingerprint = warm_design(design)
+                else:
+                    from ..core.compile_cache import design_fingerprint
+                    fingerprint = design_fingerprint(design)
+            except Exception:
+                singles.append(point)
+                continue
+            groups.setdefault(fingerprint, []).append(point)
+
+        tasks = []
+        for fingerprint, members in groups.items():
+            for k in range(0, len(members), self.batch_max):
+                chunk = members[k:k + self.batch_max]
+                if len(chunk) == 1:
+                    singles.append(chunk[0])
+                    continue
+                tasks.append(RunTask(
+                    run_id=f"batch:{fingerprint[:10]}:{k // self.batch_max}",
+                    index=chunk[0].index, params={}, seed=chunk[0].seed,
+                    target=self.target, kind="batch", batch_kind=self.kind,
+                    engine=self.engine, cycles=self.cycles,
+                    lss_text=self.lss_text, profile=self.profile,
+                    profile_sample=self.profile_sample,
+                    points=[{"run_id": p.run_id, "index": p.index,
+                             "params": p.params, "seed": p.seed}
+                            for p in chunk]))
+        tasks.extend(self._task_for(p) for p in singles)
+        return tasks
+
     def _prewarm(self, todo: Sequence[SweepPoint]) -> int:
         """Compile each distinct topology once before workers fan out.
 
@@ -120,10 +204,10 @@ class Campaign:
         failure here is left for the worker to report with full context.
         Returns the number of distinct fingerprints warmed.
         """
-        if (not todo or self.workers == 0
+        if (not todo or self.batch or self.workers == 0
                 or self.kind not in ("spec", "lss")
                 or self.engine == "worklist"):
-            return 0
+            return 0  # batch grouping warms the cache itself
         from ..core.compile_cache import get_cache, warm_spec
         if not get_cache().enabled:
             return 0
@@ -198,28 +282,47 @@ class Campaign:
                                         "cycles": self.cycles,
                                         "target": _target_name(self.target),
                                         "workers": self.workers,
-                                        "profile": self.profile}})
+                                        "profile": self.profile,
+                                        "batch": self.batch}})
                 for point in points:
                     ledger.record({"event": "point", "run_id": point.run_id,
                                    "index": point.index,
                                    "params": point.params,
                                    "seed": point.seed})
 
-            def journal(event: Dict[str, Any]) -> None:
-                ledger.record(event)
-                if progress and event["event"] in ("done", "failed", "gave_up"):
-                    progress(f"  {event['run_id']}: {event['event']}"
-                             + (f" ({event.get('error')})"
-                                if event["event"] == "failed" else ""))
+            if self.batch and todo:
+                tasks = self._batch_tasks(todo)
+                batch_points = {t.run_id: t.points for t in tasks
+                                if t.kind == "batch"}
+                if progress and batch_points:
+                    grouped = sum(len(p) for p in batch_points.values())
+                    progress(f"  batched {grouped} points into "
+                             f"{len(batch_points)} lockstep group(s)")
+            else:
+                tasks = [self._task_for(p) for p in todo]
+                batch_points = {}
 
-            outcomes = (self._executor().run([self._task_for(p) for p in todo],
-                                             callback=journal)
-                        if todo else [])
+            def journal(event: Dict[str, Any]) -> None:
+                # Batch-group events never hit the ledger raw: they are
+                # translated into per-lane events so the journal stays
+                # per-point (resumable batched or un-batched alike).
+                for sub in _expand_batch_event(event, batch_points):
+                    ledger.record(sub)
+                    if progress and sub["event"] in ("done", "failed",
+                                                     "gave_up"):
+                        progress(f"  {sub['run_id']}: {sub['event']}"
+                                 + (f" ({sub.get('error')})"
+                                    if sub["event"] == "failed" else ""))
+
+            outcomes = (self._executor().run(tasks, callback=journal)
+                        if tasks else [])
         finally:
             ledger.close()
 
         by_id = dict(previous)
-        by_id.update({o.run_id: o for o in outcomes})
+        for outcome in outcomes:
+            for expanded in _expand_batch_outcome(outcome, batch_points):
+                by_id[expanded.run_id] = expanded
         return self._result(points, by_id)
 
     def _result(self, points: Sequence[SweepPoint],
@@ -243,6 +346,50 @@ class Campaign:
         """Aggregate from the ledger alone, without executing anything."""
         state = Ledger.load(self.ledger_path)
         return result_from_ledger(self.name, state)
+
+
+def _expand_batch_event(event: Dict[str, Any],
+                        batch_points: Dict[str, list]):
+    """Translate a batch-group lifecycle event into per-lane events.
+
+    Non-batch events pass through unchanged (as a one-element list).
+    ``done`` events carry the whole group result; each lane's event
+    gets its own slice of ``result["lanes"]``, so the ledger rows are
+    indistinguishable from per-point runs.
+    """
+    points = batch_points.get(event.get("run_id"))
+    if points is None:
+        return [event]
+    out = []
+    for point in points:
+        sub = dict(event, run_id=point["run_id"])
+        if event["event"] == "done":
+            lanes = (event.get("result") or {}).get("lanes") or {}
+            sub["result"] = lanes.get(point["run_id"])
+        out.append(sub)
+    return out
+
+
+def _expand_batch_outcome(outcome: RunOutcome,
+                          batch_points: Dict[str, list]):
+    """Fan a batch-group outcome out into one outcome per lane."""
+    points = batch_points.get(outcome.run_id)
+    if points is None:
+        return [outcome]
+    out = []
+    for point in points:
+        if outcome.status == "done":
+            lanes = (outcome.result or {}).get("lanes") or {}
+            out.append(RunOutcome(point["run_id"], "done",
+                                  result=lanes.get(point["run_id"]),
+                                  attempts=outcome.attempts,
+                                  duration=outcome.duration))
+        else:
+            out.append(RunOutcome(point["run_id"], "failed",
+                                  error=outcome.error,
+                                  attempts=outcome.attempts,
+                                  duration=outcome.duration))
+    return out
 
 
 def result_from_ledger(name: str, state: LedgerState) -> CampaignResult:

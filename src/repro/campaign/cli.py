@@ -50,8 +50,14 @@ def add_campaign_parser(subparsers) -> argparse.ArgumentParser:
                              "For .lss specs NAME is 'instance.parameter'")
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps per run (default 1000)")
+    from ..core.backends import engine_names
     parser.add_argument("--engine", default="levelized",
-                        choices=("worklist", "levelized", "codegen"))
+                        choices=engine_names())
+    parser.add_argument("--batch", action="store_true",
+                        help="group structurally identical points and run "
+                             "each group in one lockstep batched simulator")
+    parser.add_argument("--batch-max", type=int, default=16, metavar="N",
+                        help="maximum lanes per batched group (default 16)")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign base seed; per-point engine seeds "
                              "are derived from it (default 0)")
@@ -171,6 +177,7 @@ def run_campaign_command(args) -> int:
         backoff=args.backoff, checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir, ledger_path=ledger_path,
         profile=args.profile, profile_sample=args.profile_sample,
+        batch=args.batch, batch_max=args.batch_max,
         **campaign_kw)
     result = campaign.run(resume=args.resume, progress=print)
     print(result.summary())

@@ -23,6 +23,14 @@ kinds are supported:
     ``lss_text`` is parsed against the shipped library environment,
     ``params`` (dotted ``"inst.param"`` keys) override instance
     bindings, then as ``spec``.
+``batch``
+    A whole group of structurally identical sweep points (same design
+    fingerprint, different parameters) executed in **one** worker by a
+    single lockstep :class:`~repro.core.batched.BatchedSimulator` —
+    the campaign fast path.  ``points`` carries the per-lane run ids,
+    params and seeds; ``batch_kind`` says how each lane's spec is built
+    (``spec`` or ``lss``).  The result maps every lane's run id to a
+    payload shaped exactly like a standalone simulator run's.
 
 :class:`InlineExecutor` runs the same tasks serially in-process — the
 baseline for scaling measurements and the debug path (no kill-based
@@ -92,6 +100,11 @@ class RunTask:
     profile_sample: int = 4               # profiler sampling period
     profile_top: int = 25                 # hottest instances kept per run
     attempt: int = 1
+    #: kind="batch" only: per-lane descriptors, each a dict with
+    #: "run_id" / "index" / "params" / "seed".
+    points: Optional[List[Dict[str, Any]]] = None
+    #: kind="batch" only: how each lane's spec is built (spec | lss).
+    batch_kind: Optional[str] = None
 
     def checkpoint_path(self) -> Optional[str]:
         if self.checkpoint_dir is None:
@@ -119,25 +132,94 @@ def _coerce_spec(obj):
     return obj
 
 
-def _simulate(task: RunTask, spec) -> Dict[str, Any]:
-    from ..core.constructor import build_simulator
-    sim = build_simulator(_coerce_spec(spec), engine=task.engine,
-                          seed=task.seed)
-    profiler = None
-    if task.profile:
-        from ..obs import Profiler
-        profiler = Profiler(sim, sample_every=task.profile_sample)
-    path = task.checkpoint_path()
-    run_with_checkpoints(sim, task.cycles, every=task.checkpoint_every,
-                         path=path)
-    clear_checkpoint(path)
+def build_point_spec(kind: str, target, lss_text: Optional[str],
+                     params: Dict[str, Any], run_id: str = "?"):
+    """Build one sweep point's LSS — the shared spec-construction path.
+
+    ``kind="spec"`` calls the builder with the point's params;
+    ``kind="lss"`` parses ``lss_text`` and applies dotted
+    ``"instance.parameter"`` overrides.  Used by the per-run simulate
+    path, the batch path, and the campaign's fingerprint grouping.
+    """
+    if kind == "spec":
+        fn = resolve_target(target)
+        return _coerce_spec(fn(**params))
+    if kind == "lss":
+        from .. import library_env, parse_lss
+        if lss_text is None:
+            raise CampaignError(f"run {run_id}: lss task without lss_text")
+        spec = parse_lss(lss_text, library_env())
+        for dotted, value in params.items():
+            inst_name, _, param = dotted.partition(".")
+            if not param:
+                raise CampaignError(
+                    f"run {run_id}: LSS override {dotted!r} is not of "
+                    f"the form 'instance.parameter'")
+            spec.get_instance(inst_name).bindings[param] = value
+        return spec
+    raise CampaignError(f"unknown simulator task kind {kind!r}")
+
+
+def _lane_result(sim, profiler, top: int) -> Dict[str, Any]:
+    """One simulator's result payload (shared per-run / per-lane shape)."""
     result = {"cycles": sim.now, "transfers": sim.transfers_total,
               "relaxations": sim.relaxations_total,
               "stats": sim.stats.summary_dict()}
     if profiler is not None:
-        result["profile"] = profiler.summary_dict(top=task.profile_top)
-        profiler.detach()
+        result["profile"] = profiler.summary_dict(top=top)
     return result
+
+
+def _simulate(task: RunTask, spec) -> Dict[str, Any]:
+    from ..core.constructor import build_simulator
+    sim = build_simulator(_coerce_spec(spec), engine=task.engine,
+                          seed=task.seed)
+    try:
+        profiler = None
+        if task.profile:
+            from ..obs import Profiler
+            profiler = Profiler(sim, sample_every=task.profile_sample)
+        path = task.checkpoint_path()
+        run_with_checkpoints(sim, task.cycles, every=task.checkpoint_every,
+                             path=path)
+        clear_checkpoint(path)
+        return _lane_result(sim, profiler, task.profile_top)
+    finally:
+        sim.close()  # release the design (and detach any profiler)
+
+
+def _simulate_batch(task: RunTask) -> Dict[str, Any]:
+    """Run a whole fingerprint group in one lockstep batched simulator.
+
+    Returns ``{"batch": True, "lanes": {run_id: result, ...}}`` where
+    every lane result is shaped exactly like a standalone
+    :func:`_simulate` payload, so the campaign can journal and
+    aggregate the lanes as ordinary per-point runs.
+    """
+    from ..core.batched import BatchedSimulator
+    from ..core.constructor import build_design
+    if not task.points:
+        raise CampaignError(f"batch task {task.run_id} has no points")
+    designs = [build_design(build_point_spec(
+        task.batch_kind, task.target, task.lss_text,
+        point["params"], point["run_id"])) for point in task.points]
+    sim = BatchedSimulator(designs,
+                           seeds=[point["seed"] for point in task.points])
+    try:
+        profilers: Dict[str, Any] = {}
+        if task.profile:
+            from ..obs import Profiler
+            for i, point in enumerate(task.points):
+                profilers[point["run_id"]] = Profiler(
+                    sim.lane(i), sample_every=task.profile_sample)
+        sim.run(task.cycles)
+        lanes = {point["run_id"]: _lane_result(
+                     sim.lane(i), profilers.get(point["run_id"]),
+                     task.profile_top)
+                 for i, point in enumerate(task.points)}
+        return {"batch": True, "lanes": lanes}
+    finally:
+        sim.close()
 
 
 def execute_task(task: RunTask) -> Dict[str, Any]:
@@ -150,22 +232,11 @@ def execute_task(task: RunTask) -> Dict[str, Any]:
         if not isinstance(result, dict):
             result = {"value": result}
         return result
-    if task.kind == "spec":
-        fn = resolve_target(task.target)
-        return _simulate(task, fn(**task.params))
-    if task.kind == "lss":
-        from .. import library_env, parse_lss
-        if task.lss_text is None:
-            raise CampaignError(f"run {task.run_id}: lss task without lss_text")
-        spec = parse_lss(task.lss_text, library_env())
-        for dotted, value in task.params.items():
-            inst_name, _, param = dotted.partition(".")
-            if not param:
-                raise CampaignError(
-                    f"run {task.run_id}: LSS override {dotted!r} is not of "
-                    f"the form 'instance.parameter'")
-            spec.get_instance(inst_name).bindings[param] = value
-        return _simulate(task, spec)
+    if task.kind == "batch":
+        return _simulate_batch(task)
+    if task.kind in ("spec", "lss"):
+        return _simulate(task, build_point_spec(
+            task.kind, task.target, task.lss_text, task.params, task.run_id))
     raise CampaignError(f"unknown task kind {task.kind!r}")
 
 

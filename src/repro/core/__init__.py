@@ -5,11 +5,15 @@ ports, parameters), the communication contract (signal statuses,
 control functions), and the constructor/engine entry points.
 """
 
+from .backends import (engine_names, get_backend, register_backend,
+                       resolve_engine)
+from .batched import BatchedSimulator
 from .collector import Histogram, StatsRegistry, WireProbe
 from .constructor import build_design, build_simulator, elaborate
 from .control import (ControlFunction, always_ack, compose, gate_enable,
                       map_data, never_ack, squash_when)
 from .engine import Simulator
+from .ir import CompiledModel, compile_model
 from .errors import (CombinationalCycleError, ContractViolationError,
                      FirmwareError, LibertyError, MonotonicityError,
                      ParameterError, ParseError, SimulationError,
@@ -34,6 +38,8 @@ __all__ = [
     "gate_enable", "compose",
     # construction & engines
     "elaborate", "build_design", "build_simulator", "Simulator",
+    "BatchedSimulator", "CompiledModel", "compile_model",
+    "engine_names", "get_backend", "register_backend", "resolve_engine",
     "parse_lss", "library_env",
     # instrumentation
     "StatsRegistry", "Histogram", "WireProbe",

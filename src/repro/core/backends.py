@@ -1,0 +1,128 @@
+"""The backend registry: one name space for every execution engine.
+
+The paper's construction-time argument (§2.3) separates *what* a
+specification means from *how* the system chooses to animate it.  This
+module is that seam: each engine registers here under a short name
+("worklist", "levelized", "codegen", "batched"), and every consumer —
+:func:`repro.core.constructor.build_simulator`, the CLI ``--engine``
+flags, the campaign layer, the benchmarks, the test matrix — resolves
+names through the registry instead of hard-coding the list.
+
+Registration is **lazy**: a backend records a ``"module:attr"`` target
+string and the class is imported only when first resolved, so merely
+importing the registry (e.g. to enumerate names for an argparse
+``choices=``) pulls in none of the engines.
+
+The ``REPRO_ENGINE`` environment variable selects the default engine
+used when a caller passes no explicit name — handy for running an
+entire test suite or campaign against a different backend without
+touching call sites.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Dict, Optional, Tuple
+
+from .errors import SpecificationError
+
+#: Environment variable naming the default engine.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+class Backend:
+    """One registered engine: a name bound to a lazily imported class."""
+
+    __slots__ = ("name", "target", "doc", "_cls")
+
+    def __init__(self, name: str, target: str, doc: str = ""):
+        self.name = name
+        self.target = target
+        self.doc = doc
+        self._cls = None
+
+    def cls(self):
+        """Import (once) and return the simulator class."""
+        if self._cls is None:
+            module_name, _, attr = self.target.partition(":")
+            self._cls = getattr(importlib.import_module(module_name), attr)
+        return self._cls
+
+    def __repr__(self) -> str:
+        return f"<Backend {self.name!r} -> {self.target}>"
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(name: str, target: str, *, doc: str = "",
+                     replace: bool = False) -> Backend:
+    """Register an engine class under ``name``.
+
+    ``target`` is a ``"module:attr"`` string imported on first use.
+    Re-registering an existing name requires ``replace=True`` so typos
+    cannot silently shadow a built-in engine.
+    """
+    if name in _REGISTRY and not replace:
+        raise SpecificationError(
+            f"engine {name!r} is already registered "
+            f"({_REGISTRY[name].target}); pass replace=True to override")
+    backend = Backend(name, target, doc)
+    _REGISTRY[name] = backend
+    return backend
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """The :class:`Backend` registered under ``name``.
+
+    Raises :class:`~repro.core.errors.SpecificationError` listing the
+    registered names when ``name`` is unknown — the one error message
+    every CLI and campaign typo funnels through.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(repr(n) for n in _REGISTRY)
+        raise SpecificationError(
+            f"unknown engine {name!r}; registered engines: {known}") \
+            from None
+
+
+def resolve_engine(name: str):
+    """The simulator class registered under ``name``."""
+    return get_backend(name).cls()
+
+
+def default_engine() -> str:
+    """The engine used when no explicit name is given.
+
+    Honours the ``REPRO_ENGINE`` environment variable (validated
+    against the registry) and falls back to ``"worklist"`` — the
+    reference interpreter — when unset.
+    """
+    name = os.environ.get(ENGINE_ENV_VAR, "").strip()
+    if not name:
+        return "worklist"
+    get_backend(name)  # validate, with the helpful listing on a typo
+    return name
+
+
+# -- built-in engines ------------------------------------------------------
+register_backend(
+    "worklist", "repro.core.engine:Simulator",
+    doc="dynamic worklist interpreter; the reference semantics")
+register_backend(
+    "levelized", "repro.core.optimize:LevelizedSimulator",
+    doc="static levelized schedule compiled at construction time")
+register_backend(
+    "codegen", "repro.core.codegen:CodegenSimulator",
+    doc="generated per-design Python stepper over the static schedule")
+register_backend(
+    "batched", "repro.core.batched:BatchedSimulator",
+    doc="lockstep execution of N structurally identical designs")

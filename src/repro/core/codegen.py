@@ -71,24 +71,22 @@ class CodegenSimulator(LevelizedSimulator):
     per-timestep dispatch differs.
     """
 
+    #: Tells the IR compiler to attach a stepper to the CompiledModel.
+    NEEDS_STEPPER = True
+
     def __init__(self, design: Design, **kw):
         super().__init__(design, **kw)
         # The generated source depends only on the schedule shape, so on
         # a compile-cache hit both the text and its compiled code object
-        # are reused (the code object via the in-memory layer only).
-        from .compile_cache import get_cache
-        cache = get_cache()
-        source = code = None
-        if self.compile_fingerprint:
-            source, code = cache.load_stepper(self.compile_fingerprint)
-        if source is None:
-            source = generate_stepper_source(self.schedule, design.name)
-        self.generated_source = source
-        self._stepper_code = code
+        # come straight off the CompiledModel (the code object via the
+        # in-memory layer only).
+        self.generated_source = self.compiled.stepper_source
+        self._stepper_code = self.compiled.code
         self._build_stepper()
-        if self.compile_fingerprint and code is None:
-            cache.save_stepper(self.compile_fingerprint, source,
-                               self._stepper_code)
+        if self.compiled.code is None:
+            # Share the freshly compiled code object through the
+            # in-memory cache layer for later constructions.
+            self.compiled.code = self._stepper_code
 
     def _build_stepper(self) -> None:
         namespace: dict = {}

@@ -52,12 +52,15 @@ import os
 import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
+from .ir import CompiledModel
 from .netlist import Design
 from .signals import Wire
 
-#: Bump when the fingerprint inputs or the portable schedule format
-#: change; old on-disk entries are then evicted on sight.
-CACHE_VERSION = 1
+#: Bump when the fingerprint inputs or the portable artifact format
+#: change; old on-disk entries are then evicted on sight.  v2: entries
+#: are full compiled-model IR payloads (signal graph, wire partition,
+#: DEPS/control tables) instead of bare schedules.
+CACHE_VERSION = 2
 
 _DEFAULT_DIR = ".repro-cache"
 _DEFAULT_MEMORY_LIMIT = 64
@@ -256,27 +259,14 @@ def materialize_schedule(portable: List[Dict[str, Any]], design: Design) \
 # ----------------------------------------------------------------------
 # The cache proper
 # ----------------------------------------------------------------------
-class CompiledDesign:
-    """One cache entry: everything construction-time compilation yields.
-
-    ``schedule`` is the portable schedule; ``stepper_source`` the
-    generated Python stepper (``None`` until a codegen construction
-    first needs it); ``code`` the compiled code object (in-memory layer
-    only — never serialized).
-    """
-
-    __slots__ = ("fingerprint", "schedule", "stepper_source", "code")
-
-    def __init__(self, fingerprint: str, schedule: List[Dict[str, Any]],
-                 stepper_source: Optional[str] = None, code: Any = None):
-        self.fingerprint = fingerprint
-        self.schedule = schedule
-        self.stepper_source = stepper_source
-        self.code = code
+#: Backward-compatible alias: cache entries *are* the compiled-model IR
+#: (see :mod:`repro.core.ir`); the historical name is kept for callers
+#: that constructed bare entries directly.
+CompiledDesign = CompiledModel
 
 
 class CompileCache:
-    """Two-layer (memory + disk) cache of :class:`CompiledDesign` entries."""
+    """Two-layer (memory + disk) cache of :class:`CompiledModel` entries."""
 
     def __init__(self, *, enabled: Optional[bool] = None,
                  disk_dir: Optional[str] = None,
@@ -292,7 +282,7 @@ class CompileCache:
         self.disk_enabled = disk_enabled and enabled
         self.disk_dir = disk_dir
         self.memory_limit = memory_limit
-        self._memory: Dict[str, CompiledDesign] = {}
+        self._memory: Dict[str, CompiledModel] = {}
         self.stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0,
                       "stores": 0, "evictions": 0, "disk_errors": 0}
 
@@ -300,7 +290,7 @@ class CompileCache:
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.disk_dir, f"{fingerprint}.json")
 
-    def _remember(self, entry: CompiledDesign) -> None:
+    def _remember(self, entry: CompiledModel) -> None:
         memory = self._memory
         memory.pop(entry.fingerprint, None)
         memory[entry.fingerprint] = entry  # insertion order = LRU order
@@ -308,7 +298,7 @@ class CompileCache:
             memory.pop(next(iter(memory)))
             self.stats["evictions"] += 1
 
-    def _disk_read(self, fingerprint: str) -> Optional[CompiledDesign]:
+    def _disk_read(self, fingerprint: str) -> Optional[CompiledModel]:
         if not self.disk_enabled:
             return None
         path = self._path(fingerprint)
@@ -319,8 +309,7 @@ class CompileCache:
                     or payload.get("fingerprint") != fingerprint
                     or not isinstance(payload.get("schedule"), list)):
                 raise ValueError("stale or malformed cache entry")
-            return CompiledDesign(fingerprint, payload["schedule"],
-                                  payload.get("stepper_source"))
+            return CompiledModel.from_payload(payload)
         except FileNotFoundError:
             return None
         except Exception:
@@ -328,18 +317,20 @@ class CompileCache:
             self.evict(fingerprint)
             return None
 
-    def _disk_write(self, entry: CompiledDesign) -> None:
+    def _disk_write(self, entry: CompiledModel) -> None:
         if not self.disk_enabled:
             return
-        payload = {"version": CACHE_VERSION, "fingerprint": entry.fingerprint,
-                   "schedule": entry.schedule,
-                   "stepper_source": entry.stepper_source}
+        payload = dict(entry.to_payload(), version=CACHE_VERSION)
         try:
             os.makedirs(self.disk_dir, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle)
+                    # dumps() + one write hits the C encoder; dump()
+                    # streams through the pure-Python iterencode path
+                    # and is ~5x slower on schedule-sized payloads.
+                    handle.write(json.dumps(payload,
+                                            separators=(",", ":")))
                 os.replace(tmp, self._path(entry.fingerprint))
             except BaseException:
                 try:
@@ -353,7 +344,7 @@ class CompileCache:
             self.stats["disk_errors"] += 1
 
     # -- public API ------------------------------------------------------
-    def lookup(self, fingerprint: str) -> Optional[CompiledDesign]:
+    def lookup(self, fingerprint: str) -> Optional[CompiledModel]:
         """The entry for ``fingerprint``, or ``None`` (counts a miss)."""
         if not self.enabled:
             return None
@@ -370,7 +361,7 @@ class CompileCache:
         self.stats["misses"] += 1
         return None
 
-    def store(self, entry: CompiledDesign) -> None:
+    def store(self, entry: CompiledModel) -> None:
         """Insert/overwrite an entry in both layers."""
         if not self.enabled:
             return
@@ -420,8 +411,9 @@ class CompileCache:
 
     def save_schedule(self, fingerprint: str, schedule: List[Any],
                       design: Design) -> None:
-        self.store(CompiledDesign(fingerprint,
-                                  portable_schedule(schedule, design)))
+        self.store(CompiledModel(fingerprint,
+                                 portable_schedule(schedule, design),
+                                 design_name=design.name))
 
     def load_stepper(self, fingerprint: str) -> Tuple[Optional[str], Any]:
         """``(generated source, compiled code object or None)`` on a hit."""
@@ -472,16 +464,16 @@ def configure(**kwargs) -> CompileCache:
 
 
 def warm_design(design: Design) -> str:
-    """Ensure ``design``'s schedule is cached; returns the fingerprint.
+    """Ensure ``design``'s compiled model is cached; returns the fingerprint.
 
     Used by the campaign orchestrator to compile each distinct topology
     once in the parent before worker processes fan out.
     """
     fingerprint = design_fingerprint(design)
     cache = get_cache()
-    if cache.enabled and cache.load_schedule(fingerprint, design) is None:
-        from .optimize import build_schedule
-        cache.save_schedule(fingerprint, build_schedule(design), design)
+    if cache.enabled:
+        from .ir import compile_model
+        compile_model(design)
     return fingerprint
 
 

@@ -277,7 +277,7 @@ def _make_stub(wid: int, leaf: LeafModule, decl, index: int) -> Wire:
     return wire
 
 
-def build_simulator(spec: LSS, engine: str = "worklist", **engine_kw):
+def build_simulator(spec: LSS, engine: Optional[str] = None, **engine_kw):
     """Construct an executable simulator from a specification.
 
     Parameters
@@ -285,24 +285,20 @@ def build_simulator(spec: LSS, engine: str = "worklist", **engine_kw):
     spec:
         The :class:`~repro.core.lss.LSS` to build.
     engine:
-        ``'worklist'`` — dynamic reactive scheduler (the reference
-        semantics); ``'levelized'`` — construction-time static schedule
-        (paper ref [22]); ``'codegen'`` — static schedule compiled to a
-        generated Python stepper.
+        A name registered in :mod:`repro.core.backends` —
+        ``'worklist'`` (dynamic reactive scheduler, the reference
+        semantics), ``'levelized'`` (construction-time static schedule,
+        paper ref [22]), ``'codegen'`` (static schedule compiled to a
+        generated Python stepper) or ``'batched'`` (lockstep execution
+        of structurally identical designs).  ``None`` selects the
+        default engine: the ``REPRO_ENGINE`` environment variable when
+        set, else ``'worklist'``.
     engine_kw:
         Forwarded to the engine constructor (e.g. ``cycle_policy``,
         ``seed``, ``keep_samples``).
     """
+    from .backends import default_engine, resolve_engine
+    name = engine if engine is not None else default_engine()
+    cls = resolve_engine(name)
     design = build_design(spec)
-    if engine == "worklist":
-        from .engine import Simulator
-        return Simulator(design, **engine_kw)
-    if engine == "levelized":
-        from .optimize import LevelizedSimulator
-        return LevelizedSimulator(design, **engine_kw)
-    if engine == "codegen":
-        from .codegen import CodegenSimulator
-        return CodegenSimulator(design, **engine_kw)
-    raise SpecificationError(
-        f"unknown engine {engine!r}; expected 'worklist', 'levelized' "
-        f"or 'codegen'")
+    return cls(design, **engine_kw)

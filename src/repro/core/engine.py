@@ -44,11 +44,54 @@ from .signals import SIG_ACK, CtrlStatus, DataStatus, Wire
 _MAX_RELAX_FACTOR = 3
 
 
+class WirePartition:
+    """The const/non-const wire partition of one design.
+
+    Computed once at construction (or carried by the compiled-model IR,
+    see :mod:`repro.core.ir`) so the per-timestep loops touch only the
+    wires that can actually do work: ``plain`` wires have no constant
+    signal and reset via the branch-free ``Wire.reset_step``; ``const``
+    wires keep the full ``begin_step``; ``transfer`` wires are the only
+    ones scanned for transfers at end of step; ``begin_unknown`` is the
+    constant number of UNKNOWN signals at step start.
+    """
+
+    __slots__ = ("plain", "const", "transfer", "begin_unknown")
+
+    def __init__(self, plain: List[Wire], const: List[Wire],
+                 transfer: List[Wire], begin_unknown: int):
+        self.plain = plain
+        self.const = const
+        self.transfer = transfer
+        self.begin_unknown = begin_unknown
+
+
+def partition_wires(wires: List[Wire]) -> WirePartition:
+    """Partition ``wires`` for the per-timestep fast paths.
+
+    A pure function of each wire's constant-signal slots (fixed at
+    wiring time), so the result is structural and shared through the
+    compiled-model IR by the static engines.
+    """
+    plain: List[Wire] = []
+    const: List[Wire] = []
+    begin_unknown = 0
+    for w in wires:
+        consts = ((w.const_data is not None)
+                  + (w.const_enable is not None)
+                  + (w.const_ack is not None))
+        begin_unknown += 3 - consts
+        (const if consts else plain).append(w)
+    transfer = [w for w in wires if _transfer_possible(w)]
+    return WirePartition(plain, const, transfer, begin_unknown)
+
+
 class SimulatorBase:
     """State and services shared by all engine implementations."""
 
     def __init__(self, design: Design, *, cycle_policy: str = "relax",
-                 seed: Optional[int] = None, keep_samples: bool = False):
+                 seed: Optional[int] = None, keep_samples: bool = False,
+                 _partition: Optional[WirePartition] = None):
         if design._owned:
             raise SimulationError(
                 f"Design {design.name!r} is already animated by another "
@@ -74,6 +117,7 @@ class SimulatorBase:
         self._wires: List[Wire] = design.wires
         self._unknown = 0
         self._initialized = False
+        self._closed = False
         for wire in self._wires:
             wire.engine = self
         for inst in self._instances:
@@ -88,24 +132,14 @@ class SimulatorBase:
         self._updaters = [i for i in self._instances
                           if type(i).update is not default_update]
         # Partition the wires once so the per-timestep loops touch only
-        # the wires that can actually do work.  Stub constants are fixed
-        # at wiring time, so: wires with no constant signal reset via
-        # the branch-free Wire.reset_step; wires with constants keep the
-        # full begin_step; the per-step UNKNOWN total is a constant; and
-        # wires whose constants make a transfer impossible (e.g. an
-        # input-port stub held at NOTHING) are skipped when counting
-        # transfers at end of step.
-        self._plain_wires: List[Wire] = []
-        self._const_wires: List[Wire] = []
-        self._begin_unknown = 0
-        for w in self._wires:
-            consts = ((w.const_data is not None)
-                      + (w.const_enable is not None)
-                      + (w.const_ack is not None))
-            self._begin_unknown += 3 - consts
-            (self._const_wires if consts else self._plain_wires).append(w)
-        self._transfer_wires = [w for w in self._wires
-                                if _transfer_possible(w)]
+        # the wires that can actually do work (see WirePartition).  The
+        # static engines pass the partition carried by the compiled
+        # model so it is computed once per structure, not per animation.
+        partition = _partition or partition_wires(self._wires)
+        self._plain_wires: List[Wire] = partition.plain
+        self._const_wires: List[Wire] = partition.const
+        self._begin_unknown = partition.begin_unknown
+        self._transfer_wires = partition.transfer
         #: Relaxation scan cursor: wires below it are fully resolved for
         #: the current timestep (resolution is monotone, so the cursor
         #: only ever advances between relaxations of one step).
@@ -162,6 +196,10 @@ class SimulatorBase:
 
     def run(self, cycles: int) -> "SimulatorBase":
         """Advance the simulation by ``cycles`` timesteps."""
+        if self._closed:
+            raise SimulationError(
+                f"simulator for design {self.design.name!r} is closed; "
+                f"build a new one to simulate again")
         if not self._initialized:
             self._do_init()
         for _ in range(cycles):
@@ -171,6 +209,39 @@ class SimulatorBase:
     def step(self) -> "SimulatorBase":
         """Advance by exactly one timestep."""
         return self.run(1)
+
+    def close(self) -> None:
+        """Detach this simulator from its design and release it.
+
+        Animation installs backrefs — ``wire.engine``, ``inst.sim``, the
+        pre-bound ``react`` — and marks the design owned, so a finished
+        simulator keeps its design alive and un-reanimatable forever.
+        ``close()`` severs all of that: the design can be animated by a
+        new simulator (no ``copy()`` needed), an attached profiler is
+        detached (its collected data stays readable), and stepping this
+        simulator afterwards raises.  Results (``stats``, counters,
+        probes) remain readable.  Idempotent; also available as a
+        context manager (``with build_simulator(spec) as sim: ...``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.profiler is not None:
+            self.profiler.detach()
+        for wire in self._wires:
+            wire.engine = None
+        for inst in self._instances:
+            inst.sim = None
+            # Restore the plain pre-bound dispatch (same dict key, so
+            # split-key instance dicts stay split; see __init__).
+            inst.react = type(inst).react.__get__(inst, type(inst))
+        self.design._owned = False
+
+    def __enter__(self) -> "SimulatorBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Shared internals

@@ -1,0 +1,296 @@
+"""The compiled-model IR: one canonical artifact per design structure.
+
+The paper's construction-time argument (§2.3) is that a fixed model of
+computation lets the *system* derive the executable form of a
+specification.  Historically each engine re-derived the pieces it
+needed — the levelized engine built the signal graph and schedule, the
+codegen engine additionally generated its stepper, the analysis passes
+rebuilt the graph again.  This module centralizes all of it in one
+**immutable compiled artifact**, the :class:`CompiledModel`:
+
+* the levelized schedule (portable, path/endpoint-keyed),
+* the signal-group dependency graph (portable edge list),
+* the const/non-const wire partition summary,
+* the generated stepper source (and, in-memory, its code object),
+* the DEPS and control-function tables the fingerprint covers.
+
+``Design → CompiledModel → backend`` is the execution pipeline: the
+:func:`compile_model` entry point fingerprints a design, consults the
+compile cache (:mod:`repro.core.compile_cache`, whose entries *are*
+``CompiledModel`` objects), compiles on a miss, and returns a
+:class:`BoundModel` — the artifact rebound onto one concrete design's
+live instances and wires.  Every backend in
+:mod:`repro.core.backends` that uses static scheduling (levelized,
+codegen, batched) executes over this binding, and the analysis layer
+(:class:`repro.analysis.passes.AnalysisContext`) materializes its
+signal graph from the same artifact instead of rebuilding it.
+
+A ``CompiledModel`` is portable: it references instances by path and
+wires by canonical endpoint keys, never by object or wire id, so an
+artifact compiled against one :class:`~repro.core.netlist.Design`
+binds onto any structurally identical design — including one built in
+another process from the on-disk cache layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .engine import WirePartition, partition_wires
+from .netlist import Design
+
+#: A portable signal group: ``[kind, wire_key-as-list]``.
+PortableGroup = List[Any]
+
+
+class CompiledModel:
+    """Everything construction-time compilation yields, as one object.
+
+    Fields are set once at compile time and never mutated afterwards,
+    with one documented exception: the stepper pair
+    (``stepper_source``/``code``) is attached lazily the first time a
+    codegen construction needs it (``code`` lives in the in-memory
+    cache layer only — it is never serialized).
+
+    ``schedule`` is the portable schedule; ``graph_edges`` the portable
+    signal-graph edge list (``None`` for entries predating it, e.g.
+    hand-built test entries); ``const_keys``/``transfer_keys``/
+    ``begin_unknown`` summarize the wire partition; ``deps`` and
+    ``controls`` are the per-path DEPS signatures and per-wire control
+    identities the fingerprint covers, kept for introspection.
+    """
+
+    __slots__ = ("fingerprint", "schedule", "stepper_source", "code",
+                 "design_name", "graph_edges", "const_keys",
+                 "transfer_keys", "begin_unknown", "deps", "controls")
+
+    def __init__(self, fingerprint: str, schedule: List[Dict[str, Any]],
+                 stepper_source: Optional[str] = None, code: Any = None, *,
+                 design_name: str = "",
+                 graph_edges: Optional[List[List[PortableGroup]]] = None,
+                 const_keys: Optional[List[List[Any]]] = None,
+                 transfer_keys: Optional[List[List[Any]]] = None,
+                 begin_unknown: Optional[int] = None,
+                 deps: Optional[Dict[str, str]] = None,
+                 controls: Optional[Dict[str, str]] = None):
+        self.fingerprint = fingerprint
+        self.schedule = schedule
+        self.stepper_source = stepper_source
+        self.code = code
+        self.design_name = design_name
+        self.graph_edges = graph_edges
+        self.const_keys = const_keys
+        self.transfer_keys = transfer_keys
+        self.begin_unknown = begin_unknown
+        self.deps = deps
+        self.controls = controls
+
+    def __repr__(self) -> str:
+        return (f"<CompiledModel {self.design_name!r} "
+                f"fp={self.fingerprint[:12]} "
+                f"entries={len(self.schedule)} "
+                f"stepper={'yes' if self.stepper_source else 'no'}>")
+
+    # -- serialization ---------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON-able on-disk form (``code`` deliberately excluded)."""
+        return {"fingerprint": self.fingerprint,
+                "schedule": self.schedule,
+                "stepper_source": self.stepper_source,
+                "design_name": self.design_name,
+                "graph": self.graph_edges,
+                "partition": None if self.const_keys is None else {
+                    "const": self.const_keys,
+                    "transfer": self.transfer_keys,
+                    "begin_unknown": self.begin_unknown},
+                "deps": self.deps,
+                "controls": self.controls}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CompiledModel":
+        part = payload.get("partition") or {}
+        return cls(payload["fingerprint"], payload["schedule"],
+                   payload.get("stepper_source"),
+                   design_name=payload.get("design_name", ""),
+                   graph_edges=payload.get("graph"),
+                   const_keys=part.get("const"),
+                   transfer_keys=part.get("transfer"),
+                   begin_unknown=part.get("begin_unknown"),
+                   deps=payload.get("deps"),
+                   controls=payload.get("controls"))
+
+    # -- binding onto a concrete design ----------------------------------
+    def bind(self, design: Design, *, from_cache: bool = True) \
+            -> "BoundModel":
+        """Rebind this artifact onto ``design``'s live objects.
+
+        Raises (``KeyError``/``TypeError``/``ValueError``) when the
+        artifact does not apply to this design — the caller treats that
+        as a corrupt or colliding cache entry and evicts it.
+        """
+        from .compile_cache import materialize_schedule
+        schedule = materialize_schedule(self.schedule, design)
+        partition = partition_wires(design.wires)
+        if self.begin_unknown is not None:
+            # Cross-check the recomputed partition against the compiled
+            # summary: a mismatch means the entry describes a different
+            # structure (collision or corruption) — refuse the binding.
+            if (partition.begin_unknown != self.begin_unknown
+                    or len(partition.const) != len(self.const_keys or ())
+                    or len(partition.transfer)
+                    != len(self.transfer_keys or ())):
+                raise ValueError(
+                    f"compiled partition does not match design "
+                    f"{design.name!r}")
+        return BoundModel(self, design, schedule,
+                          _cluster_wire_lists(schedule, design.wires),
+                          partition, from_cache=from_cache)
+
+    def signal_graph(self, design: Design):
+        """Materialize the portable signal graph onto ``design``.
+
+        Returns the same graph :func:`repro.core.optimize.
+        build_signal_graph` would build — nodes per fwd/ack group with
+        ``wire``/``driver``/``const`` attributes, edges from the stored
+        portable list — without re-running dependency expansion.
+        Returns ``None`` when this artifact predates graph storage.
+        """
+        if self.graph_edges is None:
+            return None
+        import networkx as nx
+
+        from .compile_cache import wire_key
+        key_to_wire = {wire_key(w): w for w in design.wires}
+        graph = nx.DiGraph()
+        for wire in design.wires:
+            graph.add_node(("fwd", wire.wid), wire=wire,
+                           driver=wire.src.instance if wire.src else None,
+                           const=wire.src is None)
+            graph.add_node(("ack", wire.wid), wire=wire,
+                           driver=wire.dst.instance if wire.dst else None,
+                           const=wire.dst is None)
+        for (src_kind, src_key), (dst_kind, dst_key) in self.graph_edges:
+            graph.add_edge(
+                (src_kind, key_to_wire[tuple(src_key)].wid),
+                (dst_kind, key_to_wire[tuple(dst_key)].wid))
+        return graph
+
+
+class BoundModel:
+    """A :class:`CompiledModel` rebound onto one concrete design.
+
+    Holds the live schedule (:class:`~repro.core.optimize.
+    ScheduleEntry` objects over this design's instances), the per-entry
+    cluster wire lists, and the wire partition — everything a static
+    backend needs to execute, plus ``from_cache`` recording whether the
+    artifact came from the compile cache or was compiled fresh.
+    """
+
+    __slots__ = ("model", "design", "schedule", "cluster_wires",
+                 "partition", "from_cache")
+
+    def __init__(self, model: CompiledModel, design: Design,
+                 schedule: List[Any], cluster_wires: List[List[Any]],
+                 partition: WirePartition, *, from_cache: bool):
+        self.model = model
+        self.design = design
+        self.schedule = schedule
+        self.cluster_wires = cluster_wires
+        self.partition = partition
+        self.from_cache = from_cache
+
+
+def _cluster_wire_lists(schedule: List[Any], wires: List[Any]) \
+        -> List[List[Any]]:
+    """Per-entry wire lists the cluster fixed-point iteration checks."""
+    wire_by_id = {w.wid: w for w in wires}
+    out: List[List[Any]] = []
+    for entry in schedule:
+        if entry.cluster:
+            out.append(sorted({wire_by_id[wid] for _, wid in entry.groups},
+                              key=lambda w: w.wid))
+        else:
+            out.append([])
+    return out
+
+
+def _portable_graph(graph, design: Design) -> List[List[PortableGroup]]:
+    """Lower a live signal graph to the portable edge-list form."""
+    from .compile_cache import wire_key
+    key_by_wid = {w.wid: list(wire_key(w)) for w in design.wires}
+    return [[[src[0], key_by_wid[src[1]]], [dst[0], key_by_wid[dst[1]]]]
+            for src, dst in graph.edges()]
+
+
+def _metadata_tables(design: Design) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """The (DEPS, control) tables recorded alongside the schedule."""
+    from .compile_cache import (_control_identity, _deps_signature,
+                                wire_key)
+    deps = {path: _deps_signature(leaf)
+            for path, leaf in sorted(design.leaves.items())}
+    controls = {"|".join(map(str, wire_key(w))): _control_identity(w.control)
+                for w in design.wires if w.control is not None}
+    return deps, controls
+
+
+def _attach_stepper(model: CompiledModel, schedule: List[Any]) -> None:
+    """Generate and compile the stepper for ``model`` (lazy, idempotent)."""
+    from .codegen import generate_stepper_source
+    source = generate_stepper_source(schedule, model.design_name)
+    model.stepper_source = source
+    model.code = compile(
+        source, f"<generated stepper {model.design_name!r}>", "exec")
+
+
+def compile_model(design: Design, *, need_stepper: bool = False) \
+        -> BoundModel:
+    """The single Design → CompiledModel entry point (cache-aware).
+
+    Fingerprints ``design``, returns a cached artifact bound onto it on
+    a hit, compiles (signal graph → schedule → partition → optional
+    stepper) and stores on a miss.  An entry that fails to bind —
+    fingerprint collision, stale format drift — is evicted and
+    recompiled, never fatal.  With the cache disabled the fingerprint
+    walk is skipped entirely (``model.fingerprint`` is then ``""``) and
+    every call compiles fresh, preserving the historical engine
+    behavior.
+    """
+    from .compile_cache import design_fingerprint, get_cache
+    cache = get_cache()
+    fingerprint = ""
+    if cache.enabled:
+        fingerprint = design_fingerprint(design)
+        entry = cache.lookup(fingerprint)
+        if entry is not None:
+            try:
+                bound = entry.bind(design)
+            except Exception:
+                cache.evict(fingerprint)
+                cache.stats["misses"] += 1
+            else:
+                if need_stepper and entry.stepper_source is None:
+                    _attach_stepper(entry, bound.schedule)
+                    cache.store(entry)  # persist the stepper to disk too
+                return bound
+
+    from .compile_cache import portable_schedule, wire_key
+    from .optimize import build_schedule, build_signal_graph
+    graph = build_signal_graph(design)
+    schedule = build_schedule(design, graph=graph)
+    partition = partition_wires(design.wires)
+    deps, controls = _metadata_tables(design)
+    model = CompiledModel(
+        fingerprint, portable_schedule(schedule, design),
+        design_name=design.name,
+        graph_edges=_portable_graph(graph, design),
+        const_keys=[list(wire_key(w)) for w in partition.const],
+        transfer_keys=[list(wire_key(w)) for w in partition.transfer],
+        begin_unknown=partition.begin_unknown,
+        deps=deps, controls=controls)
+    if need_stepper:
+        _attach_stepper(model, schedule)
+    if cache.enabled:
+        cache.store(model)
+    return BoundModel(model, design, schedule,
+                      _cluster_wire_lists(schedule, design.wires),
+                      partition, from_cache=False)

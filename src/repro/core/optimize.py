@@ -207,9 +207,15 @@ def _cycle_detail(members: Sequence[str], groups: Sequence[str]) -> str:
     return "\n" + "\n".join(lines)
 
 
-def build_schedule(design: Design) -> List[ScheduleEntry]:
-    """Condense the signal graph and emit the static schedule."""
-    graph = build_signal_graph(design)
+def build_schedule(design: Design,
+                   graph: nx.DiGraph = None) -> List[ScheduleEntry]:
+    """Condense the signal graph and emit the static schedule.
+
+    ``graph`` lets a caller that already built the signal graph (the IR
+    compiler) reuse it instead of re-running dependency expansion.
+    """
+    if graph is None:
+        graph = build_signal_graph(design)
     condensed = nx.condensation(graph)
     order = list(nx.topological_sort(condensed))
     entries: List[ScheduleEntry] = []
@@ -252,38 +258,26 @@ class LevelizedSimulator(SimulatorBase):
         iteration.  0 for correct declarations.
     """
 
+    #: Subclasses that execute a generated stepper set this so
+    #: :func:`repro.core.ir.compile_model` attaches one up front.
+    NEEDS_STEPPER = False
+
     def __init__(self, design: Design, **kw):
-        super().__init__(design, **kw)
-        # Construction-time compilation is content-addressed: on a cache
-        # hit the signal graph, condensation and schedule construction
-        # are all skipped and the cached schedule is rebound onto this
-        # design's instances and wires (see repro.core.compile_cache).
-        from .compile_cache import design_fingerprint, get_cache
-        cache = get_cache()
-        schedule = None
-        self.compile_fingerprint: str = ""
-        self.compiled_from_cache = False
-        if cache.enabled:
-            self.compile_fingerprint = design_fingerprint(design)
-            schedule = cache.load_schedule(self.compile_fingerprint, design)
-            self.compiled_from_cache = schedule is not None
-        if schedule is None:
-            schedule = build_schedule(design)
-            if cache.enabled:
-                cache.save_schedule(self.compile_fingerprint, schedule,
-                                    design)
-        self.schedule = schedule
+        # Construction-time compilation is content-addressed: the IR
+        # compiler fingerprints the design and, on a cache hit, rebinds
+        # the cached CompiledModel onto this design's instances and
+        # wires — the signal graph, condensation and schedule
+        # construction are all skipped (see repro.core.ir).
+        from .ir import compile_model
+        bound = compile_model(design, need_stepper=type(self).NEEDS_STEPPER)
+        super().__init__(design, _partition=bound.partition, **kw)
+        self.compiled = bound.model
+        self.compile_fingerprint: str = bound.model.fingerprint
+        self.compiled_from_cache = bound.from_cache
+        self.schedule = bound.schedule
         self.fallback_steps = 0
-        # Pre-resolve wire-id -> unresolved check sets per cluster.
-        self._cluster_wires: List[List[Wire]] = []
-        wire_by_id = {w.wid: w for w in self._wires}
-        for entry in self.schedule:
-            if entry.cluster:
-                wires = sorted({wire_by_id[wid] for _, wid in entry.groups},
-                               key=lambda w: w.wid)
-                self._cluster_wires.append(wires)
-            else:
-                self._cluster_wires.append([])
+        # Per-entry wire sets the cluster fixed-point iteration checks.
+        self._cluster_wires: List[List[Wire]] = bound.cluster_wires
 
     def _signal_known(self, wire: Wire, signal: str) -> None:
         self._unknown -= 1

@@ -179,9 +179,10 @@ class TestMonotonicityEnforcement:
         spec.connect(d.port("out"), q.port("in"))
         spec.connect(q.port("out"), m.port("in"))
         spec.connect(m.port("out"), snk.port("in"))
-        sim = build_simulator(spec)
-        # The driver is re-invoked when its ack resolves; its second
-        # send() carries a different value -> monotonicity violation.
+        # Worklist-specific: the driver is re-invoked when its ack
+        # resolves; its second send() carries a different value -> a
+        # monotonicity violation. Levelized schedules avoid the redrive.
+        sim = build_simulator(spec, engine="worklist")
         with pytest.raises(MonotonicityError):
             sim.run(3)
 

@@ -1,12 +1,13 @@
 """Cross-engine differential tests.
 
-All three engines implement the same reactive semantics; they may only
-differ in *scheduling*.  These tests run identical designs — the
-canonical pipe and the paper's Figure 2(a) CMP — on the worklist,
-levelized and codegen engines and assert the observable outcomes are
-bit-identical: statistics, total transfers, and per-wire transfer
-counts.  Any divergence is a scheduler-sensitivity bug (typically a
-module collecting statistics in a non-idempotent ``react``).
+Every registered engine implements the same reactive semantics; they
+may only differ in *scheduling*.  These tests run identical designs —
+the canonical pipe and the paper's four Figure 2 systems — on the
+worklist, levelized, codegen and batched (batch of one) engines and
+assert the observable outcomes are bit-identical: statistics, total
+transfers, per-wire transfer counts and relaxations.  Any divergence
+is a scheduler-sensitivity bug (typically a module collecting
+statistics in a non-idempotent ``react``).
 """
 
 from __future__ import annotations
@@ -15,10 +16,16 @@ import pytest
 
 from repro import build_simulator
 from repro.systems.fig2a import build_fig2a_cmp
+from repro.systems.fig2b import build_fig2b_sensors
+from repro.systems.fig2c import build_fig2c_grid
 
 from ..conftest import ENGINES, simple_pipe_spec
 
 CYCLES = 120
+
+#: Everything compared against the worklist reference, including the
+#: batched backend animating a batch of one.
+COMPARED = tuple(e for e in ENGINES if e != "worklist") + ("batched",)
 
 
 def _wire_transfer_map(sim):
@@ -33,25 +40,30 @@ def _wire_transfer_map(sim):
     return {k: sorted(v) for k, v in counts.items()}
 
 
-def _run_all_engines(make_spec, cycles=CYCLES, seed=7):
-    sims = {}
-    for engine in ENGINES:
-        sim = build_simulator(make_spec(), engine=engine, seed=seed)
-        sim.run(cycles)
-        sims[engine] = sim
-    return sims
+class ParityCase:
+    """Differential harness: one system, every engine, same observables."""
 
+    CYCLES = CYCLES
+    SEED = 7
 
-class TestPipeParity:
+    @staticmethod
+    def make_spec():
+        raise NotImplementedError
+
     @pytest.fixture(scope="class")
     def sims(self):
-        return _run_all_engines(
-            lambda: simple_pipe_spec(depth=2, rate=0.6, seed=3))
+        sims = {}
+        for engine in ENGINES + ("batched",):
+            sim = build_simulator(self.make_spec(), engine=engine,
+                                  seed=self.SEED)
+            sim.run(self.CYCLES)
+            sims[engine] = sim
+        return sims
 
     def test_stats_identical(self, sims):
         base = sims["worklist"].stats.summary_dict()
         assert base  # non-trivial run
-        for engine in ("levelized", "codegen"):
+        for engine in COMPARED:
             assert sims[engine].stats.summary_dict() == base, engine
 
     def test_transfer_totals_identical(self, sims):
@@ -60,39 +72,54 @@ class TestPipeParity:
 
     def test_per_wire_transfers_identical(self, sims):
         base = _wire_transfer_map(sims["worklist"])
-        for engine in ("levelized", "codegen"):
+        for engine in COMPARED:
             assert _wire_transfer_map(sims[engine]) == base, engine
 
     def test_relaxations_identical(self, sims):
         totals = {e: s.relaxations_total for e, s in sims.items()}
         assert len(set(totals.values())) == 1, totals
 
+    def test_progress_was_made(self, sims):
+        # Guard against vacuous parity (identical dead simulators).
+        assert sims["worklist"].transfers_total > 0
 
-class TestFig2aParity:
+
+class TestPipeParity(ParityCase):
+    @staticmethod
+    def make_spec():
+        return simple_pipe_spec(depth=2, rate=0.6, seed=3)
+
+
+class TestFig2aParity(ParityCase):
     """Figure 2(a) CMP: 88 leaves, caches, a mesh network, arbiters."""
 
-    @pytest.fixture(scope="class")
-    def sims(self):
-        def make():
-            spec, _info = build_fig2a_cmp(width=2, height=2)
-            return spec
-        return _run_all_engines(make, cycles=80, seed=11)
+    CYCLES = 80
+    SEED = 11
 
-    def test_stats_identical(self, sims):
-        base = sims["worklist"].stats.summary_dict()
-        assert base
-        for engine in ("levelized", "codegen"):
-            assert sims[engine].stats.summary_dict() == base, engine
+    @staticmethod
+    def make_spec():
+        spec, _info = build_fig2a_cmp(width=2, height=2)
+        return spec
 
-    def test_transfer_totals_identical(self, sims):
-        totals = {e: s.transfers_total for e, s in sims.items()}
-        assert len(set(totals.values())) == 1, totals
 
-    def test_per_wire_transfers_identical(self, sims):
-        base = _wire_transfer_map(sims["worklist"])
-        for engine in ("levelized", "codegen"):
-            assert _wire_transfer_map(sims[engine]) == base, engine
+class TestFig2bParity(ParityCase):
+    """Figure 2(b) sensor network: shared wireless medium, CSMA MAC."""
 
-    def test_progress_was_made(self, sims):
-        # Guard against vacuous parity (three identical dead simulators).
-        assert sims["worklist"].transfers_total > 0
+    SEED = 13
+
+    @staticmethod
+    def make_spec():
+        spec, _info = build_fig2b_sensors(n_nodes=3, loss=0.1, seed=2)
+        return spec
+
+
+class TestFig2cParity(ParityCase):
+    """Figure 2(c) grid-in-a-box: routed bus, ring reduction."""
+
+    CYCLES = 200
+    SEED = 17
+
+    @staticmethod
+    def make_spec():
+        spec, _info = build_fig2c_grid(n_nodes=4, k_words=4)
+        return spec

@@ -9,10 +9,10 @@ observable behaviour, and hierarchy must be semantically transparent
 from hypothesis import given, settings, strategies as st
 
 from repro import (HierTemplate, LSS, PortDecl, INPUT, OUTPUT, build_design,
-                   build_simulator)
+                   build_simulator, engine_names)
 from repro.pcl import Monitor, PipelineReg, Queue, Sink, Source
 
-ENGINES = ("worklist", "levelized", "codegen")
+ENGINES = tuple(n for n in engine_names() if n != "batched")
 
 _STAGE_KINDS = ("queue", "reg", "monitor")
 

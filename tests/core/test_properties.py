@@ -12,11 +12,11 @@ The load-bearing invariants:
 
 from hypothesis import given, settings, strategies as st
 
-from repro import LSS, build_simulator
+from repro import LSS, build_simulator, engine_names
 from repro.pcl import (Arbiter, Monitor, PipelineReg, Queue, Sink, Source,
                        Splitter, Tee)
 
-ENGINES = ("worklist", "levelized", "codegen")
+ENGINES = tuple(n for n in engine_names() if n != "batched")
 
 
 def _chain_spec(stages, rate, sink_rate, seed):

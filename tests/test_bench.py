@@ -71,13 +71,25 @@ class TestCompare:
         assert diff["regressions"] == ["b4"]
 
     def test_improvement_is_flagged_not_failed(self):
-        base = _report({f"b{i}": _entry(0.01) for i in range(5)})
-        benches = {f"b{i}": _entry(0.01) for i in range(4)}
-        benches["b4"] = _entry(0.004)
+        base = _report({f"b{i}": _entry(0.1) for i in range(5)})
+        benches = {f"b{i}": _entry(0.1) for i in range(4)}
+        benches["b4"] = _entry(0.04)
         diff = compare_reports(_report(benches), base, 0.25)
         assert diff["regressions"] == []
         statuses = {row["bench"]: row["status"] for row in diff["rows"]}
         assert statuses["b4"] == "improved"
+
+    def test_sub_floor_benches_are_never_gated(self):
+        # Sub-5ms timings are scheduler noise: a 10x swing on a 0.1ms
+        # bench must not fail the build, in either direction.
+        base = _report({f"b{i}": _entry(0.1) for i in range(4)})
+        base["benchmarks"]["micro"] = _entry(0.0001)
+        benches = {f"b{i}": _entry(0.1) for i in range(4)}
+        benches["micro"] = _entry(0.001)
+        diff = compare_reports(_report(benches), base, 0.25)
+        assert diff["regressions"] == []
+        statuses = {row["bench"]: row["status"] for row in diff["rows"]}
+        assert statuses["micro"] == "tiny"
 
     def test_absolute_mode_skips_normalization(self):
         base = _report({f"b{i}": _entry(0.01) for i in range(5)})
@@ -106,12 +118,28 @@ def test_tiny(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 """
 
+# Slow enough to clear the 5ms gating floor, so regressions register.
+SLOW_BENCH = """
+import time
+
+def test_slow(benchmark):
+    benchmark.pedantic(lambda: time.sleep(0.02), rounds=1, iterations=1)
+"""
+
 
 @pytest.fixture()
 def bench_dir(tmp_path):
     d = tmp_path / "benches"
     d.mkdir()
     (d / "bench_tiny.py").write_text(TINY_BENCH)
+    return d
+
+
+@pytest.fixture()
+def slow_bench_dir(tmp_path):
+    d = tmp_path / "slow-benches"
+    d.mkdir()
+    (d / "bench_slow.py").write_text(SLOW_BENCH)
     return d
 
 
@@ -148,18 +176,19 @@ class TestBenchCli:
                            "--tolerance", "1000"])
         assert code == 0
 
-    def test_regression_exits_1(self, bench_dir, tmp_path, capsys):
+    def test_regression_exits_1(self, slow_bench_dir, tmp_path, capsys):
         # First run discovers the benchmark's reported key, then the
-        # baseline claims it used to be near-instant: a sure regression.
+        # baseline claims it used to run at the gating floor: a sure
+        # regression (the bench sleeps 20ms).
         first = tmp_path / "first.json"
-        assert self._main(["bench", "--quick", "--dir", str(bench_dir),
+        assert self._main(["bench", "--quick", "--dir", str(slow_bench_dir),
                            "--json", str(first)]) == 0
         key = next(iter(json.loads(first.read_text())["benchmarks"]))
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({
             "schema": 1, "revision": "old", "quick": True,
-            "benchmarks": {key: {"min_s": 1e-12, "mean_s": 1e-12}}}))
-        code = self._main(["bench", "--quick", "--dir", str(bench_dir),
+            "benchmarks": {key: {"min_s": 0.005, "mean_s": 0.005}}}))
+        code = self._main(["bench", "--quick", "--dir", str(slow_bench_dir),
                            "--json", str(tmp_path / "c.json"),
                            "--compare", str(baseline),
                            "--tolerance", "0.25"])
