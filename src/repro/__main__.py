@@ -1,6 +1,6 @@
 """Command-line entry point.
 
-Four subcommands::
+Subcommands::
 
     python -m repro run SPEC.lss [--cycles N] [--engine ...] [--stats P]
                                  [--dot FILE] [--seed N] [--activity]
@@ -18,6 +18,11 @@ Four subcommands::
     python -m repro bench [--quick] [--select SUBSTR] [--json FILE]
                                  [--compare BASELINE] [--tolerance F]
                                  [--absolute] [--update-baseline FILE]
+    python -m repro serve [--host H] [--port P] [--workers N] ...
+    python -m repro submit SPEC.lss --grid k=v1,v2 --connect HOST:PORT ...
+    python -m repro status [JOB] --connect HOST:PORT
+    python -m repro results JOB --connect HOST:PORT [--metrics ...]
+    python -m repro work --connect HOST:PORT [--cache-dir DIR] ...
 
 ``run`` parses the specification against the full shipped library
 environment (:func:`repro.library_env`), constructs the simulator, runs
@@ -33,6 +38,9 @@ and MoC cycle analysis; ``--strict`` on ``run``/``campaign`` runs the
 same passes as a pre-flight and refuses to simulate on findings.
 ``bench`` runs the ``benchmarks/`` suite, writes ``BENCH_<rev>.json``
 and guards against performance regressions (:mod:`repro.bench`).
+``serve``/``submit``/``status``/``results``/``work`` are the
+distributed campaign fabric (:mod:`repro.fabric`): a coordinator
+service that shards submitted sweeps across worker processes or hosts.
 
 For backward compatibility, ``python -m repro SPEC.lss ...`` (no
 subcommand) is interpreted as ``run``.  Framework errors exit with
@@ -50,7 +58,8 @@ from .core.backends import engine_names
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
-_SUBCOMMANDS = ("run", "campaign", "profile", "check", "bench")
+_SUBCOMMANDS = ("run", "campaign", "profile", "check", "bench",
+                "serve", "submit", "status", "results", "work")
 
 _ENGINES = engine_names()
 
@@ -237,6 +246,8 @@ def main(argv=None) -> int:
     add_check_parser(subparsers)
     from .bench import add_bench_parser, run_bench_command
     add_bench_parser(subparsers)
+    from .fabric.cli import add_fabric_parsers
+    add_fabric_parsers(subparsers)
 
     args = parser.parse_args(argv)
     try:
@@ -248,6 +259,9 @@ def main(argv=None) -> int:
             return run_check_command(args)
         if args.command == "bench":
             return run_bench_command(args)
+        if args.command in ("serve", "submit", "status", "results", "work"):
+            from .fabric import cli as fabric_cli
+            return getattr(fabric_cli, f"run_{args.command}_command")(args)
         return run_campaign_command(args)
     except BrokenPipeError:
         # Reader (e.g. `| head`) went away mid-report; not our error.

@@ -22,6 +22,49 @@ from .ledger import Ledger, LedgerState
 from .sweep import Sweep, SweepPoint
 
 
+def fingerprint_groups(kind: str, target, lss_text: Optional[str],
+                       points: Sequence[Any]):
+    """Group sweep points by the structural fingerprint of their design.
+
+    The shared shard-planning primitive: ``Campaign(batch=True)`` uses
+    it to fold a sweep into lockstep groups, and the distributed fabric
+    (:mod:`repro.fabric.shards`) uses the same grouping so a fabric
+    shard is exactly one lockstep batch.  Each point's spec is built
+    here, its design fingerprinted — which also warms the compile cache
+    when it is enabled, so later constructions (worker processes,
+    batch lanes) hit instead of recompiling.
+
+    ``points`` may be :class:`~repro.campaign.sweep.SweepPoint` objects
+    or plain mappings with ``"run_id"``/``"params"`` keys (the fabric's
+    wire form).  Returns ``(groups, failures)``: ``groups`` maps each
+    fingerprint to its points in first-seen order; ``failures`` lists
+    the points whose spec failed to build (left for a worker to report
+    with full context).
+    """
+    from ..core.compile_cache import (design_fingerprint, get_cache,
+                                      warm_design)
+    from ..core.constructor import build_design
+    from .executor import build_point_spec
+    warm = get_cache().enabled
+    groups: Dict[str, list] = {}
+    failures: list = []
+    for point in points:
+        if isinstance(point, dict):
+            run_id, params = point["run_id"], point["params"]
+        else:
+            run_id, params = point.run_id, point.params
+        try:
+            spec = build_point_spec(kind, target, lss_text, params, run_id)
+            design = build_design(spec)
+            fingerprint = (warm_design(design) if warm
+                           else design_fingerprint(design))
+        except Exception:
+            failures.append(point)
+            continue
+        groups.setdefault(fingerprint, []).append(point)
+    return groups, failures
+
+
 class Campaign:
     """A managed family of runs over one sweep.
 
@@ -151,28 +194,8 @@ class Campaign:
         ordinary per-point tasks (the worker then reports the build
         failure with full context).
         """
-        from ..core.compile_cache import get_cache, warm_design
-        from ..core.constructor import build_design
-        from .executor import build_point_spec
-        warm = get_cache().enabled
-        groups: Dict[str, list] = {}
-        singles: list = []
-        for point in todo:
-            try:
-                spec = build_point_spec(self.kind, self.target,
-                                        self.lss_text, point.params,
-                                        point.run_id)
-                design = build_design(spec)
-                if warm:
-                    fingerprint = warm_design(design)
-                else:
-                    from ..core.compile_cache import design_fingerprint
-                    fingerprint = design_fingerprint(design)
-            except Exception:
-                singles.append(point)
-                continue
-            groups.setdefault(fingerprint, []).append(point)
-
+        groups, singles = fingerprint_groups(self.kind, self.target,
+                                             self.lss_text, todo)
         tasks = []
         for fingerprint, members in groups.items():
             for k in range(0, len(members), self.batch_max):
@@ -243,6 +266,10 @@ class Campaign:
 
         if resume:
             state = Ledger.load(self.ledger_path)
+            if state.truncated and progress:
+                progress(f"  ledger {self.ledger_path} ends in a torn "
+                         f"line (line {state.truncated_line}, crash "
+                         f"mid-write); ignoring it and resuming")
             if state.fingerprint != fingerprint:
                 raise CampaignError(
                     f"ledger {self.ledger_path!r} records a different "

@@ -403,9 +403,45 @@ class ProcessExecutor:
                     f"attempt exceeded timeout of {self.timeout:g}s")
         return None
 
+    @staticmethod
+    def _sweep_orphans(active: List[_Active]) -> None:
+        """Kill and join every still-running worker process.
+
+        Runs on the abnormal exits of :meth:`run` (KeyboardInterrupt,
+        unexpected orchestrator error) so a dying campaign never strands
+        simulator processes: they are daemonic, but a long-lived caller
+        — a fabric worker, a notebook — would otherwise accumulate live
+        orphans burning CPU until *it* exits.
+        """
+        for worker in active:
+            try:
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+            except (OSError, ValueError):
+                pass
+        for worker in active:
+            try:
+                worker.proc.join(timeout=5)
+                if worker.proc.is_alive():  # ignored terminate: force it
+                    worker.proc.kill()
+                    worker.proc.join(timeout=5)
+            except (OSError, ValueError, AssertionError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        active.clear()
+
     # -- the orchestration loop -----------------------------------------
     def run(self, tasks: Sequence[RunTask], callback=None) -> List[RunOutcome]:
-        """Execute every task; returns outcomes in input order."""
+        """Execute every task; returns outcomes in input order.
+
+        On *any* exceptional exit — ``KeyboardInterrupt`` included —
+        every in-flight worker process is terminated and joined before
+        the exception propagates; an interrupted campaign leaves no
+        orphaned simulators behind.
+        """
         order = {task.run_id: i for i, task in enumerate(tasks)}
         # (ready_time, tiebreak, task) — backoff delays live in ready_time.
         ready: List = [(0.0, i, replace(task, attempt=1))
@@ -416,50 +452,62 @@ class ProcessExecutor:
         first_start: Dict[str, float] = {}
         outcomes: Dict[str, RunOutcome] = {}
 
-        while ready or active:
-            now = time.monotonic()
-            while ready and len(active) < self.workers and ready[0][0] <= now:
-                _, _, task = heapq.heappop(ready)
-                first_start.setdefault(task.run_id, now)
-                _emit(callback, {"event": "start", "run_id": task.run_id,
-                                 "attempt": task.attempt})
-                active.append(self._launch(task))
+        try:
+            while ready or active:
+                now = time.monotonic()
+                while (ready and len(active) < self.workers
+                        and ready[0][0] <= now):
+                    _, _, task = heapq.heappop(ready)
+                    first_start.setdefault(task.run_id, now)
+                    _emit(callback, {"event": "start", "run_id": task.run_id,
+                                     "attempt": task.attempt})
+                    active.append(self._launch(task))
 
-            still_running: List[_Active] = []
-            for worker in active:
-                settled = self._reap(worker)
-                if settled is None:
-                    still_running.append(worker)
-                    continue
-                status, payload = settled
-                task = worker.task
-                elapsed = time.monotonic() - first_start[task.run_id]
-                if status == "ok":
-                    _emit(callback, {"event": "done", "run_id": task.run_id,
-                                     "attempt": task.attempt,
-                                     "duration": elapsed, "result": payload})
-                    outcomes[task.run_id] = RunOutcome(
-                        task.run_id, "done", result=payload,
-                        attempts=task.attempt, duration=elapsed)
-                    continue
-                message = str(payload).strip().splitlines()[0] if payload else status
-                _emit(callback, {"event": "failed", "run_id": task.run_id,
-                                 "attempt": task.attempt, "kind": status,
-                                 "error": message})
-                if task.attempt <= self.retries:
-                    delay = self.backoff * 2 ** (task.attempt - 1)
-                    tiebreak += 1
-                    heapq.heappush(ready, (time.monotonic() + delay, tiebreak,
-                                           replace(task,
-                                                   attempt=task.attempt + 1)))
-                else:
-                    _emit(callback, {"event": "gave_up", "run_id": task.run_id,
-                                     "attempts": task.attempt})
-                    outcomes[task.run_id] = RunOutcome(
-                        task.run_id, "failed", error=message,
-                        attempts=task.attempt, duration=elapsed)
-            active = still_running
-            if active or (ready and ready[0][0] > time.monotonic()):
-                time.sleep(_POLL_S)
+                still_running: List[_Active] = []
+                for worker in active:
+                    settled = self._reap(worker)
+                    if settled is None:
+                        still_running.append(worker)
+                        continue
+                    status, payload = settled
+                    task = worker.task
+                    elapsed = time.monotonic() - first_start[task.run_id]
+                    if status == "ok":
+                        _emit(callback, {"event": "done",
+                                         "run_id": task.run_id,
+                                         "attempt": task.attempt,
+                                         "duration": elapsed,
+                                         "result": payload})
+                        outcomes[task.run_id] = RunOutcome(
+                            task.run_id, "done", result=payload,
+                            attempts=task.attempt, duration=elapsed)
+                        continue
+                    message = (str(payload).strip().splitlines()[0]
+                               if payload else status)
+                    _emit(callback, {"event": "failed",
+                                     "run_id": task.run_id,
+                                     "attempt": task.attempt, "kind": status,
+                                     "error": message})
+                    if task.attempt <= self.retries:
+                        delay = self.backoff * 2 ** (task.attempt - 1)
+                        tiebreak += 1
+                        heapq.heappush(
+                            ready, (time.monotonic() + delay, tiebreak,
+                                    replace(task, attempt=task.attempt + 1)))
+                    else:
+                        _emit(callback, {"event": "gave_up",
+                                         "run_id": task.run_id,
+                                         "attempts": task.attempt})
+                        outcomes[task.run_id] = RunOutcome(
+                            task.run_id, "failed", error=message,
+                            attempts=task.attempt, duration=elapsed)
+                active = still_running
+                if active or (ready and ready[0][0] > time.monotonic()):
+                    time.sleep(_POLL_S)
+        except BaseException:
+            # KeyboardInterrupt or an orchestrator bug: do not strand
+            # in-flight simulator processes.
+            self._sweep_orphans(active)
+            raise
 
         return sorted(outcomes.values(), key=lambda o: order[o.run_id])

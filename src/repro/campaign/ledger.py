@@ -56,6 +56,14 @@ class LedgerState:
     points: int = 0
     meta: Dict[str, Any] = field(default_factory=dict)
     runs: Dict[str, RunState] = field(default_factory=dict)
+    #: ``True`` when the journal ended in a torn (half-written) line —
+    #: the classic artifact of a process killed mid-``record``.  The
+    #: replayed state is still valid (the torn event never happened,
+    #: exactly as if the crash hit one instruction earlier), but
+    #: resuming callers can surface it; ``truncated_line`` is the
+    #: 1-based line number of the torn tail.
+    truncated: bool = False
+    truncated_line: Optional[int] = None
 
     def completed_ids(self) -> List[str]:
         return [rid for rid, r in self.runs.items() if r.status == "done"]
@@ -69,10 +77,17 @@ class LedgerState:
 
 
 class Ledger:
-    """Append-only writer for the campaign journal."""
+    """Append-only writer for the campaign journal.
 
-    def __init__(self, path: str):
+    ``fsync=True`` additionally forces each event to stable storage
+    before :meth:`record` returns — the multi-host durability knob: a
+    coordinator that acknowledged a completion must still know about
+    it after a power loss, not just after a process crash.
+    """
+
+    def __init__(self, path: str, *, fsync: bool = False):
         self.path = path
+        self.fsync = fsync
         self._handle = None
 
     # -- writing ---------------------------------------------------------
@@ -84,9 +99,16 @@ class Ledger:
     def record(self, event: Dict[str, Any]) -> None:
         if self._handle is None:
             raise CampaignError(f"ledger {self.path!r} is not open")
-        self._handle.write(json.dumps(event, sort_keys=True, default=repr))
-        self._handle.write("\n")
+        # One write() per event: the whole line (payload + newline)
+        # reaches the OS in a single syscall, so a crash between events
+        # can only ever leave a torn *final* line, never an event
+        # spliced into the middle of another — the invariant load()'s
+        # truncation tolerance depends on.
+        line = json.dumps(event, sort_keys=True, default=repr) + "\n"
+        self._handle.write(line)
         self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -104,9 +126,12 @@ class Ledger:
     def load(path: str) -> LedgerState:
         """Replay a journal into per-run state.
 
-        A corrupt *final* line is ignored (crash mid-write); a corrupt
-        line anywhere else raises :class:`CampaignError`, since that
-        means the journal was edited or interleaved.
+        A corrupt *final* line is tolerated (the crash-mid-write
+        artifact) and **reported** via ``state.truncated`` /
+        ``state.truncated_line``, so resuming callers can tell the
+        operator the previous process died mid-event; a corrupt line
+        anywhere else raises :class:`CampaignError`, since that means
+        the journal was edited or interleaved.
         """
         state = LedgerState()
         if not os.path.exists(path):
@@ -120,6 +145,8 @@ class Ledger:
                 event = json.loads(line)
             except json.JSONDecodeError:
                 if lineno == len(lines) - 1:
+                    state.truncated = True
+                    state.truncated_line = lineno + 1
                     break  # torn tail write from a crash; journal still valid
                 raise CampaignError(
                     f"{path}:{lineno + 1}: corrupt ledger line") from None

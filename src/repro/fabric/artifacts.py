@@ -1,0 +1,125 @@
+"""Content-addressed artifact transfer for compiled models.
+
+The compile cache (:mod:`repro.core.compile_cache`) is already
+content-addressed: one :class:`~repro.core.ir.CompiledModel` per
+structural fingerprint.  This module promotes those entries into
+*transferable blobs* so a coordinator that compiled a topology once can
+ship the result to every worker, and a worker never recompiles what
+the coordinator already has:
+
+* :func:`export_artifact` renders a cached entry into the canonical
+  blob form — the JSON cache payload plus a SHA-256 digest of the
+  exact bytes — keyed by the design fingerprint it compiles;
+* :func:`install_artifact` verifies a received blob (byte digest,
+  embedded fingerprint, cache format version) and stores it into the
+  local compile cache, making every subsequent construction of that
+  topology a cache hit.
+
+Verification is the point: a blob that fails *any* check raises
+:class:`ArtifactError` and installs nothing, so a stale, truncated or
+corrupted transfer degrades to a local recompile — never to a simulator
+quietly built from the wrong schedule.  (This is the conformance-check
+discipline the fabric applies at every coordinator/worker boundary.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+from ..core.compile_cache import CACHE_VERSION, get_cache
+from ..core.ir import CompiledModel
+from .protocol import FabricError
+
+
+class ArtifactError(FabricError):
+    """A transferred artifact failed verification."""
+
+
+def _blob_bytes(payload: Dict[str, Any]) -> bytes:
+    """The canonical byte rendering a blob digest covers."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def export_artifact(fingerprint: str) -> Optional[Dict[str, Any]]:
+    """Render the cached entry for ``fingerprint`` as a transfer blob.
+
+    Returns ``None`` when the local compile cache holds no entry (the
+    caller then simply ships nothing and the worker compiles locally).
+    The blob is ``{"fingerprint", "blob": <json str>, "sha256"}`` —
+    JSON-able, so it rides the fabric wire protocol unchanged.
+    """
+    cache = get_cache()
+    if not cache.enabled:
+        return None
+    entry = cache.lookup(fingerprint)
+    if entry is None:
+        return None
+    payload = dict(entry.to_payload(), version=CACHE_VERSION)
+    blob = _blob_bytes(payload)
+    return {"fingerprint": fingerprint,
+            "blob": blob.decode("utf-8"),
+            "sha256": hashlib.sha256(blob).hexdigest()}
+
+
+def verify_artifact(artifact: Dict[str, Any]) -> CompiledModel:
+    """Check a received blob end to end; returns the decoded model.
+
+    Raises :class:`ArtifactError` on byte-digest mismatch (corrupt or
+    tampered transfer), fingerprint mismatch (the blob describes a
+    different structure than it claims — a stale artifact), format
+    version drift, or an undecodable payload.
+    """
+    try:
+        blob = artifact["blob"].encode("utf-8")
+        claimed = artifact["sha256"]
+        fingerprint = artifact["fingerprint"]
+    except (KeyError, TypeError, AttributeError):
+        raise ArtifactError("artifact is missing blob/sha256/fingerprint")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != claimed:
+        raise ArtifactError(
+            f"artifact {fingerprint[:12]} digest mismatch: "
+            f"got {digest[:12]}, expected {str(claimed)[:12]} "
+            f"(corrupt transfer)")
+    try:
+        payload = json.loads(blob)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(
+            f"artifact {fingerprint[:12]} payload is not JSON: "
+            f"{exc}") from None
+    if payload.get("version") != CACHE_VERSION:
+        raise ArtifactError(
+            f"artifact {fingerprint[:12]} has cache format version "
+            f"{payload.get('version')!r}, need {CACHE_VERSION} (stale)")
+    if payload.get("fingerprint") != fingerprint:
+        raise ArtifactError(
+            f"artifact claims fingerprint {fingerprint[:12]} but its "
+            f"payload records {str(payload.get('fingerprint'))[:12]} "
+            f"(stale or mislabeled)")
+    if not isinstance(payload.get("schedule"), list):
+        raise ArtifactError(
+            f"artifact {fingerprint[:12]} carries no schedule")
+    try:
+        return CompiledModel.from_payload(payload)
+    except Exception as exc:
+        raise ArtifactError(
+            f"artifact {fingerprint[:12]} payload does not decode into "
+            f"a compiled model: {exc}") from None
+
+
+def install_artifact(artifact: Dict[str, Any]) -> CompiledModel:
+    """Verify a blob and store it in the local compile cache."""
+    model = verify_artifact(artifact)
+    cache = get_cache()
+    if cache.enabled:
+        cache.store(model)
+    return model
+
+
+def have_artifact(fingerprint: str) -> bool:
+    """Does the local compile cache already hold this fingerprint?"""
+    cache = get_cache()
+    return cache.enabled and cache.lookup(fingerprint) is not None

@@ -1,0 +1,167 @@
+"""The fabric wire protocol: length-prefixed JSON messages over TCP.
+
+Every conversation on the fabric — client to coordinator, worker to
+coordinator — is a sequence of *messages*: a 4-byte big-endian length
+prefix followed by that many bytes of UTF-8 JSON encoding one object.
+The framing is deliberately minimal (no multiplexing, no streaming
+bodies): each connection carries strictly alternating request/response
+pairs, so both ends can be written as plain read-one/write-one loops
+and a half-written message is detected by the frame length, never
+silently mis-parsed.
+
+Messages are dicts with a ``"type"`` key; the catalog lives in
+:mod:`repro.fabric.coordinator` (the only place that interprets all of
+them).  Two transports share the framing:
+
+* :func:`send_message` / :func:`read_message` — asyncio streams, used
+  by the coordinator's server side;
+* :class:`Channel` — a blocking socket wrapper, used by workers and
+  clients (whose logic is a simple synchronous loop).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from ..core.errors import LibertyError
+
+
+class FabricError(LibertyError):
+    """A fabric protocol, artifact, or job-service failure."""
+
+
+#: Refuse frames beyond this size: a corrupt length prefix must not
+#: make a peer try to allocate gigabytes.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Frame one message: 4-byte length prefix + canonical JSON."""
+    body = json.dumps(message, sort_keys=True, default=repr,
+                      separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_MESSAGE_BYTES:
+        raise FabricError(
+            f"message of {len(body)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FabricError(f"undecodable fabric message: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise FabricError(
+            f"fabric message must be an object with a 'type' key, "
+            f"got {type(message).__name__}")
+    return message
+
+
+# ----------------------------------------------------------------------
+# asyncio-stream transport (coordinator server side)
+# ----------------------------------------------------------------------
+async def send_message(writer, message: Dict[str, Any]) -> None:
+    writer.write(encode_message(message))
+    await writer.drain()
+
+
+async def read_message(reader) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    import asyncio
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between messages
+        raise FabricError("connection closed inside a frame header") from None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_MESSAGE_BYTES:
+        raise FabricError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit (corrupt prefix?)")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise FabricError("connection closed inside a frame body") from None
+    return decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket transport (worker / client side)
+# ----------------------------------------------------------------------
+class Channel:
+    """One blocking request/response connection to the coordinator."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        except OSError as exc:
+            raise FabricError(
+                f"cannot reach coordinator at {host}:{port}: {exc}") from None
+
+    def send(self, message: Dict[str, Any]) -> None:
+        try:
+            self._sock.sendall(encode_message(message))
+        except OSError as exc:
+            raise FabricError(f"send to coordinator failed: {exc}") from None
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError as exc:
+                raise FabricError(
+                    f"read from coordinator failed: {exc}") from None
+            if not chunk:
+                raise FabricError("coordinator closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Dict[str, Any]:
+        (length,) = _LEN.unpack(self._read_exactly(_LEN.size))
+        if length > MAX_MESSAGE_BYTES:
+            raise FabricError(
+                f"frame of {length} bytes exceeds the "
+                f"{MAX_MESSAGE_BYTES}-byte limit (corrupt prefix?)")
+        return decode_body(self._read_exactly(length))
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One round trip; raises :class:`FabricError` on an error reply."""
+        self.send(message)
+        reply = self.recv()
+        if reply.get("type") == "error":
+            raise FabricError(
+                f"coordinator rejected {message.get('type')!r}: "
+                f"{reply.get('error', '(no detail)')}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def one_shot(host: str, port: int, message: Dict[str, Any], *,
+             timeout: float = 30.0) -> Dict[str, Any]:
+    """Connect, perform one request/response, disconnect."""
+    with Channel(host, port, timeout=timeout) as channel:
+        return channel.request(message)

@@ -24,6 +24,15 @@ def sleepy(duration, **_kw):
     return {"slept": duration}
 
 
+def record_pid_and_sleep(pid_dir, duration=60.0, **_kw):
+    """Write our PID into ``pid_dir`` then hang (orphan-cleanup tests)."""
+    os.makedirs(pid_dir, exist_ok=True)
+    with open(os.path.join(pid_dir, str(os.getpid())), "w") as handle:
+        handle.write("running\n")
+    time.sleep(duration)
+    return {"slept": duration}
+
+
 def kill_unless_marker(marker, **kw):
     """SIGKILL ourselves mid-run unless ``marker`` exists.
 
@@ -79,4 +88,27 @@ def build_pipe(depth, rate):
     snk = spec.instance("snk", Sink)
     spec.connect(src.port("out"), q.port("in"))
     spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def build_chain(stages, rate):
+    """Spec-builder whose *topology* varies: ``stages`` queues in series.
+
+    Unlike :func:`build_pipe` (where ``depth`` is a non-structural
+    knob), changing ``stages`` changes the instance/wiring structure
+    and therefore the design fingerprint — what the structural-grouping
+    tests need to produce genuinely distinct compiled models.
+    """
+    from repro import LSS
+    from repro.pcl import Queue, Sink, Source
+    spec = LSS("chain")
+    src = spec.instance("src", Source, pattern="bernoulli", rate=rate,
+                        payload=1, seed=3)
+    upstream = src.port("out")
+    for k in range(stages):
+        q = spec.instance(f"q{k}", Queue, depth=4)
+        spec.connect(upstream, q.port("in"))
+        upstream = q.port("out")
+    snk = spec.instance("snk", Sink)
+    spec.connect(upstream, snk.port("in"))
     return spec

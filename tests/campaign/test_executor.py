@@ -161,6 +161,43 @@ class TestProcessExecutor:
         outcomes = ProcessExecutor(workers=3, retries=0).run(tasks)
         assert [o.run_id for o in outcomes] == [t.run_id for t in tasks]
 
+    @pytest.mark.parametrize("interruption", [KeyboardInterrupt, RuntimeError])
+    def test_abnormal_exit_leaves_no_orphan_processes(
+            self, tmp_path, monkeypatch, interruption):
+        """Ctrl-C (or an orchestrator bug) mid-campaign must terminate and
+        join every in-flight worker process, not strand it."""
+        import time as _time
+
+        from repro.campaign import executor as executor_mod
+        pid_dir = tmp_path / "pids"
+
+        class InterruptingTime:
+            """``time`` facade for the *orchestrator only*: its polling
+            sleep fires the interruption once both workers have proven
+            they are alive (PID files written), so there is something
+            to orphan.  Rebinding the module-level ``time`` name (not
+            ``time.sleep`` itself) keeps the forked workers' real
+            ``time.sleep(60)`` hang intact."""
+
+            def sleep(self, seconds):
+                if pid_dir.exists() and len(list(pid_dir.iterdir())) == 2:
+                    raise interruption("operator hit Ctrl-C")
+                _time.sleep(0.01)
+
+            def __getattr__(self, name):
+                return getattr(_time, name)
+
+        monkeypatch.setattr(executor_mod, "time", InterruptingTime())
+        tasks = [_task(f"r{i}", _targets.record_pid_and_sleep,
+                       {"pid_dir": str(pid_dir)}) for i in range(2)]
+        with pytest.raises(interruption):
+            ProcessExecutor(workers=2, retries=0).run(tasks)
+        pids = [int(p.name) for p in pid_dir.iterdir()]
+        assert len(pids) == 2
+        for pid in pids:  # terminated AND reaped: kill(pid, 0) must fail
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
     def test_invalid_configuration(self):
         with pytest.raises(CampaignError):
             ProcessExecutor(workers=0)

@@ -97,6 +97,67 @@ class TestDurability:
         with pytest.raises(CampaignError, match="not open"):
             Ledger(str(tmp_path / "x.jsonl")).record({"event": "point"})
 
+    def test_clean_journal_reports_no_truncation(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS])
+        state = Ledger.load(str(path))
+        assert state.truncated is False
+        assert state.truncated_line is None
+
+    def test_torn_tail_is_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _journal(path, [HEADER, *POINTS])
+        with open(path, "a") as handle:
+            handle.write('{"event": "done", "run_id": "p2", "res')  # crash
+        state = Ledger.load(str(path))
+        assert state.truncated is True
+        assert state.truncated_line == 5  # header + 3 points + torn tail
+        assert state.runs["p2"].status == "pending"
+
+    def test_record_is_one_write_syscall_per_event(self, tmp_path):
+        """The whole line (payload + newline) must be a single write().
+
+        That is the invariant behind torn-tail tolerance: a crash can
+        truncate the final line but can never interleave two events.
+        """
+        calls = []
+
+        class Spy:
+            def __init__(self, inner):
+                self._inner = inner
+
+            def write(self, data):
+                calls.append(data)
+                return self._inner.write(data)
+
+            def __getattr__(self, name):
+                return getattr(self._inner, name)
+
+        path = tmp_path / "run.jsonl"
+        with Ledger(str(path)).open() as ledger:
+            ledger._handle = Spy(ledger._handle)
+            ledger.record(HEADER)
+            ledger.record(POINTS[0])
+        assert len(calls) == 2
+        for data in calls:
+            assert data.endswith("\n")
+            json.loads(data)  # each write is one complete event
+
+    def test_fsync_knob(self, tmp_path, monkeypatch):
+        import os as _os
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr("repro.campaign.ledger.os.fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        path = tmp_path / "run.jsonl"
+        with Ledger(str(path), fsync=True).open() as ledger:
+            ledger.record(HEADER)
+            ledger.record(POINTS[0])
+        assert len(synced) == 2
+        with Ledger(str(path), fsync=False).open(append=True) as ledger:
+            ledger.record(POINTS[1])
+        assert len(synced) == 2  # off by default
+
     def test_summary(self, tmp_path):
         path = tmp_path / "run.jsonl"
         _journal(path, [HEADER, *POINTS,

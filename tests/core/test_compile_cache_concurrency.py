@@ -1,0 +1,184 @@
+"""Concurrency tests for the compile cache's on-disk layer.
+
+The disk layer is shared by design between *processes* (campaign
+workers, fabric workers, repeated CLI runs), so its correctness
+properties are cross-process ones:
+
+* two processes compiling the same structure may write the same
+  fingerprint file at the same moment — the mkstemp + ``os.replace``
+  discipline must leave exactly one valid entry, never a spliced file;
+* a reader overlapping a rewrite must see either the old or the new
+  entry atomically, never a partial write;
+* a genuinely truncated entry file (the crash artifact a non-atomic
+  writer would leave) must degrade to a miss-and-recompile, never an
+  exception.
+
+These run under real ``fork`` concurrency, not threads.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core import compile_cache as cc
+from repro.core.compile_cache import CACHE_VERSION, CompileCache
+from repro.core.constructor import build_design
+from repro.core.ir import compile_model
+
+from tests.campaign._targets import build_pipe
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="these tests need real fork concurrency")
+
+_CTX = (multiprocessing.get_context("fork")
+        if "fork" in multiprocessing.get_all_start_methods() else None)
+
+
+def _fresh_cache(disk_dir):
+    return CompileCache(enabled=True, disk_enabled=True,
+                        disk_dir=str(disk_dir))
+
+
+def _compile_into(disk_dir, depth=3):
+    """Compile the canonical pipe with the global cache on ``disk_dir``."""
+    cc.configure(enabled=True, disk_enabled=True, disk_dir=str(disk_dir))
+    design = build_design(build_pipe(depth, 0.5))
+    compile_model(design)
+    return cc.design_fingerprint(design)
+
+
+@pytest.fixture(autouse=True)
+def _restore_global_cache():
+    yield
+    cc.configure()  # drop any tmp-dir global cache this test installed
+
+
+def _racing_writer(disk_dir, barrier, out_path, rounds):
+    """Child: compile + store the same fingerprint ``rounds`` times."""
+    try:
+        cc.configure(enabled=True, disk_enabled=True, disk_dir=str(disk_dir))
+        design = build_design(build_pipe(3, 0.5))
+        fingerprint = cc.design_fingerprint(design)
+        compile_model(design)  # populates memory + disk
+        cache = cc.get_cache()
+        mem_entry = cache._memory[fingerprint]
+        barrier.wait(timeout=30)
+        for _ in range(rounds):
+            cache._disk_write(mem_entry)  # the raw racing syscall path
+        with open(out_path, "w") as handle:
+            handle.write(f"ok {fingerprint}")
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        with open(out_path, "w") as handle:
+            handle.write(f"fail {type(exc).__name__}: {exc}")
+
+
+class TestConcurrentWriters:
+    def test_two_processes_storing_same_fingerprint(self, tmp_path):
+        """Simultaneous same-key writers must leave one valid entry."""
+        disk_dir = tmp_path / "cache"
+        barrier = _CTX.Barrier(2)
+        outs = [tmp_path / f"writer-{i}.txt" for i in range(2)]
+        procs = [_CTX.Process(target=_racing_writer,
+                              args=(disk_dir, barrier, str(out), 50))
+                 for out in outs]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        reports = [out.read_text() for out in outs]
+        assert all(r.startswith("ok ") for r in reports), reports
+        fingerprint = reports[0].split()[1]
+        assert reports[1].split()[1] == fingerprint  # same structure
+
+        # Exactly one entry file, fully valid, no stray temp files.
+        names = sorted(os.listdir(disk_dir))
+        assert names == [f"{fingerprint}.json"]
+        with open(disk_dir / names[0], encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["version"] == CACHE_VERSION
+        assert payload["fingerprint"] == fingerprint
+
+        # And a fresh reader materializes it as a disk hit.
+        reader = _fresh_cache(disk_dir)
+        assert reader.lookup(fingerprint) is not None
+        assert reader.stats["disk_hits"] == 1
+
+
+def _rewrite_loop(disk_dir, fingerprint, stop_path, out_path):
+    """Child: rewrite the entry file as fast as possible until stopped."""
+    try:
+        cache = _fresh_cache(disk_dir)
+        entry = cache._disk_read(fingerprint)
+        assert entry is not None
+        writes = 0
+        while not os.path.exists(stop_path):
+            cache._disk_write(entry)
+            writes += 1
+        with open(out_path, "w") as handle:
+            handle.write(f"ok {writes}")
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        with open(out_path, "w") as handle:
+            handle.write(f"fail {type(exc).__name__}: {exc}")
+
+
+class TestReaderWriterOverlap:
+    def test_reader_never_sees_partial_write(self, tmp_path):
+        """Reads overlapping rewrites see a whole entry or nothing."""
+        disk_dir = tmp_path / "cache"
+        fingerprint = _compile_into(disk_dir)
+        stop = tmp_path / "stop"
+        out = tmp_path / "writer.txt"
+        proc = _CTX.Process(target=_rewrite_loop,
+                            args=(disk_dir, fingerprint, str(stop), str(out)))
+        proc.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            reads = 0
+            while time.monotonic() < deadline:
+                reader = _fresh_cache(disk_dir)  # no memory layer reuse
+                entry = reader.lookup(fingerprint)
+                assert entry is not None, \
+                    "reader saw a missing/partial entry during rewrite"
+                assert entry.fingerprint == fingerprint
+                assert reader.stats["disk_errors"] == 0
+                reads += 1
+        finally:
+            stop.touch()
+            proc.join(timeout=30)
+        assert proc.exitcode == 0
+        assert out.read_text().startswith("ok ")
+        assert reads > 10  # the loop really overlapped the writer
+
+
+class TestTruncatedEntry:
+    def test_truncated_entry_degrades_to_recompile(self, tmp_path):
+        """A half-written entry file is evicted and recompiled."""
+        disk_dir = tmp_path / "cache"
+        fingerprint = _compile_into(disk_dir)
+        path = disk_dir / f"{fingerprint}.json"
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])  # crash-mid-write artifact
+
+        reader = _fresh_cache(disk_dir)
+        assert reader.lookup(fingerprint) is None  # miss, not an exception
+        assert not path.exists()  # the corpse was evicted
+
+        # A full compile through the global cache heals the entry.
+        healed_fp = _compile_into(disk_dir)
+        assert healed_fp == fingerprint
+        assert path.exists()
+        fresh = _fresh_cache(disk_dir)
+        assert fresh.lookup(fingerprint) is not None
+
+    def test_leftover_tmp_file_is_ignored(self, tmp_path):
+        """A stray mkstemp corpse never shadows or corrupts entries."""
+        disk_dir = tmp_path / "cache"
+        fingerprint = _compile_into(disk_dir)
+        (disk_dir / "deadbeef.tmp").write_text('{"version":')
+        reader = _fresh_cache(disk_dir)
+        assert reader.lookup(fingerprint) is not None

@@ -1,0 +1,132 @@
+"""Tests for content-addressed artifact transfer (repro.fabric.artifacts).
+
+The property under test is the conformance-check discipline: a blob
+that fails *any* verification — byte digest, cache format version,
+embedded fingerprint, decodability — must raise :class:`ArtifactError`
+and install nothing, so transfer corruption can only ever cost a local
+recompile, never a simulator built from the wrong schedule.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core import compile_cache as cc
+from repro.core.compile_cache import CACHE_VERSION
+from repro.core.constructor import build_design
+from repro.core.ir import CompiledModel, compile_model
+from repro.fabric import (ArtifactError, export_artifact, have_artifact,
+                          install_artifact, verify_artifact)
+
+from tests.campaign._targets import build_pipe
+
+
+@pytest.fixture
+def fingerprint(tmp_path):
+    """A real compiled design warmed into an isolated global cache."""
+    cc.configure(enabled=True, disk_enabled=True,
+                 disk_dir=str(tmp_path / "cache"))
+    design = build_design(build_pipe(3, 0.5))
+    compile_model(design)
+    yield cc.design_fingerprint(design)
+    cc.configure()  # restore the env-configured global cache
+
+
+def _resign(payload):
+    """A validly-signed artifact for an arbitrary payload dict."""
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return {"fingerprint": payload.get("fingerprint"),
+            "blob": blob.decode(),
+            "sha256": hashlib.sha256(blob).hexdigest()}
+
+
+class TestExport:
+    def test_round_trip(self, fingerprint):
+        artifact = export_artifact(fingerprint)
+        assert artifact is not None
+        assert artifact["fingerprint"] == fingerprint
+        model = verify_artifact(artifact)
+        assert isinstance(model, CompiledModel)
+        assert model.fingerprint == fingerprint
+        assert model.schedule  # a real schedule crossed the boundary
+
+    def test_unknown_fingerprint_exports_nothing(self, fingerprint):
+        assert export_artifact("0" * 64) is None
+
+    def test_artifact_is_json_able(self, fingerprint):
+        artifact = export_artifact(fingerprint)
+        assert json.loads(json.dumps(artifact)) == artifact
+
+
+class TestVerification:
+    def test_corrupt_blob_digest_mismatch(self, fingerprint):
+        artifact = export_artifact(fingerprint)
+        artifact["blob"] = artifact["blob"].replace('"schedule"',
+                                                    '"schedulX"', 1)
+        with pytest.raises(ArtifactError, match="digest mismatch"):
+            verify_artifact(artifact)
+
+    def test_tampered_digest(self, fingerprint):
+        artifact = export_artifact(fingerprint)
+        artifact["sha256"] = "0" * 64
+        with pytest.raises(ArtifactError, match="digest mismatch"):
+            verify_artifact(artifact)
+
+    def test_stale_cache_version(self, fingerprint):
+        payload = json.loads(export_artifact(fingerprint)["blob"])
+        payload["version"] = CACHE_VERSION - 1
+        with pytest.raises(ArtifactError, match="stale"):
+            verify_artifact(_resign(payload))
+
+    def test_mislabeled_fingerprint(self, fingerprint):
+        """A blob served under the wrong fingerprint is a stale artifact."""
+        artifact = export_artifact(fingerprint)
+        relabeled = dict(artifact, fingerprint="f" * 64)
+        with pytest.raises(ArtifactError, match="digest mismatch|records"):
+            verify_artifact(relabeled)
+
+    def test_missing_fields(self):
+        with pytest.raises(ArtifactError, match="missing"):
+            verify_artifact({"fingerprint": "abc"})
+        with pytest.raises(ArtifactError, match="missing"):
+            verify_artifact({"blob": None, "sha256": "x",
+                             "fingerprint": "abc"})
+
+    def test_undecodable_payload(self):
+        blob = b'{"version":'
+        with pytest.raises(ArtifactError, match="not JSON"):
+            verify_artifact({"fingerprint": "abc", "blob": blob.decode(),
+                             "sha256": hashlib.sha256(blob).hexdigest()})
+
+    def test_schedule_less_payload(self, fingerprint):
+        payload = json.loads(export_artifact(fingerprint)["blob"])
+        payload.pop("schedule")
+        artifact = _resign(payload)
+        with pytest.raises(ArtifactError, match="no schedule"):
+            verify_artifact(artifact)
+
+
+class TestInstall:
+    def test_install_into_empty_cache(self, fingerprint, tmp_path):
+        artifact = export_artifact(fingerprint)
+        # Swap to a pristine cache: the receiving "host".
+        cc.configure(enabled=True, disk_enabled=True,
+                     disk_dir=str(tmp_path / "other-host"))
+        assert not have_artifact(fingerprint)
+        model = install_artifact(artifact)
+        assert model.fingerprint == fingerprint
+        assert have_artifact(fingerprint)
+        # And it survived to disk for sibling processes.
+        assert (tmp_path / "other-host" / f"{fingerprint}.json").exists()
+
+    def test_failed_verification_installs_nothing(self, fingerprint,
+                                                  tmp_path):
+        artifact = export_artifact(fingerprint)
+        artifact["sha256"] = "0" * 64
+        cc.configure(enabled=True, disk_enabled=True,
+                     disk_dir=str(tmp_path / "other-host"))
+        with pytest.raises(ArtifactError):
+            install_artifact(artifact)
+        assert not have_artifact(fingerprint)

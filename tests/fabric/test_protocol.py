@@ -1,0 +1,123 @@
+"""Tests for the fabric wire protocol (repro.fabric.protocol)."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.fabric import Coordinator, CoordinatorThread
+from repro.fabric.protocol import (Channel, FabricError, decode_body,
+                                   encode_message, one_shot)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "demo", "values": [1, 2.5, "x"], "nested": {"a": 1}}
+        frame = encode_message(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert decode_body(frame[4:]) == message
+
+    def test_canonical_encoding_is_deterministic(self):
+        a = encode_message({"b": 1, "a": 2, "type": "t"})
+        b = encode_message({"type": "t", "a": 2, "b": 1})
+        assert a == b  # sort_keys: same message, same bytes
+
+    def test_body_must_be_object_with_type(self):
+        with pytest.raises(FabricError, match="'type' key"):
+            decode_body(b'[1, 2, 3]')
+        with pytest.raises(FabricError, match="'type' key"):
+            decode_body(b'{"no_type": 1}')
+
+    def test_undecodable_body(self):
+        with pytest.raises(FabricError, match="undecodable"):
+            decode_body(b'{"type": "tru')
+        with pytest.raises(FabricError, match="undecodable"):
+            decode_body(b"\xff\xfe\x00")
+
+    def test_oversized_message_refused(self, monkeypatch):
+        monkeypatch.setattr("repro.fabric.protocol.MAX_MESSAGE_BYTES", 64)
+        with pytest.raises(FabricError, match="frame limit"):
+            encode_message({"type": "big", "pad": "x" * 256})
+
+
+@pytest.fixture
+def fabric():
+    with CoordinatorThread(Coordinator(lease_timeout=5.0)) as hosted:
+        yield hosted
+
+
+class TestChannel:
+    def test_request_response(self, fabric):
+        with Channel(fabric.host, fabric.port) as channel:
+            reply = channel.request({"type": "ping"})
+            assert reply["type"] == "pong"
+            # The connection supports many request/response rounds.
+            assert channel.request({"type": "ping"})["type"] == "pong"
+
+    def test_error_reply_raises(self, fabric):
+        with Channel(fabric.host, fabric.port) as channel:
+            with pytest.raises(FabricError, match="unknown message type"):
+                channel.request({"type": "no_such_thing"})
+            # The connection survives a rejected request.
+            assert channel.request({"type": "ping"})["type"] == "pong"
+
+    def test_one_shot(self, fabric):
+        assert one_shot(fabric.host, fabric.port,
+                        {"type": "ping"})["type"] == "pong"
+
+    def test_unreachable_coordinator(self):
+        with socket.socket() as probe:  # a port nobody is listening on
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        with pytest.raises(FabricError, match="cannot reach coordinator"):
+            Channel("127.0.0.1", dead_port, timeout=0.5)
+
+    def test_corrupt_length_prefix_rejected(self):
+        """A bogus giant frame length must raise, not allocate 4GB."""
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def bad_peer():
+            conn, _ = server.accept()
+            conn.recv(4096)  # swallow the request
+            conn.sendall(struct.pack(">I", 0xFFFFFFF0))  # absurd length
+            conn.close()
+
+        thread = threading.Thread(target=bad_peer, daemon=True)
+        thread.start()
+        try:
+            with Channel("127.0.0.1", port) as channel:
+                channel.send({"type": "ping"})
+                with pytest.raises(FabricError, match="corrupt prefix"):
+                    channel.recv()
+        finally:
+            thread.join(timeout=5)
+            server.close()
+
+    def test_peer_disappearing_mid_frame(self):
+        """A connection torn inside a frame is an error, not a hang."""
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def vanishing_peer():
+            conn, _ = server.accept()
+            conn.recv(4096)
+            conn.sendall(struct.pack(">I", 100) + b'{"type": "tr')  # partial
+            conn.close()
+
+        thread = threading.Thread(target=vanishing_peer, daemon=True)
+        thread.start()
+        try:
+            with Channel("127.0.0.1", port) as channel:
+                channel.send({"type": "ping"})
+                with pytest.raises(FabricError, match="closed the connection"):
+                    channel.recv()
+        finally:
+            thread.join(timeout=5)
+            server.close()
