@@ -196,15 +196,19 @@ def _simulate_batch(task: RunTask) -> Dict[str, Any]:
     :func:`_simulate` payload, so the campaign can journal and
     aggregate the lanes as ordinary per-point runs.
     """
-    from ..core.batched import BatchedSimulator
+    from ..core.backends import resolve_engine
     from ..core.constructor import build_design
     if not task.points:
         raise CampaignError(f"batch task {task.run_id} has no points")
     designs = [build_design(build_point_spec(
         task.batch_kind, task.target, task.lss_text,
         point["params"], point["run_id"])) for point in task.points]
-    sim = BatchedSimulator(designs,
-                           seeds=[point["seed"] for point in task.points])
+    # Lockstep groups default to the vectorized backend (bit-identical
+    # to "batched", which is bit-identical to solo levelized runs);
+    # REPRO_BATCH_ENGINE selects any registered batch-capable engine.
+    engine = os.environ.get("REPRO_BATCH_ENGINE", "").strip() or "batched-vec"
+    sim = resolve_engine(engine)(
+        designs, seeds=[point["seed"] for point in task.points])
     try:
         profilers: Dict[str, Any] = {}
         if task.profile:

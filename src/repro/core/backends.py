@@ -126,3 +126,7 @@ register_backend(
 register_backend(
     "batched", "repro.core.batched:BatchedSimulator",
     doc="lockstep execution of N structurally identical designs")
+register_backend(
+    "batched-vec", "repro.core.batched_vec:VectorizedBatchedSimulator",
+    doc="lockstep execution with numpy structure-of-arrays lane state; "
+        "falls back per wire (and wholesale) to the scalar batched path")

@@ -43,6 +43,20 @@ class _BatchLane(LevelizedSimulator):
         if self._owner is not None:
             self._owner._rebuild_dispatch()
 
+    def probe(self, wire, label=None, limit=None):
+        probe = super().probe(wire, label=label, limit=limit)
+        # Watching a wire is an instrumentation change at the batch
+        # level: the vectorized backend must demote that wire to the
+        # scalar path so the probe sees per-lane transfers.
+        if self._owner is not None:
+            self._owner._lane_instrumented()
+        return probe
+
+    def add_observer(self, fn) -> None:
+        super().add_observer(fn)
+        if self._owner is not None:
+            self._owner._lane_instrumented()
+
 
 class BatchedSimulator:
     """Lockstep execution of N structurally identical designs.
@@ -67,6 +81,10 @@ class BatchedSimulator:
     same design and seed: the lanes share no mutable state, the batch
     only interleaves their schedule walks.
     """
+
+    #: Registry name, used in delegation errors so a failed attribute
+    #: lookup names the engine the caller actually selected.
+    BACKEND_NAME = "batched"
 
     def __init__(self, designs: Union[Design, Sequence[Design]], *,
                  seeds: Optional[Sequence[Optional[int]]] = None,
@@ -208,6 +226,9 @@ class BatchedSimulator:
     def _instrumentation_changed(self) -> None:
         self._rebuild_dispatch()
 
+    def _lane_instrumented(self) -> None:
+        """Hook: a lane gained a probe or observer (see batched_vec)."""
+
     # -- checkpointing ----------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
         """Per-lane snapshots (or lane 0's own for a batch of one)."""
@@ -256,7 +277,18 @@ class BatchedSimulator:
         # representative access otherwise): unknown public attributes
         # delegate to lane 0.  Private names never delegate, so a typo
         # inside the coordinator cannot silently read lane state.
+        backend = type(self).BACKEND_NAME
         lanes = self.__dict__.get("_lanes")
         if not lanes or name.startswith("_"):
-            raise AttributeError(name)
-        return getattr(lanes[0], name)
+            raise AttributeError(
+                f"{type(self).__name__} object has no attribute {name!r} "
+                f"(the {backend!r} backend does not delegate private "
+                f"names to its lanes)")
+        try:
+            return getattr(lanes[0], name)
+        except AttributeError:
+            raise AttributeError(
+                f"{type(self).__name__} object has no attribute {name!r}: "
+                f"not part of the {backend!r} backend's batch API and not "
+                f"found on its lane simulators either; per-lane state is "
+                f"available via .lane(i) / .lanes") from None

@@ -63,6 +63,58 @@ def generate_stepper_source(schedule, design_name: str) -> str:
     return buf.getvalue()
 
 
+def generate_vec_stepper_source(schedule, entry_ops, design_name: str) -> str:
+    """Emit Python source for a *vectorized* lockstep stepper.
+
+    The generated module defines ``make_vec_stepper(owner, vec_reacts)``
+    where ``owner`` is a :class:`~repro.core.batched_vec.
+    VectorizedBatchedSimulator` and ``vec_reacts`` the bound ``react``
+    methods of its plan's vectorized implementations.  ``entry_ops``
+    parallels ``schedule`` (see :class:`~repro.core.vec.VecPlan`): a
+    ``("vec", k)`` entry becomes one hoisted array-wide react call
+    covering every lane at once, ``("skip",)`` entries (later schedule
+    occurrences of an already-run vectorized instance) vanish from the
+    body entirely, ``("scalar",)`` entries iterate the owner's flat
+    per-lane react list, and clusters run per lane through
+    ``owner._run_entry_cluster``.
+    """
+    buf = io.StringIO()
+    w = buf.write
+    w(f'"""Generated vectorized stepper for design {design_name!r}. '
+      f'Do not edit."""\n\n')
+    w("def make_vec_stepper(owner, vec_reacts):\n")
+    lines: List[str] = []
+    body: List[str] = []
+    need_cluster = False
+    for i, (entry, op) in enumerate(zip(schedule, entry_ops)):
+        kind = op[0]
+        if kind == "vec":
+            lines.append(f"    v{op[1]} = vec_reacts[{op[1]}]")
+            body.append(f"        v{op[1]}()")
+        elif kind == "skip":
+            pass
+        elif kind == "cluster":
+            need_cluster = True
+            body.append(f"        run_cluster({i})")
+        else:  # scalar: the lanes' flat bound-react list for this entry
+            lines.append(f"    s{i} = owner._entry_reacts[{i}]")
+            body.append(f"        for r in s{i}:")
+            body.append("            r()")
+    for line in lines:
+        w(line + "\n")
+    if need_cluster:
+        w("    run_cluster = owner._run_entry_cluster\n")
+    w("    begin = owner._vec_begin\n")
+    w("    end = owner._vec_end\n")
+    w("    def step():\n")
+    w("        begin()\n")
+    for line in body:
+        w(line + "\n")
+    w("        end()\n")
+    w("    return step\n")
+    return buf.getvalue()
+
+
 class CodegenSimulator(LevelizedSimulator):
     """Engine executing a generated, design-specialized stepper.
 

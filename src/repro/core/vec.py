@@ -1,0 +1,550 @@
+"""Structure-of-arrays lane state for the vectorized batched backend.
+
+The compiled-model IR makes a design's schedule and wire partition a
+function of structure alone, so N same-fingerprint lanes resolve every
+signal in the *same order*.  This module provides the data layer that
+turns that into numpy array operations:
+
+* :class:`VecWires` — the three signals of each vectorizable wire as
+  ``(wires, lanes)`` int8 planes (one ``(lanes,)`` row per wire) plus an
+  object-dtype value plane, with one-fill step reset, a vectorized
+  end-of-step transfer scan, and gather/scatter converters to and from
+  the per-lane :class:`~repro.core.signals.Wire` objects;
+* :class:`LaneRng` — a bank of the module instances' own per-lane
+  ``numpy`` Generators, pre-drawing blocks of uniforms per lane and
+  consuming them through a cursor.  ``Generator.random(n)`` produces the
+  same stream as ``n`` scalar ``random()`` calls, and ``sync_out``
+  rewinds each live generator to its pre-gather state and re-advances it
+  by exactly the consumed count, so the bank is *bit-identical* to
+  scalar execution — the property the differential tests enforce;
+* :class:`VecStats` — per-lane integer counter accumulators flushed
+  into each lane's :class:`~repro.core.collector.StatsRegistry` (counter
+  addition is commutative, so deferred flushing cannot reorder totals);
+* :class:`VecPortIndex` — the port adapter vectorized module
+  implementations drive.  A port index backed by a vectorizable wire is
+  one SoA row; an index on a boundary wire (scalar neighbour, control
+  function, attached probe) falls back to per-lane drives through the
+  real ``Wire`` methods, so one demoted wire never demotes its module;
+* the vec-implementation registry (:func:`register_vec_impl`) and the
+  compile-time feature detection (:func:`build_vec_plan`) that decides,
+  per instance and per wire, what runs vectorized and what stays on the
+  scalar lockstep path.
+
+A wire is vectorizable iff both endpoints are vectorized instances, it
+carries no control function, and no lane watches it with a probe.  An
+instance is vectorizable iff its exact template class has a registered
+implementation that supports the lanes' parameter bindings, it is Moore
+(``deps() == {}``), it sits in no combinational cluster, and at least
+one of its wires vectorizes (an all-boundary instance would only add
+adapter overhead).  Everything else — and every lane, whenever a
+profiler or observer is attached — runs the existing scalar path.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .errors import SimulationError
+from .signals import CtrlStatus, DataStatus
+
+#: int8 signal codes; identical to the IntEnum values so a round-trip
+#: ``DataStatus(int(code))`` lands on the enum singleton the scalar
+#: engine's ``is`` comparisons expect.
+D_UNKNOWN = int(DataStatus.UNKNOWN)
+D_NOTHING = int(DataStatus.NOTHING)
+D_SOMETHING = int(DataStatus.SOMETHING)
+C_UNKNOWN = int(CtrlStatus.UNKNOWN)
+C_DEASSERTED = int(CtrlStatus.DEASSERTED)
+C_ASSERTED = int(CtrlStatus.ASSERTED)
+
+
+class LaneRng:
+    """A vectorized, bit-identical view over per-lane Generators.
+
+    Wraps the *live* ``numpy.random.Generator`` objects owned by one
+    module instance per lane.  Draws are served from per-lane pre-drawn
+    blocks; :meth:`sync_out` restores each generator to its pre-gather
+    state and advances it by exactly the number of values the lane
+    consumed, so after a sync the live generator sits precisely where a
+    scalar run would have left it (blocked lookahead is discarded).
+    """
+
+    __slots__ = ("_rngs", "_saved", "_consumed", "_block", "_buf", "_cur")
+
+    def __init__(self, rngs: Sequence, block: int = 256):
+        self._rngs = list(rngs)
+        lanes = len(self._rngs)
+        self._block = block
+        self._buf = np.zeros((lanes, block))
+        self._cur = np.full(lanes, block, np.int64)
+        self._saved = [copy.deepcopy(g.bit_generator.state)
+                       for g in self._rngs]
+        self._consumed = np.zeros(lanes, np.int64)
+
+    def random(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """One uniform draw per selected lane (all lanes when ``mask``
+        is None).  Unselected lanes consume nothing and return 0.0."""
+        cur = self._cur
+        exhausted = cur >= self._block
+        if mask is None:
+            lanes = np.arange(len(self._rngs))
+            refill = np.nonzero(exhausted)[0]
+        else:
+            lanes = np.nonzero(mask)[0]
+            refill = np.nonzero(mask & exhausted)[0]
+        for lane in refill:
+            self._buf[lane] = self._rngs[lane].random(self._block)
+            cur[lane] = 0
+        out = np.zeros(len(self._rngs))
+        out[lanes] = self._buf[lanes, cur[lanes]]
+        cur[lanes] += 1
+        self._consumed[lanes] += 1
+        return out
+
+    def sync_out(self) -> None:
+        """Leave every live generator exactly where scalar execution
+        would have: rewind to the saved state, redraw the consumed
+        count, and re-anchor for the next gather-free period."""
+        for lane, gen in enumerate(self._rngs):
+            consumed = int(self._consumed[lane])
+            gen.bit_generator.state = copy.deepcopy(self._saved[lane])
+            if consumed:
+                gen.random(consumed)
+            self._saved[lane] = copy.deepcopy(gen.bit_generator.state)
+            self._consumed[lane] = 0
+        self._cur.fill(self._block)
+
+
+class VecStats:
+    """Per-lane integer counter accumulators, flushed commutatively."""
+
+    __slots__ = ("_counts", "lanes")
+
+    def __init__(self, lanes: int):
+        self._counts: Dict[tuple, np.ndarray] = {}
+        self.lanes = lanes
+
+    def add(self, path: str, name: str, amounts: np.ndarray) -> None:
+        key = (path, name)
+        acc = self._counts.get(key)
+        if acc is None:
+            acc = self._counts[key] = np.zeros(self.lanes, np.int64)
+        acc += amounts
+
+    def flush(self, lane_sims: Sequence) -> None:
+        """Add the accumulated deltas into each lane's registry.
+
+        Zero deltas are skipped so a counter a scalar run never touched
+        stays absent from the registry (dict-equality parity)."""
+        for (path, name), acc in self._counts.items():
+            for lane, sim in enumerate(lane_sims):
+                n = int(acc[lane])
+                if n:
+                    sim.stats.add(path, name, n)
+            acc.fill(0)
+
+
+class VecWires:
+    """The SoA signal planes of every vectorizable wire.
+
+    ``lane_wires[row][lane]`` is the per-lane :class:`Wire` object the
+    row shadows; :meth:`gather` parks those objects in a resolved, non-
+    transferring state (so engine-side relaxation scans skip them) and
+    :meth:`scatter` writes the array state back, enum singletons and
+    raw mirrors included.
+    """
+
+    __slots__ = ("lane_wires", "data", "enable", "ack", "value",
+                 "transfers", "rows", "lanes")
+
+    def __init__(self, lane_wires: List[List[Any]]):
+        self.lane_wires = lane_wires
+        self.rows = len(lane_wires)
+        self.lanes = len(lane_wires[0]) if lane_wires else 0
+        shape = (self.rows, self.lanes)
+        self.data = np.zeros(shape, np.int8)
+        self.enable = np.zeros(shape, np.int8)
+        self.ack = np.zeros(shape, np.int8)
+        self.value = np.empty(shape, object)
+        self.transfers = np.zeros(shape, np.int64)
+
+    def gather(self) -> None:
+        for row, wires in enumerate(self.lane_wires):
+            for lane, wire in enumerate(wires):
+                self.transfers[row, lane] = wire.transfers
+                # Park the object in a resolved no-transfer state: the
+                # lanes' relaxation/fallback scans then never pick a
+                # shadowed wire, and idempotent re-drives during a
+                # scalar fallback are judged against scattered state.
+                wire.data_status = DataStatus.NOTHING
+                wire.data_value = None
+                wire.raw_data_status = DataStatus.NOTHING
+                wire.raw_data_value = None
+                wire.enable = CtrlStatus.DEASSERTED
+                wire.raw_enable = CtrlStatus.DEASSERTED
+                wire.ack = CtrlStatus.DEASSERTED
+                wire.raw_ack = CtrlStatus.DEASSERTED
+
+    def begin_step(self) -> None:
+        self.data.fill(D_UNKNOWN)
+        self.enable.fill(C_UNKNOWN)
+        self.ack.fill(C_UNKNOWN)
+        self.value.fill(None)
+
+    def end_step(self) -> np.ndarray:
+        """Vectorized transfer scan; returns per-lane transfer counts.
+
+        Vectorized wires carry no control function, so raw and
+        committed coincide and the classic rule applies row-wide."""
+        if (self.data == D_UNKNOWN).any() or \
+                (self.enable == C_UNKNOWN).any() or \
+                (self.ack == C_UNKNOWN).any():
+            raise SimulationError(
+                "vectorized wire left unresolved; a registered vec "
+                "implementation failed to drive every index")
+        took = ((self.data == D_SOMETHING)
+                & (self.enable == C_ASSERTED)
+                & (self.ack == C_ASSERTED))
+        self.transfers += took
+        return took.sum(axis=0)
+
+    def scatter(self) -> None:
+        """Write the array state back onto the per-lane wire objects."""
+        for row, wires in enumerate(self.lane_wires):
+            data = self.data[row]
+            enable = self.enable[row]
+            ack = self.ack[row]
+            value = self.value[row]
+            transfers = self.transfers[row]
+            for lane, wire in enumerate(wires):
+                ds = DataStatus(int(data[lane]))
+                en = CtrlStatus(int(enable[lane]))
+                ak = CtrlStatus(int(ack[lane]))
+                val = value[lane] if ds is DataStatus.SOMETHING else None
+                wire.data_status = ds
+                wire.data_value = val
+                wire.raw_data_status = ds
+                wire.raw_data_value = val
+                wire.enable = en
+                wire.raw_enable = en
+                wire.ack = ak
+                wire.raw_ack = ak
+                wire.transfers = int(transfers[lane])
+
+
+class VecPortIndex:
+    """One (port, index) across all lanes: SoA row or scalar boundary.
+
+    Vectorized module implementations speak only this adapter.  On a
+    vectorizable wire the operations are row-wide array ops; on a
+    boundary wire they loop the lanes through the real ``Wire`` drive
+    methods, so monotonicity checks, control functions, constant stubs
+    and the lanes' ``_unknown`` accounting all keep working.
+    """
+
+    __slots__ = ("vw", "row", "wires", "lanes")
+
+    def __init__(self, vw: Optional[VecWires], row: Optional[int],
+                 wires: Optional[List[Any]], lanes: int):
+        self.vw = vw
+        self.row = row
+        self.wires = wires
+        self.lanes = lanes
+
+    @property
+    def is_vec(self) -> bool:
+        return self.row is not None
+
+    # -- source-side writes ------------------------------------------------
+    def send_masked(self, mask: np.ndarray, values: np.ndarray) -> None:
+        """``send(value)`` where mask, ``send_nothing()`` elsewhere."""
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            vw.data[row] = np.where(mask, D_SOMETHING, D_NOTHING)
+            vw.value[row] = np.where(mask, values, None)
+            vw.enable[row] = np.where(mask, C_ASSERTED, C_DEASSERTED)
+            return
+        for lane, wire in enumerate(self.wires):
+            if mask[lane]:
+                wire.drive_data(DataStatus.SOMETHING, values[lane])
+                wire.drive_enable(True)
+            else:
+                wire.drive_data(DataStatus.NOTHING)
+                wire.drive_enable(False)
+
+    # -- destination-side writes -------------------------------------------
+    def set_ack_masked(self, mask: np.ndarray) -> None:
+        if self.row is not None:
+            self.vw.ack[self.row] = np.where(mask, C_ASSERTED, C_DEASSERTED)
+            return
+        for lane, wire in enumerate(self.wires):
+            wire.drive_ack(bool(mask[lane]))
+
+    # -- update-phase reads ------------------------------------------------
+    def _took_vec(self) -> np.ndarray:
+        vw = self.vw
+        row = self.row
+        return ((vw.data[row] == D_SOMETHING)
+                & (vw.enable[row] == C_ASSERTED)
+                & (vw.ack[row] == C_ASSERTED))
+
+    def took_src(self) -> np.ndarray:
+        if self.row is not None:
+            return self._took_vec()
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = wire.took_src()
+        return out
+
+    def took_dst(self) -> np.ndarray:
+        if self.row is not None:
+            return self._took_vec()
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = wire.took_dst()
+        return out
+
+    def present(self) -> np.ndarray:
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            return ((vw.data[row] == D_SOMETHING)
+                    & (vw.enable[row] == C_ASSERTED))
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = (wire.data_status is DataStatus.SOMETHING
+                         and wire.enable is CtrlStatus.ASSERTED)
+        return out
+
+    def values(self) -> np.ndarray:
+        """Per-lane committed data values (None where no datum)."""
+        if self.row is not None:
+            return self.vw.value[self.row]
+        out = np.empty(self.lanes, object)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = wire.data_value
+        return out
+
+
+class VecModuleContext:
+    """What one vectorized instance's implementation gets to work with."""
+
+    __slots__ = ("path", "insts", "ports", "stats", "lanes")
+
+    def __init__(self, path: str, insts: List[Any],
+                 ports: Dict[str, List[VecPortIndex]], stats: VecStats):
+        self.path = path
+        self.insts = insts
+        self.ports = ports
+        self.stats = stats
+        self.lanes = len(insts)
+
+    def lane_rng(self, attr: str = "rng") -> LaneRng:
+        """A :class:`LaneRng` bank over the instances' own generators."""
+        return LaneRng([getattr(inst, attr) for inst in self.insts])
+
+
+# ----------------------------------------------------------------------
+# Vec-implementation registry
+# ----------------------------------------------------------------------
+#: Exact template class -> implementation class.  Exact-type keyed so a
+#: subclass with an overridden react() is never wrongly vectorized.
+_VEC_IMPLS: Dict[type, type] = {}
+_BUILTINS_LOADED = False
+
+
+def register_vec_impl(module_cls: type):
+    """Class decorator registering a vectorized implementation.
+
+    The implementation class must provide ``supports(insts)`` (a
+    classmethod deciding whether the per-lane instances' parameter
+    bindings are vectorizable), ``__init__(ctx)``, ``gather()``,
+    ``react()``, ``update(now)`` and ``sync_out()``.
+    """
+    def decorate(impl_cls: type) -> type:
+        _VEC_IMPLS[module_cls] = impl_cls
+        return impl_cls
+    return decorate
+
+
+def vec_impl_for(module_cls: type) -> Optional[type]:
+    """The registered implementation for ``module_cls`` (exact match)."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        # Built-in implementations live with the modules they shadow;
+        # imported lazily so the core never depends on the PCL layer.
+        import importlib
+        importlib.import_module("repro.pcl.vec")
+    return _VEC_IMPLS.get(module_cls)
+
+
+# ----------------------------------------------------------------------
+# The compile-time plan
+# ----------------------------------------------------------------------
+class VecPlan:
+    """The feature-detected vectorization plan for one batch.
+
+    ``entry_ops`` parallels the schedule: ``("vec", k)`` runs the k-th
+    vectorized react, ``("skip",)`` is a later entry of an already-run
+    vec instance, ``("cluster",)`` iterates the per-lane cluster, and
+    ``("scalar",)`` runs the lanes' flat react list for the entry.
+    """
+
+    __slots__ = ("vw", "impls", "stats", "entry_ops", "vec_paths",
+                 "wire_positions")
+
+    def __init__(self, vw: VecWires, impls: List[Any], stats: VecStats,
+                 entry_ops: List[tuple], vec_paths: set,
+                 wire_positions: List[int]):
+        self.vw = vw
+        self.impls = impls
+        self.stats = stats
+        self.entry_ops = entry_ops
+        self.vec_paths = vec_paths
+        self.wire_positions = wire_positions
+
+    @property
+    def n_wires(self) -> int:
+        return len(self.wire_positions)
+
+    def lane_wire_objects(self, lane: int) -> List[Any]:
+        """This lane's Wire objects shadowed by the SoA planes."""
+        return [wires[lane] for wires in self.vw.lane_wires]
+
+    def gather(self) -> None:
+        self.vw.gather()
+        for impl in self.impls:
+            impl.gather()
+
+    def scatter_state(self) -> None:
+        """Write wire and module state back to the lanes (mid-step safe:
+        statistics stay accumulated until :meth:`flush_stats`)."""
+        self.vw.scatter()
+        for impl in self.impls:
+            impl.sync_out()
+
+    def flush_stats(self, lane_sims: Sequence) -> None:
+        self.stats.flush(lane_sims)
+
+
+def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
+    """Feature-detect what vectorizes for this batch; None if nothing.
+
+    ``lanes`` are the batch's per-lane simulators, ``schedule`` the
+    shared-shape static schedule (lane 0's copy).  Purely structural +
+    parameter checks — no simulation state is read, so the plan can be
+    rebuilt whenever instrumentation changes.
+    """
+    n_lanes = len(lanes)
+    design0 = lanes[0].design
+
+    cluster_paths = set()
+    for entry in schedule:
+        if entry.cluster:
+            for inst in entry.instances:
+                cluster_paths.add(inst.path)
+
+    candidates: Dict[str, type] = {}
+    for path, inst0 in design0.leaves.items():
+        cls = type(inst0)
+        impl_cls = vec_impl_for(cls)
+        if impl_cls is None or path in cluster_paths:
+            continue
+        insts = [lane.design.leaves[path] for lane in lanes]
+        if any(type(inst) is not cls for inst in insts):
+            continue
+        if any(inst.deps() != {} for inst in insts):
+            continue
+        if not impl_cls.supports(insts):
+            continue
+        candidates[path] = impl_cls
+
+    if not candidates:
+        return None
+
+    # Wires each instance touches, by structural position.
+    touching: Dict[str, List[int]] = {}
+    for pos, wire in enumerate(design0.wires):
+        for endpoint in (wire.src, wire.dst):
+            if endpoint is not None:
+                touching.setdefault(endpoint.instance.path, []).append(pos)
+
+    def wire_vectorizes(pos: int, vec_paths: set) -> bool:
+        wire = design0.wires[pos]
+        if wire.src is None or wire.dst is None or wire.control is not None:
+            return False
+        if wire.src.instance.path not in vec_paths \
+                or wire.dst.instance.path not in vec_paths:
+            return False
+        return not any(lane.design.wires[pos].watched for lane in lanes)
+
+    # Fixed point: demoting an all-boundary instance turns its wires
+    # scalar, which can strand a neighbour with no vec wires either.
+    vec_paths = set(candidates)
+    while True:
+        vec_positions = {pos for pos in range(len(design0.wires))
+                         if wire_vectorizes(pos, vec_paths)}
+        stranded = {path for path in vec_paths
+                    if not any(pos in vec_positions
+                               for pos in touching.get(path, ()))}
+        if not stranded:
+            break
+        vec_paths -= stranded
+
+    if not vec_paths or not vec_positions:
+        return None
+
+    wire_positions = sorted(vec_positions)
+    lane_wires = [[lane.design.wires[pos] for lane in lanes]
+                  for pos in wire_positions]
+    vw = VecWires(lane_wires)
+    row_by_id = {id(design0.wires[pos]): row
+                 for row, pos in enumerate(wire_positions)}
+    stats = VecStats(n_lanes)
+
+    impl_by_path: Dict[str, Any] = {}
+    for path in sorted(vec_paths):
+        inst0 = design0.leaves[path]
+        insts = [lane.design.leaves[path] for lane in lanes]
+        ports: Dict[str, List[VecPortIndex]] = {}
+        for port_name, view0 in inst0.ports.items():
+            indices: List[VecPortIndex] = []
+            for idx, wire0 in enumerate(view0.wires):
+                row = row_by_id.get(id(wire0))
+                if row is not None:
+                    indices.append(VecPortIndex(vw, row, None, n_lanes))
+                else:
+                    per_lane = [lane.design.leaves[path].ports[port_name]
+                                .wires[idx] for lane in lanes]
+                    indices.append(VecPortIndex(None, None, per_lane,
+                                                n_lanes))
+            ports[port_name] = indices
+        ctx = VecModuleContext(path, insts, ports, stats)
+        impl_by_path[path] = candidates[path](ctx)
+
+    # Schedule mapping: a vec instance's whole react runs at its first
+    # schedule occurrence (Moore outputs never read inputs, so running
+    # the later groups early is monotone-safe); later entries no-op.
+    impls: List[Any] = []
+    seen: Dict[str, int] = {}
+    entry_ops: List[tuple] = []
+    for entry in schedule:
+        if entry.cluster:
+            entry_ops.append(("cluster",))
+            continue
+        path = entry.instances[0].path
+        if path not in vec_paths:
+            entry_ops.append(("scalar",))
+        elif path in seen:
+            entry_ops.append(("skip",))
+        else:
+            seen[path] = len(impls)
+            entry_ops.append(("vec", len(impls)))
+            impls.append(impl_by_path[path])
+
+    return VecPlan(vw, impls, stats, entry_ops, vec_paths, wire_positions)

@@ -6,7 +6,10 @@ text), and the execution envelope.  The coordinator *plans* a job into
 *shards*: groups of structurally identical points (same design
 fingerprint, the ``Campaign(batch=True)`` grouping, shared via
 :func:`repro.campaign.fingerprint_groups`) that one worker executes as
-a single lockstep :class:`~repro.core.batched.BatchedSimulator` task.
+a single lockstep batched-simulator task — by default the vectorized
+``batched-vec`` backend, overridable via ``REPRO_BATCH_ENGINE`` (the
+routing lives in the campaign executor's batch task path, so fabric
+shards and local ``Campaign(batch=True)`` runs always agree).
 Points whose spec fails to build in the planner become singleton
 *serial* shards, so a poisoned point never sinks its group and the
 worker reports the build failure with full context.

@@ -1,0 +1,285 @@
+"""Vectorized implementations of the stock PCL modules.
+
+Each class here shadows one template from the parts catalog inside the
+``batched-vec`` backend: it re-expresses the template's ``react`` /
+``update`` bodies as ``(lanes,)``-wide array operations over
+:class:`~repro.core.vec.VecPortIndex` adapters, while keeping the
+module instances themselves the source of truth between runs
+(``gather`` reads their state in, ``sync_out`` writes it back).
+
+The golden rule is *bit identity*: every statistic increment, every
+RNG draw, and every pending/queue mutation must happen for exactly the
+lanes, in exactly the per-index order, that the scalar template's
+Python body would produce.  Where the scalar body draws conditionally
+(Source plans only unfilled indices) the vec body draws through a
+masked :class:`~repro.core.vec.LaneRng`; where it draws unconditionally
+(Sink redraws every index every cycle) the vec body draws every lane.
+``supports`` rejects any parameter binding whose behaviour the array
+form cannot reproduce exactly (callable payloads/policies, custom
+generators, value recording) — those instances simply stay on the
+scalar lockstep path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.vec import VecModuleContext, register_vec_impl
+from .queue import Queue
+from .sink import Sink
+from .source import Source
+
+_VEC_SOURCE_PATTERNS = ("always", "bernoulli", "periodic", "counter")
+_VEC_SINK_MODES = ("always", "never", "bernoulli")
+
+
+def _uniform(insts: Sequence, key: str):
+    """The shared value of parameter ``key``, or None if lanes differ."""
+    first = insts[0].p[key]
+    for inst in insts[1:]:
+        if inst.p[key] != first:
+            return None
+    return first
+
+
+@register_vec_impl(Source)
+class VecSource:
+    """Array form of :class:`repro.pcl.source.Source`.
+
+    Supports the stateless-payload patterns; ``list``/``custom``
+    patterns, callable payloads, and None payloads (idle markers the
+    pending mask could not distinguish) stay scalar.
+    """
+
+    @classmethod
+    def supports(cls, insts: Sequence) -> bool:
+        pattern = _uniform(insts, "pattern")
+        if pattern not in _VEC_SOURCE_PATTERNS:
+            return False
+        if pattern != "counter":
+            for inst in insts:
+                payload = inst.p["payload"]
+                if payload is None or callable(payload):
+                    return False
+        return True
+
+    def __init__(self, ctx: VecModuleContext):
+        self.ctx = ctx
+        self.out = ctx.ports["out"]
+        self.width = len(self.out)
+        self.pattern = ctx.insts[0].p["pattern"]
+        self.rng = None
+
+    def gather(self) -> None:
+        ctx = self.ctx
+        insts = ctx.insts
+        lanes = ctx.lanes
+        self.payload = np.empty(lanes, object)
+        for lane, inst in enumerate(insts):
+            self.payload[lane] = inst.p["payload"]
+        self.rate = np.array([inst.p["rate"] for inst in insts], float)
+        self.period = np.array([inst.p["period"] for inst in insts],
+                               np.int64)
+        self.blocking = np.array([bool(inst.p["blocking"])
+                                  for inst in insts], bool)
+        self.counter = np.array([inst._counter for inst in insts], np.int64)
+        self.pend = np.empty((self.width, lanes), object)
+        self.has = np.zeros((self.width, lanes), bool)
+        for lane, inst in enumerate(insts):
+            for i, value in enumerate(inst._pending):
+                self.pend[i, lane] = value
+                self.has[i, lane] = value is not None
+        # A fresh bank over the live per-instance generators: rebuilt
+        # every run so an interleaved load_state_dict (which replaces
+        # the generator state wholesale) is always honoured.
+        self.rng = ctx.lane_rng() if self.pattern == "bernoulli" else None
+
+    def react(self) -> None:
+        for i, port in enumerate(self.out):
+            port.send_masked(self.has[i], self.pend[i])
+
+    def update(self, now: int) -> None:
+        stats = self.ctx.stats
+        path = self.ctx.path
+        for i, port in enumerate(self.out):
+            has = self.has[i]
+            took = port.took_src()
+            stats.add(path, "offered", has)
+            emitted = has & took
+            stats.add(path, "emitted", emitted)
+            dropped = has & ~took & ~self.blocking
+            stats.add(path, "dropped", dropped)
+            cleared = emitted | dropped
+            self.pend[i][cleared] = None
+            has[cleared] = False
+        self._plan(now + 1)
+
+    def _plan(self, now: int) -> None:
+        for i in range(self.width):
+            need = ~self.has[i]
+            if not need.any():
+                continue
+            if self.pattern == "counter":
+                for lane in np.nonzero(need)[0]:
+                    self.pend[i, lane] = int(self.counter[lane])
+                self.counter[need] += 1
+                self.has[i][need] = True
+                continue
+            if self.pattern == "always":
+                emit = need
+            elif self.pattern == "bernoulli":
+                draws = self.rng.random(need)
+                emit = need & (draws < self.rate)
+            else:  # periodic
+                emit = need & (now % self.period == 0)
+            lanes = np.nonzero(emit)[0]
+            self.pend[i][lanes] = self.payload[lanes]
+            self.has[i][emit] = True
+
+    def sync_out(self) -> None:
+        for lane, inst in enumerate(self.ctx.insts):
+            inst._pending = [
+                self.pend[i, lane] if self.has[i, lane] else None
+                for i in range(self.width)]
+            inst._counter = int(self.counter[lane])
+        if self.rng is not None:
+            self.rng.sync_out()
+
+
+@register_vec_impl(Sink)
+class VecSink:
+    """Array form of :class:`repro.pcl.sink.Sink`.
+
+    Custom policies, consume callbacks and value recording stay scalar.
+    """
+
+    @classmethod
+    def supports(cls, insts: Sequence) -> bool:
+        mode = _uniform(insts, "accept")
+        if mode not in _VEC_SINK_MODES:
+            return False
+        return all(inst.p["policy"] is None
+                   and inst.p["on_consume"] is None
+                   and not inst.p["record_values"] for inst in insts)
+
+    def __init__(self, ctx: VecModuleContext):
+        self.ctx = ctx
+        self.inp = ctx.ports["in"]
+        self.width = len(self.inp)
+        self.mode = ctx.insts[0].p["accept"]
+        self.rng = None
+
+    def gather(self) -> None:
+        ctx = self.ctx
+        insts = ctx.insts
+        self.rate = np.array([inst.p["rate"] for inst in insts], float)
+        self.accepts = np.zeros((self.width, ctx.lanes), bool)
+        for lane, inst in enumerate(insts):
+            for i, flag in enumerate(inst._accepts):
+                self.accepts[i, lane] = flag
+        self.rng = ctx.lane_rng() if self.mode == "bernoulli" else None
+
+    def react(self) -> None:
+        for i, port in enumerate(self.inp):
+            port.set_ack_masked(self.accepts[i])
+
+    def update(self, now: int) -> None:
+        stats = self.ctx.stats
+        path = self.ctx.path
+        for i, port in enumerate(self.inp):
+            took = port.took_dst()
+            stats.add(path, "consumed", took)
+            refused = port.present() & ~self.accepts[i] & ~took
+            stats.add(path, "refused", refused)
+        self._draw(now + 1)
+
+    def _draw(self, now: int) -> None:
+        for i in range(self.width):
+            if self.mode == "always":
+                self.accepts[i].fill(True)
+            elif self.mode == "never":
+                self.accepts[i].fill(False)
+            else:  # bernoulli draws every lane, every index, every cycle
+                self.accepts[i] = self.rng.random() < self.rate
+
+    def sync_out(self) -> None:
+        for lane, inst in enumerate(self.ctx.insts):
+            inst._accepts = [bool(self.accepts[i, lane])
+                             for i in range(self.width)]
+        if self.rng is not None:
+            self.rng.sync_out()
+
+
+@register_vec_impl(Queue)
+class VecQueue:
+    """Array form of :class:`repro.pcl.queue.Queue` (single FIFO head).
+
+    The buffer is a left-justified ``(lanes, max_depth)`` object array;
+    multi-head queues (``out`` width > 1) and occupancy sampling stay
+    scalar.
+    """
+
+    @classmethod
+    def supports(cls, insts: Sequence) -> bool:
+        if insts[0].port("out").width != 1:
+            return False
+        return not any(inst.p["sample_occupancy"] for inst in insts)
+
+    def __init__(self, ctx: VecModuleContext):
+        self.ctx = ctx
+        self.inp = ctx.ports["in"]
+        self.out = ctx.ports["out"]
+        self.in_width = len(self.inp)
+
+    def gather(self) -> None:
+        insts = self.ctx.insts
+        lanes = self.ctx.lanes
+        self.depth = np.array([inst.p["depth"] for inst in insts], np.int64)
+        cap = int(self.depth.max())
+        self.buf = np.empty((lanes, cap), object)
+        self.buf.fill(None)
+        self.count = np.zeros(lanes, np.int64)
+        for lane, inst in enumerate(insts):
+            items = list(inst.items)
+            self.count[lane] = len(items)
+            for k, value in enumerate(items):
+                self.buf[lane, k] = value
+
+    def react(self) -> None:
+        free = self.depth - self.count
+        for i, port in enumerate(self.inp):
+            port.set_ack_masked(free > i)
+        self.out[0].send_masked(self.count > 0, self.buf[:, 0])
+
+    def update(self, now: int) -> None:
+        stats = self.ctx.stats
+        path = self.ctx.path
+        # Heads leave first (the scalar body deletes accepted heads
+        # before enqueueing), freeing their slot for this cycle's tail.
+        took_out = self.out[0].took_src() & (self.count > 0)
+        idx = np.nonzero(took_out)[0]
+        if idx.size:
+            self.buf[idx, :-1] = self.buf[idx, 1:]
+            self.buf[idx, -1] = None
+            self.count[idx] -= 1
+        stats.add(path, "dequeued", took_out)
+        for i, port in enumerate(self.inp):
+            took = port.took_dst()
+            jdx = np.nonzero(took)[0]
+            if jdx.size:
+                values = port.values()
+                self.buf[jdx, self.count[jdx]] = values[jdx]
+                self.count[jdx] += 1
+            stats.add(path, "enqueued", took)
+            stats.add(path, "full_stalls", port.present() & ~took)
+
+    def sync_out(self) -> None:
+        for lane, inst in enumerate(self.ctx.insts):
+            inst.items = deque(self.buf[lane, k]
+                               for k in range(int(self.count[lane])))
+
+
+__all__: List[str] = ["VecSource", "VecSink", "VecQueue"]

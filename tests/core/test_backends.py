@@ -16,7 +16,7 @@ from ..conftest import simple_pipe_spec
 class TestRegistry:
     def test_builtins_registered(self):
         assert engine_names() == ("worklist", "levelized", "codegen",
-                                  "batched")
+                                  "batched", "batched-vec")
 
     def test_resolution_is_lazy_then_cached(self):
         backend = get_backend("levelized")

@@ -1,0 +1,407 @@
+"""Differential tests for the vectorized batched backend.
+
+Same acceptance bar as the scalar batched backend, one notch harder:
+per-lane results from :class:`VectorizedBatchedSimulator` must be
+**bit-identical** to standalone :class:`LevelizedSimulator` runs of the
+same designs and seeds — whether a signal resolved through the numpy
+structure-of-arrays fast path or through the per-wire scalar fallback
+(probed wires, unsupported parameter bindings, mixed patterns).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LSS, build_design, build_simulator
+from repro.core.backends import resolve_engine
+from repro.core.batched import BatchedSimulator
+from repro.core.batched_vec import VectorizedBatchedSimulator
+from repro.core.optimize import LevelizedSimulator
+from repro.core.vec import LaneRng
+from repro.pcl import Queue, Sink, Source
+from repro.systems.fig2a import build_fig2a_cmp
+from repro.systems.fig2b import build_fig2b_sensors
+from repro.systems.fig2c import build_fig2c_grid
+from repro.systems.fig2d import build_fig2d
+
+from ..conftest import simple_pipe_spec
+
+
+def _pipe_design(rate=0.5, depth=4):
+    return build_design(simple_pipe_spec(depth=depth, rate=rate))
+
+
+def _vec_pipe_spec(rate=0.5, sink_rate=1.0, depth=4):
+    """A pipe whose every instance vectorizes (uniform patterns)."""
+    spec = LSS("vecpipe")
+    src = spec.instance("src", Source, pattern="bernoulli", rate=rate,
+                        payload=1, seed=3)
+    q = spec.instance("q", Queue, depth=depth)
+    if sink_rate >= 1.0:
+        snk = spec.instance("snk", Sink)
+    else:
+        snk = spec.instance("snk", Sink, accept="bernoulli",
+                            rate=sink_rate, seed=7)
+    spec.connect(src.port("out"), q.port("in"))
+    spec.connect(q.port("out"), snk.port("in"))
+    return spec
+
+
+def _observe(sim):
+    return {"now": sim.now, "transfers": sim.transfers_total,
+            "relaxations": sim.relaxations_total,
+            "fallback": sim.fallback_steps,
+            "report": sim.stats.report(),
+            "wires": [w.transfers for w in sim.design.wires]}
+
+
+def _solo_run(design, seed, cycles):
+    sim = LevelizedSimulator(design, seed=seed)
+    sim.run(cycles)
+    observed = _observe(sim)
+    sim.close()
+    return observed
+
+
+class TestLaneBitIdentity:
+    """Vectorized lanes reproduce standalone levelized runs bit for bit."""
+
+    def _differential(self, make_design, variants, cycles, base_seed,
+                      expect_vec=None):
+        designs = [make_design(v) for v in variants]
+        seeds = [base_seed + i for i in range(len(variants))]
+        batch = VectorizedBatchedSimulator(designs, seeds=seeds)
+        batch.run(cycles)
+        if expect_vec is not None:
+            active = batch.vec_plan is not None
+            assert active == expect_vec, (
+                f"expected vectorization {'on' if expect_vec else 'off'}, "
+                f"plan={batch.vec_plan!r}")
+        lanes = [_observe(batch.lane(i)) for i in range(len(variants))]
+        batch.close()
+        for i, v in enumerate(variants):
+            solo = _solo_run(make_design(v), seeds[i], cycles)
+            assert lanes[i] == solo, f"lane {i} (variant {v!r}) diverged"
+
+    def test_fully_vectorized_pipe_sweep(self):
+        self._differential(
+            lambda r: build_design(_vec_pipe_spec(rate=r, sink_rate=0.8)),
+            [0.2, 0.4, 0.6, 0.8], cycles=150, base_seed=5, expect_vec=True)
+
+    def test_mixed_pattern_batch_demotes_source(self):
+        # rate >= 1.0 switches the conftest pipe's source to a counter
+        # pattern; the mixed-pattern lane set must demote the source to
+        # the scalar path (patterns differ across lanes) while queue and
+        # sink stay vectorized — and stay bit-identical throughout.
+        self._differential(lambda r: _pipe_design(rate=r),
+                           [0.4, 0.8, 1.0], cycles=150, base_seed=5,
+                           expect_vec=True)
+
+    def test_counter_source_batch(self):
+        self._differential(lambda d: _pipe_design(rate=1.0, depth=d),
+                           [1, 2, 4], cycles=100, base_seed=2,
+                           expect_vec=True)
+
+    def test_fig2a_batch(self):
+        def make(_):
+            spec, _info = build_fig2a_cmp(width=2, height=2)
+            return build_design(spec)
+        self._differential(make, [0, 1, 2], cycles=60, base_seed=11)
+
+    def test_fig2b_batch(self):
+        def make(loss):
+            spec, _info = build_fig2b_sensors(n_nodes=3, loss=loss, seed=2)
+            return build_design(spec)
+        self._differential(make, [0.0, 0.1, 0.3], cycles=80, base_seed=13)
+
+    def test_fig2c_batch(self):
+        def make(k_words):
+            spec, _info = build_fig2c_grid(n_nodes=4, k_words=k_words)
+            return build_design(spec)
+        self._differential(make, [2, 4, 8], cycles=120, base_seed=17)
+
+    def test_fig2d_batch(self):
+        def make(every):
+            spec, _info = build_fig2d(n_sensors=2, backend="detailed",
+                                      aggregate_every=every)
+            return build_design(spec)
+        self._differential(make, [2, 4, 8], cycles=60, base_seed=3)
+
+    def test_batch_of_one_is_drop_in(self):
+        design = build_design(_vec_pipe_spec())
+        batch = VectorizedBatchedSimulator(design, seed=9)
+        batch.run(100)
+        assert batch.batch_size == 1
+        solo = _solo_run(build_design(_vec_pipe_spec()), 9, 100)
+        assert _observe(batch) == solo
+        assert batch.stats.counter("snk", "consumed") > 0
+        batch.close()
+
+    def test_matches_scalar_batched_backend(self):
+        designs = [build_design(_vec_pipe_spec(rate=r)) for r in (0.3, 0.7)]
+        vec = VectorizedBatchedSimulator(designs, seeds=[1, 2])
+        vec.run(120)
+        vec_lanes = [_observe(vec.lane(i)) for i in range(2)]
+        vec.close()
+        scalar = BatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in (0.3, 0.7)],
+            seeds=[1, 2])
+        scalar.run(120)
+        assert [_observe(scalar.lane(i)) for i in range(2)] == vec_lanes
+        scalar.close()
+
+
+class TestScalarFallbackPaths:
+    """Per-wire and wholesale demotion to the scalar lockstep path."""
+
+    def test_probe_attached_mid_run_demotes_wire(self):
+        variants = (0.3, 0.7)
+        batch = VectorizedBatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in variants],
+            seeds=[1, 2])
+        batch.run(40)
+        n_vec_before = batch.vec_plan.n_wires
+        probes = [batch.lane(i).probe_between("src", "out", "q", "in")
+                  for i in range(2)]
+        batch.run(80)
+        # The watched wire left the plan; the q->snk wire stays
+        # vectorized (and the stranded source dropped to scalar).
+        plan = batch.vec_plan
+        assert plan is not None and plan.n_wires == n_vec_before - 1
+        assert "src" not in plan.vec_paths
+        lanes = [_observe(batch.lane(i)) for i in range(2)]
+        logs = [probe.log for probe in probes]
+        batch.close()
+        # Solo reference with the probe attached at the same timestep.
+        for i, rate in enumerate(variants):
+            sim = LevelizedSimulator(build_design(_vec_pipe_spec(rate=rate)),
+                                     seed=1 + i)
+            sim.run(40)
+            probe = sim.probe_between("src", "out", "q", "in")
+            sim.run(80)
+            assert _observe(sim) == lanes[i]
+            assert probe.log == logs[i], f"lane {i} probe log diverged"
+            sim.close()
+
+    def test_probe_before_first_run(self):
+        batch = VectorizedBatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in (0.3, 0.7)],
+            seeds=[4, 5])
+        probe = batch.lane(0).probe_between("q", "out", "snk", "in")
+        batch.run(100)
+        assert batch.vec_plan is not None
+        assert probe.count == batch.lane(0).design.wire_between(
+            "q", "out", "snk", "in").transfers
+        batch.close()
+
+    def test_profiler_forces_scalar_execution(self):
+        from repro.obs import Profiler
+        batch = VectorizedBatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in (0.5, 0.5)],
+            seeds=[2, 3])
+        profilers = [Profiler(batch.lane(i), sample_every=2)
+                     for i in range(2)]
+        batch.run(80)
+        assert batch.vec_plan is None  # profiler needs per-react timing
+        for prof in profilers:
+            assert prof.summary_dict(top=5)["steps"] == 80
+        batch.close()
+
+    def test_repro_vec_env_disables_vectorization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VEC", "0")
+        designs = [build_design(_vec_pipe_spec(rate=r)) for r in (0.2, 0.9)]
+        batch = VectorizedBatchedSimulator(designs, seeds=[1, 2])
+        batch.run(60)
+        assert batch.vec_plan is None
+        lanes = [_observe(batch.lane(i)) for i in range(2)]
+        batch.close()
+        for i, rate in enumerate((0.2, 0.9)):
+            assert lanes[i] == _solo_run(
+                build_design(_vec_pipe_spec(rate=rate)), 1 + i, 60)
+
+    def test_unsupported_bindings_stay_scalar(self):
+        # Callable payloads cannot vectorize: the whole source demotes,
+        # the downstream queue/sink still can.
+        def make():
+            spec = LSS("cbpipe")
+            src = spec.instance("src", Source, pattern="always",
+                                payload=lambda now, i: now * 10 + i)
+            q = spec.instance("q", Queue, depth=2)
+            snk = spec.instance("snk", Sink, accept="bernoulli", rate=0.6,
+                                seed=5)
+            spec.connect(src.port("out"), q.port("in"))
+            spec.connect(q.port("out"), snk.port("in"))
+            return build_design(spec)
+        batch = VectorizedBatchedSimulator([make(), make()], seeds=[1, 2])
+        batch.run(90)
+        plan = batch.vec_plan
+        assert plan is not None and "src" not in plan.vec_paths
+        lanes = [_observe(batch.lane(i)) for i in range(2)]
+        batch.close()
+        for i in range(2):
+            assert lanes[i] == _solo_run(make(), 1 + i, 90)
+
+
+class TestStatePreservation:
+    def test_state_dict_roundtrip_across_backends(self):
+        # vec -> scalar and scalar -> vec: a checkpoint taken on one
+        # batched backend restores onto the other and continues to the
+        # same final state, bit for bit.
+        rates = (0.3, 0.7)
+
+        def designs():
+            return [build_design(_vec_pipe_spec(rate=r)) for r in rates]
+
+        vec = VectorizedBatchedSimulator(designs(), seeds=[4, 5])
+        vec.run(60)
+        snapshot = vec.state_dict()
+        assert snapshot["batched"] and len(snapshot["lanes"]) == 2
+        vec.run(60)
+        final = [_observe(vec.lane(i)) for i in range(2)]
+        vec.close()
+
+        scalar = BatchedSimulator(designs(), seeds=[4, 5])
+        scalar.load_state_dict(snapshot)
+        scalar.run(60)
+        assert [_observe(scalar.lane(i)) for i in range(2)] == final
+        snapshot2 = scalar.state_dict()
+        scalar.close()
+
+        vec2 = VectorizedBatchedSimulator(designs(), seeds=[4, 5])
+        vec2.load_state_dict(snapshot2)
+        assert [_observe(vec2.lane(i)) for i in range(2)] == final
+        vec2.run(30)
+        reference = BatchedSimulator(designs(), seeds=[4, 5])
+        reference.load_state_dict(snapshot2)
+        reference.run(30)
+        assert ([_observe(vec2.lane(i)) for i in range(2)]
+                == [_observe(reference.lane(i)) for i in range(2)])
+        vec2.close()
+        reference.close()
+
+    def test_generated_vec_source_is_inspectable(self):
+        batch = VectorizedBatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in (0.2, 0.8)],
+            seeds=[1, 2])
+        batch.run(5)
+        source = batch.generated_vec_source
+        assert source is not None and "make_vec_stepper" in source
+        compile(source, "<check>", "exec")  # stays valid Python
+        batch.close()
+
+    def test_run_after_close_raises(self):
+        from repro import SimulationError
+        batch = VectorizedBatchedSimulator([_pipe_design()])
+        batch.close()
+        with pytest.raises(SimulationError, match="closed"):
+            batch.run(1)
+
+    def test_close_releases_designs(self):
+        design = build_design(_vec_pipe_spec())
+        with VectorizedBatchedSimulator(design) as batch:
+            batch.run(5)
+        assert design._owned is False
+
+
+class TestDelegationErrors:
+    """Satellite: __getattr__ must name the backend, not raise opaquely."""
+
+    def test_unknown_attribute_names_backend(self):
+        batch = BatchedSimulator([_pipe_design()])
+        with pytest.raises(AttributeError) as err:
+            batch.no_such_attribute
+        message = str(err.value)
+        assert "'batched'" in message and "no_such_attribute" in message
+        assert ".lane(i)" in message
+        batch.close()
+
+    def test_vec_backend_error_names_batched_vec(self):
+        batch = VectorizedBatchedSimulator([_pipe_design()])
+        with pytest.raises(AttributeError, match="batched-vec"):
+            batch.no_such_attribute
+        batch.close()
+
+    def test_private_names_never_delegate(self):
+        batch = BatchedSimulator([_pipe_design()])
+        with pytest.raises(AttributeError, match="private"):
+            batch._no_such_private
+        batch.close()
+
+
+class TestLaneRng:
+    """The RNG bank's draws must be bitwise-equal to scalar draws."""
+
+    def test_block_draw_matches_scalar_stream(self):
+        # numpy's Generator.random(n) produces the same stream as n
+        # scalar random() calls — the property the pre-drawn block
+        # relies on for bit identity.
+        a = np.random.default_rng(123)
+        b = np.random.default_rng(123)
+        assert list(a.random(700)) == [b.random() for _ in range(700)]
+
+    def test_masked_consumption_and_sync(self):
+        gens = [np.random.default_rng(s) for s in (1, 2, 3)]
+        reference = [np.random.default_rng(s) for s in (1, 2, 3)]
+        bank = LaneRng(gens, block=4)  # tiny block to force refills
+        consumed = [0, 0, 0]
+        masks = [np.array(m) for m in
+                 ([True, False, True], [True, True, False],
+                  [False, True, True], [True, True, True],
+                  [True, False, False], [True, True, True])]
+        for mask in masks:
+            draws = bank.random(mask)
+            for lane in range(3):
+                if mask[lane]:
+                    assert draws[lane] == reference[lane].random()
+                    consumed[lane] += 1
+        bank.sync_out()
+        # After sync, the live generators sit exactly where the scalar
+        # stream left them: the next draws agree.
+        for lane in range(3):
+            assert gens[lane].random() == reference[lane].random()
+
+    def test_unmasked_draw_covers_all_lanes(self):
+        gens = [np.random.default_rng(s) for s in (5, 6)]
+        reference = [np.random.default_rng(s) for s in (5, 6)]
+        bank = LaneRng(gens, block=8)
+        draws = bank.random()
+        assert [draws[0], draws[1]] == [g.random() for g in reference]
+        bank.sync_out()
+        assert [g.random() for g in gens] == [g.random() for g in reference]
+
+
+class TestBackendRegistration:
+    def test_registered_and_resolvable(self):
+        assert resolve_engine("batched-vec") is VectorizedBatchedSimulator
+
+    def test_build_simulator_routes_batch_of_one(self):
+        sim = build_simulator(_vec_pipe_spec(), engine="batched-vec")
+        try:
+            sim.run(50)
+            assert isinstance(sim, VectorizedBatchedSimulator)
+            assert sim.batch_size == 1
+            assert sim.stats.counter("snk", "consumed") > 0
+        finally:
+            sim.close()
+
+    def test_campaign_batch_engine_override(self, tmp_path, monkeypatch):
+        # The campaign executor's batch path defaults to batched-vec;
+        # REPRO_BATCH_ENGINE pins it back to the scalar batched backend
+        # — both must journal bit-identical per-lane results.
+        from repro.campaign import Campaign, GridSweep
+        from tests.campaign import _targets
+
+        def run(name):
+            return Campaign(
+                name, GridSweep({"depth": [2, 4], "rate": [0.4, 0.9]},
+                                base_seed=5),
+                target=_targets.build_pipe, kind="spec", cycles=60,
+                engine="levelized", workers=0, batch=True,
+                ledger_path=str(tmp_path / f"{name}.jsonl")).run()
+
+        vec_rows = run("vec").rows
+        monkeypatch.setenv("REPRO_BATCH_ENGINE", "batched")
+        scalar_rows = run("scalar").rows
+        assert [(r.run_id, r.result) for r in vec_rows] \
+            == [(r.run_id, r.result) for r in scalar_rows]
