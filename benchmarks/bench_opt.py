@@ -1,0 +1,129 @@
+"""OPT — IR optimizer pipeline: run-time win and compile-time cost.
+
+The optimizer's contract is asymmetric: it may spend bounded one-time
+compile effort (amortized away by the ``(fingerprint, opt_level)``
+cache) to buy steady-state stepping speed.  These benchmarks pin both
+sides on the Figure 2(d) system of systems:
+
+* ``--opt 2`` codegen must step at least **1.3x** faster than
+  unoptimized codegen (the acceptance criterion — the measured win on
+  this system is ~1.6x: level fusion collapses single-consumer levels
+  and dead-code parks the detached transmitter stub's wires);
+* a warm construction at ``--opt 2`` must skip the pass pipeline
+  entirely (``PIPELINE_RUNS`` stays put) — the optimized IR comes out
+  of the cache, so opt level costs nothing after the first build.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import compile_cache as cc
+from repro.core.codegen import CodegenSimulator
+from repro.core.constructor import build_design
+from repro.core.opt import pipeline as opt_pipeline
+from repro.core.optimize import LevelizedSimulator
+from repro.systems.fig2d import build_fig2d
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Sensor-tier width of the fig2d design under test.
+N_SENSORS = 8 if QUICK else 16
+#: Simulated timesteps per throughput round.
+RUN_CYCLES = 60 if QUICK else 200
+#: Timing rounds (min-of-N).
+ROUNDS = 5
+
+#: The acceptance floor for the opt-2 codegen speedup.
+MIN_SPEEDUP = 1.3
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    """A private, empty compile cache; restores the env default after."""
+    private = cc.configure(disk_dir=str(tmp_path / "repro-cache"))
+    yield private
+    cc.configure()
+
+
+def _fig2d_design():
+    spec, _ = build_fig2d(n_sensors=N_SENSORS, backend="detailed")
+    design = build_design(spec)
+    cc.design_fingerprint(design)
+    return design
+
+
+def _best_sps(design, opt) -> float:
+    """Min-of-ROUNDS steady-state steps/second at the given opt level."""
+    CodegenSimulator(design.copy(), opt=opt).close()  # warm the cache
+    best = float("inf")
+    for _ in range(ROUNDS):
+        sim = CodegenSimulator(design.copy(), seed=7, opt=opt)
+        t0 = time.perf_counter()
+        sim.run(RUN_CYCLES)
+        best = min(best, time.perf_counter() - t0)
+        sim.close()
+    return RUN_CYCLES / best
+
+
+@pytest.mark.parametrize("opt", [0, 2], ids=["opt0", "opt2"])
+def test_codegen_throughput(cache, opt, benchmark):
+    """Stepping rate of a warm-constructed codegen engine per opt level."""
+    design = _fig2d_design()
+    CodegenSimulator(design.copy(), opt=opt).close()
+    sim = CodegenSimulator(design.copy(), seed=7, opt=opt)
+    assert sim.opt_level == opt
+    benchmark.pedantic(sim.run, args=(RUN_CYCLES,), rounds=ROUNDS)
+    benchmark.extra_info["steps_per_second"] = (
+        RUN_CYCLES / benchmark.stats.stats.mean)
+    sim.close()
+
+
+def test_opt2_speedup_at_least_1_3x(cache):
+    """The acceptance criterion: --opt 2 codegen >= 1.3x unoptimized."""
+    design = _fig2d_design()
+    base = _best_sps(design, 0)
+    optimized = _best_sps(design, 2)
+    ratio = optimized / base
+    print(f"\n[OPT] codegen fig2d({N_SENSORS} sensors): "
+          f"opt0={base:.0f} steps/s, opt2={optimized:.0f} steps/s "
+          f"({ratio:.2f}x)")
+    assert ratio >= MIN_SPEEDUP, (
+        f"--opt 2 codegen only {ratio:.2f}x over unoptimized "
+        f"(opt0={base:.0f} steps/s, opt2={optimized:.0f} steps/s)")
+
+
+def test_warm_construction_skips_pipeline(cache, benchmark):
+    """Warm opt-2 constructions never re-run the pass pipeline."""
+    design = _fig2d_design()
+    LevelizedSimulator(design.copy(), opt=2).close()  # populate
+    runs_before = opt_pipeline.PIPELINE_RUNS
+
+    def construct():
+        sim = LevelizedSimulator(design.copy(), opt=2)
+        assert sim.compiled_from_cache
+        sim.close()
+
+    benchmark.pedantic(construct, rounds=ROUNDS, warmup_rounds=1)
+    assert opt_pipeline.PIPELINE_RUNS == runs_before, (
+        "warm opt-2 construction re-ran the optimizer pipeline")
+
+
+def test_optimized_cache_hit_bit_identical(cache):
+    """Cached optimized IR replays the exact cold-build behaviour."""
+    def run():
+        sim = CodegenSimulator(_fig2d_design().copy(), seed=7, opt=2)
+        from_cache = sim.compiled_from_cache
+        sim.run(RUN_CYCLES)
+        out = (sim.now, sim.transfers_total, sim.relaxations_total,
+               sim.stats.summary_dict())
+        sim.close()
+        return out, from_cache
+
+    cold, cold_hit = run()
+    warm, warm_hit = run()
+    assert not cold_hit and warm_hit
+    assert warm == cold

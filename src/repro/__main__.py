@@ -15,6 +15,9 @@ Subcommands::
                                  [--param k=v ...] [--format text|json]
                                  [--fail-on SEV] [--passes NAMES]
                                  [--explain-schedule] [--list-rules]
+    python -m repro opt [SPEC.lss | --builder PKG.MOD:FN]
+                                 [--param k=v ...] [--level {0,1,2}]
+                                 [--explain]
     python -m repro bench [--quick] [--select SUBSTR] [--json FILE]
                                  [--compare BASELINE] [--tolerance F]
                                  [--absolute] [--update-baseline FILE]
@@ -36,6 +39,11 @@ dump, and a Chrome trace-event timeline loadable at ui.perfetto.dev.
 (:mod:`repro.analysis`): connectivity lint, DEPS contract conformance,
 and MoC cycle analysis; ``--strict`` on ``run``/``campaign`` runs the
 same passes as a pre-flight and refuses to simulate on findings.
+``opt`` reports what the IR optimizer pipeline (:mod:`repro.core.opt`)
+does to a model at a given ``--level`` — per-pass schedule/react-call
+deltas with ``--explain`` — without simulating it; the ``--opt`` flag
+on ``run``/``profile``/``campaign``/``submit`` applies the same
+pipeline before execution.
 ``bench`` runs the ``benchmarks/`` suite, writes ``BENCH_<rev>.json``
 and guards against performance regressions (:mod:`repro.bench`).
 ``serve``/``submit``/``status``/``results``/``work`` are the
@@ -58,7 +66,7 @@ from .core.backends import engine_names
 from .core.errors import LibertyError
 from .core.visualize import activity_report, design_to_dot
 
-_SUBCOMMANDS = ("run", "campaign", "profile", "check", "bench",
+_SUBCOMMANDS = ("run", "campaign", "profile", "check", "opt", "bench",
                 "serve", "submit", "status", "results", "work")
 
 _ENGINES = engine_names()
@@ -71,6 +79,9 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
     parser.add_argument("--engine", default="levelized", choices=_ENGINES)
+    parser.add_argument("--opt", type=int, default=None, choices=(0, 1, 2),
+                        help="IR optimizer level (default: REPRO_OPT "
+                             "environment, else 0)")
     parser.add_argument("--stats", default="",
                         help="only print statistics under this path prefix")
     parser.add_argument("--dot", default=None,
@@ -113,6 +124,9 @@ def _add_profile_parser(subparsers) -> None:
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
     parser.add_argument("--engine", default="levelized", choices=_ENGINES)
+    parser.add_argument("--opt", type=int, default=None, choices=(0, 1, 2),
+                        help="IR optimizer level (default: REPRO_OPT "
+                             "environment, else 0)")
     parser.add_argument("--seed", type=int, default=None,
                         help="engine RNG seed")
     parser.add_argument("--sample", type=int, default=4, metavar="N",
@@ -127,6 +141,68 @@ def _add_profile_parser(subparsers) -> None:
                         help="write the structured metrics dump to FILE")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write a Chrome trace-event timeline to FILE")
+
+
+def _add_opt_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "opt",
+        help="report what the IR optimizer pipeline does to a model",
+        description="Run the repro.core.opt pass pipeline over a model "
+                    "and report the result without simulating: schedule "
+                    "entries and react calls per step before and after, "
+                    "parked wires, eliminated instances and inlined "
+                    "controls.  --explain prints the per-pass deltas.")
+    parser.add_argument("spec", nargs="?", default=None,
+                        help="path to the .lss specification "
+                             "(omit with --builder)")
+    parser.add_argument("--builder", default=None, metavar="PKG.MOD:FN",
+                        help="optimize the LSS returned by a builder "
+                             "callable instead of a .lss file")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="NAME=VALUE",
+                        help="keyword argument for --builder; repeatable")
+    parser.add_argument("--level", type=int, default=None, choices=(0, 1, 2),
+                        help="optimizer level to report (default: REPRO_OPT "
+                             "environment, else 2 — show the full pipeline)")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the per-pass report instead of the "
+                             "one-line summary")
+
+
+def _opt_command(args) -> int:
+    from .core.constructor import build_design
+    from .core.opt import OPT_ENV_VAR, resolve_opt_level
+    from .core.opt.pipeline import (explain_report, optimize_model,
+                                    react_calls)
+    spec = _profile_spec(args)
+    if args.level is not None:
+        level = args.level
+    elif os.environ.get(OPT_ENV_VAR, "").strip():
+        level = resolve_opt_level(None)
+    else:
+        level = 2
+    design = build_design(spec)
+    if args.explain:
+        print(explain_report(design, level))
+        return 0
+    if level <= 0:
+        print(f"# {design.name}: --opt 0, optimizer pipeline disabled")
+        return 0
+    from .core.optimize import build_schedule, build_signal_graph
+    graph = build_signal_graph(design)
+    before = build_schedule(design, graph=graph)
+    result = optimize_model(design, level=level, graph=graph,
+                            schedule=before)
+    block = result.block
+    print(f"# {design.name}: --opt {level}: "
+          f"schedule {len(before)}->{len(result.schedule)} entries, "
+          f"react calls/step {react_calls(before)}->"
+          f"{react_calls(result.schedule)}, "
+          f"{len(block['dead_instances'])} instance(s) eliminated, "
+          f"{len(block['dead_wires'])} dead + {len(block['static'])} "
+          f"static wire(s) parked, {len(block['controls'])} control(s) "
+          f"inlined  (--explain for per-pass deltas)")
+    return 0
 
 
 def _profile_spec(args):
@@ -162,7 +238,8 @@ def _profile_command(args) -> int:
         report_path = os.path.join(args.out, "report.txt")
         json_path = json_path or os.path.join(args.out, "metrics.json")
         trace_path = trace_path or os.path.join(args.out, "trace.json")
-    sim = build_simulator(spec, engine=args.engine, seed=args.seed)
+    sim = build_simulator(spec, engine=args.engine, seed=args.seed,
+                          opt=args.opt)
     prof = Profiler(sim, sample_every=args.sample,
                     trace=trace_path is not None)
     sim.run(args.cycles)
@@ -193,7 +270,8 @@ def _run_command(args) -> int:
     if args.strict:
         from .analysis import strict_preflight
         strict_preflight(spec)
-    sim = build_simulator(spec, engine=args.engine, seed=args.seed)
+    sim = build_simulator(spec, engine=args.engine, seed=args.seed,
+                          opt=args.opt)
     if args.dot:
         with open(args.dot, "w") as handle:
             handle.write(design_to_dot(sim.design))
@@ -209,7 +287,7 @@ def _run_command(args) -> int:
     if tracer is not None:
         tracer.close()
     print(f"# {spec.summary()}")
-    print(f"# engine={args.engine} cycles={sim.now} "
+    print(f"# engine={args.engine} opt={sim.opt_level} cycles={sim.now} "
           f"transfers={sim.transfers_total}")
     report = sim.stats.report(prefix=args.stats)
     if report:
@@ -244,6 +322,7 @@ def main(argv=None) -> int:
     _add_profile_parser(subparsers)
     from .analysis.cli import add_check_parser, run_check_command
     add_check_parser(subparsers)
+    _add_opt_parser(subparsers)
     from .bench import add_bench_parser, run_bench_command
     add_bench_parser(subparsers)
     from .fabric.cli import add_fabric_parsers
@@ -257,6 +336,8 @@ def main(argv=None) -> int:
             return _profile_command(args)
         if args.command == "check":
             return run_check_command(args)
+        if args.command == "opt":
+            return _opt_command(args)
         if args.command == "bench":
             return run_bench_command(args)
         if args.command in ("serve", "submit", "status", "results", "work"):

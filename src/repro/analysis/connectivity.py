@@ -47,6 +47,64 @@ from .diagnostics import Diagnostic, Severity
 from .passes import AnalysisContext, AnalysisPass, register_pass
 
 
+def dead_instance_paths(design) -> Tuple[List[str], List[str]]:
+    """The ``connectivity.dead-instance`` findings as reusable data.
+
+    Returns ``(isolated, unreachable)``: instances with no real wires
+    at all (amid other wiring), and instances whose outputs cannot
+    reach any consuming endpoint on the instance-graph condensation.
+    This is the single source of truth for the dead-instance
+    semantics — :class:`ConnectivityPass` renders it as diagnostics and
+    the optimizer's dead-code pass
+    (:mod:`repro.core.opt.passes.dead_code`) consumes it for
+    elimination, so ``repro check`` findings and ``--opt 2``
+    eliminations agree by construction.
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(design.leaves)
+    for wire in design.real_wires:
+        graph.add_edge(wire.src.instance.path, wire.dst.instance.path)
+
+    isolated = [p for p in design.leaves
+                if graph.in_degree(p) == 0 and graph.out_degree(p) == 0]
+    connected = set(design.leaves) - set(isolated)
+    if not connected:
+        # A one-instance design is a deliberate unit under test, not a
+        # wiring accident; only flag isolation amid other wiring.
+        isolated = []
+
+    # Consuming endpoints, on the condensation: a terminal component
+    # that receives external data counts as an endpoint when it is a
+    # plain terminal instance (the classic sink) or a cycle with a
+    # stateful member (a request/response service loop, e.g. a NIC
+    # DMAing into a memory that answers back).  A terminal cycle of
+    # pure flow-through instances is *not* an endpoint — data
+    # circling it is never consumed.
+    condensed = nx.condensation(graph)
+    endpoints = set()
+    for comp in condensed.nodes:
+        if condensed.out_degree(comp) or not condensed.in_degree(comp):
+            continue
+        members = condensed.nodes[comp]["members"]
+        cyclic = (len(members) > 1
+                  or any(graph.has_edge(p, p) for p in members))
+        if not cyclic or any(_can_generate(design.leaves[p])
+                             for p in members):
+            endpoints.add(comp)
+    unreachable: List[str] = []
+    if endpoints:
+        alive = set(endpoints)
+        reversed_condensed = condensed.reverse(copy=False)
+        for comp in endpoints:
+            alive.update(nx.descendants(reversed_condensed, comp))
+        mapping = condensed.graph["mapping"]
+        unreachable = [p for p in sorted(connected)
+                       if mapping[p] not in alive]
+    return sorted(isolated), unreachable
+
+
 def _can_generate(inst) -> bool:
     """Whether an instance may originate data from internal state.
 
@@ -135,54 +193,31 @@ class ConnectivityPass(AnalysisPass):
         for wire in design.real_wires:
             graph.add_edge(wire.src.instance.path, wire.dst.instance.path)
 
+        isolated, unreachable = dead_instance_paths(design)
+        # Cross-link with the optimizer: findings the dead-code pass
+        # would actually eliminate (closed dead subgraphs outside any
+        # combinational cluster) get a "removable" note in their hint.
+        from repro.core.opt.passes.dead_code import eliminable_instances
+        removable, _ = eliminable_instances(design, ctx.signal_graph)
+        removable_note = "; removable at --opt 2"
+
         out: List[Diagnostic] = []
-        isolated = [p for p in design.leaves
-                    if graph.in_degree(p) == 0 and graph.out_degree(p) == 0]
-        connected = set(design.leaves) - set(isolated)
-        for path in sorted(isolated):
-            # A one-instance design is a deliberate unit under test, not
-            # a wiring accident; only flag isolation amid other wiring.
-            if not connected:
-                continue
+        for path in isolated:
             out.append(Diagnostic(
                 "connectivity.dead-instance", Severity.WARNING,
                 f"instance {path!r} has no real connections at all",
                 path=path,
-                hint=f"wire {path!r} into the design or remove it"))
-
-        # Consuming endpoints, on the condensation: a terminal component
-        # that receives external data counts as an endpoint when it is a
-        # plain terminal instance (the classic sink) or a cycle with a
-        # stateful member (a request/response service loop, e.g. a NIC
-        # DMAing into a memory that answers back).  A terminal cycle of
-        # pure flow-through instances is *not* an endpoint — data
-        # circling it is never consumed.
-        condensed = nx.condensation(graph)
-        endpoints = set()
-        for comp in condensed.nodes:
-            if condensed.out_degree(comp) or not condensed.in_degree(comp):
-                continue
-            members = condensed.nodes[comp]["members"]
-            cyclic = (len(members) > 1
-                      or any(graph.has_edge(p, p) for p in members))
-            if not cyclic or any(_can_generate(design.leaves[p])
-                                 for p in members):
-                endpoints.add(comp)
-        if endpoints:
-            alive = set(endpoints)
-            reversed_condensed = condensed.reverse(copy=False)
-            for comp in endpoints:
-                alive.update(nx.descendants(reversed_condensed, comp))
-            mapping = condensed.graph["mapping"]
-            for path in sorted(connected):
-                if mapping[path] not in alive:
-                    out.append(Diagnostic(
-                        "connectivity.dead-instance", Severity.WARNING,
-                        f"instance {path!r} cannot reach any consuming "
-                        f"endpoint; nothing it produces is ever consumed",
-                        path=path,
-                        hint="route its outputs toward a consuming "
-                             "instance or remove the dead subgraph"))
+                hint=f"wire {path!r} into the design or remove it"
+                     + (removable_note if path in removable else "")))
+        for path in unreachable:
+            out.append(Diagnostic(
+                "connectivity.dead-instance", Severity.WARNING,
+                f"instance {path!r} cannot reach any consuming "
+                f"endpoint; nothing it produces is ever consumed",
+                path=path,
+                hint="route its outputs toward a consuming "
+                     "instance or remove the dead subgraph"
+                     + (removable_note if path in removable else "")))
 
         # Constant-only cycles: SCCs fed by nothing outside themselves
         # whose members are all flow-through (cannot generate data from

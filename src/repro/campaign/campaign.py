@@ -23,7 +23,7 @@ from .sweep import Sweep, SweepPoint
 
 
 def fingerprint_groups(kind: str, target, lss_text: Optional[str],
-                       points: Sequence[Any]):
+                       points: Sequence[Any], opt_level: int = 0):
     """Group sweep points by the structural fingerprint of their design.
 
     The shared shard-planning primitive: ``Campaign(batch=True)`` uses
@@ -56,7 +56,7 @@ def fingerprint_groups(kind: str, target, lss_text: Optional[str],
         try:
             spec = build_point_spec(kind, target, lss_text, params, run_id)
             design = build_design(spec)
-            fingerprint = (warm_design(design) if warm
+            fingerprint = (warm_design(design, opt_level=opt_level) if warm
                            else design_fingerprint(design))
         except Exception:
             failures.append(point)
@@ -108,7 +108,8 @@ class Campaign:
     def __init__(self, name: str, sweep: Sweep,
                  target: Union[str, Callable, None] = None, *,
                  kind: str = "fn", lss_text: Optional[str] = None,
-                 engine: str = "levelized", cycles: int = 1000,
+                 engine: str = "levelized", opt: Optional[int] = None,
+                 cycles: int = 1000,
                  seed_key: Optional[str] = "seed",
                  workers: int = 2, timeout: Optional[float] = None,
                  retries: int = 1, backoff: float = 0.25,
@@ -149,6 +150,12 @@ class Campaign:
         self.kind = kind
         self.lss_text = lss_text
         self.engine = engine
+        from ..core.opt import resolve_opt_level
+        try:
+            resolve_opt_level(opt)  # validate eagerly, not per worker
+        except SpecificationError as exc:
+            raise CampaignError(str(exc)) from None
+        self.opt = opt
         self.cycles = cycles
         self.seed_key = seed_key
         self.workers = workers
@@ -170,7 +177,7 @@ class Campaign:
             params.setdefault(self.seed_key, point.seed)
         return RunTask(run_id=point.run_id, index=point.index, params=params,
                        seed=point.seed, target=self.target, kind=self.kind,
-                       engine=self.engine, cycles=self.cycles,
+                       engine=self.engine, opt=self.opt, cycles=self.cycles,
                        lss_text=self.lss_text,
                        checkpoint_dir=self.checkpoint_dir,
                        checkpoint_every=self.checkpoint_every,
@@ -194,8 +201,10 @@ class Campaign:
         ordinary per-point tasks (the worker then reports the build
         failure with full context).
         """
-        groups, singles = fingerprint_groups(self.kind, self.target,
-                                             self.lss_text, todo)
+        from ..core.opt import resolve_opt_level
+        groups, singles = fingerprint_groups(
+            self.kind, self.target, self.lss_text, todo,
+            opt_level=resolve_opt_level(self.opt))
         tasks = []
         for fingerprint, members in groups.items():
             for k in range(0, len(members), self.batch_max):
@@ -207,7 +216,7 @@ class Campaign:
                     run_id=f"batch:{fingerprint[:10]}:{k // self.batch_max}",
                     index=chunk[0].index, params={}, seed=chunk[0].seed,
                     target=self.target, kind="batch", batch_kind=self.kind,
-                    engine=self.engine, cycles=self.cycles,
+                    engine=self.engine, opt=self.opt, cycles=self.cycles,
                     lss_text=self.lss_text, profile=self.profile,
                     profile_sample=self.profile_sample,
                     points=[{"run_id": p.run_id, "index": p.index,
@@ -232,8 +241,10 @@ class Campaign:
                 or self.engine == "worklist"):
             return 0  # batch grouping warms the cache itself
         from ..core.compile_cache import get_cache, warm_spec
+        from ..core.opt import resolve_opt_level
         if not get_cache().enabled:
             return 0
+        opt_level = resolve_opt_level(self.opt)
         fingerprints: set = set()
         try:
             build = (resolve_target(self.target) if self.kind == "spec"
@@ -251,7 +262,7 @@ class Campaign:
                         inst_name, _, param = dotted.partition(".")
                         if param:
                             spec.get_instance(inst_name).bindings[param] = value
-                fingerprints.add(warm_spec(spec))
+                fingerprints.add(warm_spec(spec, opt_level=opt_level))
             except Exception:
                 continue
         return len(fingerprints)
@@ -306,6 +317,7 @@ class Campaign:
                                "points": len(points),
                                "meta": {"kind": self.kind,
                                         "engine": self.engine,
+                                        "opt": self.opt,
                                         "cycles": self.cycles,
                                         "target": _target_name(self.target),
                                         "workers": self.workers,

@@ -92,6 +92,7 @@ class RunTask:
     target: Union[str, Callable, None] = None
     kind: str = "fn"                      # fn | spec | lss
     engine: str = "levelized"
+    opt: Optional[int] = None             # IR optimizer level (None = env)
     cycles: int = 1000
     lss_text: Optional[str] = None
     checkpoint_dir: Optional[str] = None
@@ -173,7 +174,7 @@ def _lane_result(sim, profiler, top: int) -> Dict[str, Any]:
 def _simulate(task: RunTask, spec) -> Dict[str, Any]:
     from ..core.constructor import build_simulator
     sim = build_simulator(_coerce_spec(spec), engine=task.engine,
-                          seed=task.seed)
+                          seed=task.seed, opt=task.opt)
     try:
         profiler = None
         if task.profile:
@@ -207,8 +208,11 @@ def _simulate_batch(task: RunTask) -> Dict[str, Any]:
     # to "batched", which is bit-identical to solo levelized runs);
     # REPRO_BATCH_ENGINE selects any registered batch-capable engine.
     engine = os.environ.get("REPRO_BATCH_ENGINE", "").strip() or "batched-vec"
+    engine_kw: Dict[str, Any] = {}
+    if task.opt is not None:
+        engine_kw["opt"] = task.opt
     sim = resolve_engine(engine)(
-        designs, seeds=[point["seed"] for point in task.points])
+        designs, seeds=[point["seed"] for point in task.points], **engine_kw)
     try:
         profilers: Dict[str, Any] = {}
         if task.profile:

@@ -16,7 +16,10 @@ importing the registry (e.g. to enumerate names for an argparse
 The ``REPRO_ENGINE`` environment variable selects the default engine
 used when a caller passes no explicit name — handy for running an
 entire test suite or campaign against a different backend without
-touching call sites.
+touching call sites.  ``REPRO_OPT`` plays the same role for the
+optimizer level (:mod:`repro.core.opt`): engines that receive no
+explicit ``opt=`` argument resolve it from the environment, so
+``REPRO_OPT=2 pytest`` runs everything over optimized IR.
 """
 
 from __future__ import annotations
@@ -111,6 +114,17 @@ def default_engine() -> str:
         return "worklist"
     get_backend(name)  # validate, with the helpful listing on a typo
     return name
+
+
+def default_opt_level() -> int:
+    """The optimizer level used when no explicit ``opt=`` is given.
+
+    Honours the ``REPRO_OPT`` environment variable (validated against
+    the supported range) and falls back to 0 — optimization off —
+    when unset.  The symmetric companion of :func:`default_engine`.
+    """
+    from .opt import resolve_opt_level
+    return resolve_opt_level(None)
 
 
 # -- built-in engines ------------------------------------------------------

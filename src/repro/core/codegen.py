@@ -35,8 +35,10 @@ def generate_stepper_source(schedule, design_name: str) -> str:
     w = buf.write
     w(f'"""Generated stepper for design {design_name!r}. Do not edit."""\n\n')
     w("def make_stepper(sim, entries, cluster_wires):\n")
-    # Hoist bound react methods into closure locals.
-    n_locals = 0
+    # Hoist bound react methods into closure locals, one local per
+    # distinct instance: an instance occurring at several (non-adjacent)
+    # schedule positions shares a single hoist.
+    hoisted: dict = {}
     lines: List[str] = []
     body: List[str] = []
     for i, entry in enumerate(schedule):
@@ -44,9 +46,14 @@ def generate_stepper_source(schedule, design_name: str) -> str:
             body.append(f"        sim._run_cluster(entries[{i}], "
                         f"cluster_wires[{i}])")
         else:
-            lines.append(f"    r{n_locals} = entries[{i}].instances[0].react")
-            body.append(f"        r{n_locals}()")
-            n_locals += 1
+            inst = entry.instances[0]
+            local = hoisted.get(id(inst))
+            if local is None:
+                local = f"r{len(hoisted)}"
+                hoisted[id(inst)] = local
+                lines.append(
+                    f"    {local} = entries[{i}].instances[0].react")
+            body.append(f"        {local}()")
     for line in lines:
         w(line + "\n")
     w("    begin = sim._begin_step\n")

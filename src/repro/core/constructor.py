@@ -277,7 +277,8 @@ def _make_stub(wid: int, leaf: LeafModule, decl, index: int) -> Wire:
     return wire
 
 
-def build_simulator(spec: LSS, engine: Optional[str] = None, **engine_kw):
+def build_simulator(spec: LSS, engine: Optional[str] = None, *,
+                    opt: Optional[int] = None, **engine_kw):
     """Construct an executable simulator from a specification.
 
     Parameters
@@ -293,6 +294,13 @@ def build_simulator(spec: LSS, engine: Optional[str] = None, **engine_kw):
         of structurally identical designs).  ``None`` selects the
         default engine: the ``REPRO_ENGINE`` environment variable when
         set, else ``'worklist'``.
+    opt:
+        Optimizer level 0–2 (:mod:`repro.core.opt`): 0 disables the
+        pass pipeline, 1 enables schedule fusion, pruning, constant
+        propagation and control inlining, 2 adds dead-instance
+        elimination.  ``None`` defers to the ``REPRO_OPT`` environment
+        variable (default 0).  Every engine accepts it; optimization
+        never changes observable results, only the work per timestep.
     engine_kw:
         Forwarded to the engine constructor (e.g. ``cycle_policy``,
         ``seed``, ``keep_samples``).
@@ -301,4 +309,6 @@ def build_simulator(spec: LSS, engine: Optional[str] = None, **engine_kw):
     name = engine if engine is not None else default_engine()
     cls = resolve_engine(name)
     design = build_design(spec)
+    if opt is not None:
+        engine_kw["opt"] = opt
     return cls(design, **engine_kw)

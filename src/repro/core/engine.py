@@ -91,7 +91,8 @@ class SimulatorBase:
 
     def __init__(self, design: Design, *, cycle_policy: str = "relax",
                  seed: Optional[int] = None, keep_samples: bool = False,
-                 _partition: Optional[WirePartition] = None):
+                 _partition: Optional[WirePartition] = None,
+                 _opt: Optional[Dict[str, Any]] = None):
         if design._owned:
             raise SimulationError(
                 f"Design {design.name!r} is already animated by another "
@@ -144,6 +145,14 @@ class SimulatorBase:
         #: the current timestep (resolution is monotone, so the cursor
         #: only ever advances between relaxations of one step).
         self._relax_cursor = 0
+        #: Optimizer state (see :meth:`_apply_opt`): at ``--opt 0``
+        #: these alias the unfiltered lists and cost nothing.
+        self.opt_level = 0
+        self._react_instances = self._instances
+        self._relax_wires = self._wires
+        self._stripped_controls: List = []
+        if _opt:
+            self._apply_opt(_opt)
         # Initialize every instance eagerly: ports are already bound and
         # ``sim`` is set, so module state (memories, rings, FSMs) is
         # inspectable before the first timestep runs.
@@ -235,6 +244,9 @@ class SimulatorBase:
             # Restore the plain pre-bound dispatch (same dict key, so
             # split-key instance dicts stay split; see __init__).
             inst.react = type(inst).react.__get__(inst, type(inst))
+        for wire, control in self._stripped_controls:
+            wire.control = control
+        self._stripped_controls = []
         self.design._owned = False
 
     def __enter__(self) -> "SimulatorBase":
@@ -286,6 +298,61 @@ class SimulatorBase:
     def _instrumentation_changed(self) -> None:
         """Hook for engines that cache bound dispatch (see codegen)."""
 
+    def _apply_opt(self, block: Dict[str, Any]) -> None:
+        """Apply a compiled-model ``opt`` block (:mod:`repro.core.opt`).
+
+        The block carries canonical wire keys and instance paths, never
+        live objects, so it applies to any design the artifact binds to:
+
+        * **static** wires (every signal constant) are driven once via
+          ``begin_step()`` and parked — removed from the per-step
+          begin/reset loops (their unknown contribution is already 0);
+        * **dead** wires are parked out of the begin/transfer/relax
+          loops with their unknown-signal budget subtracted, and their
+          (dead) instances leave the react/update rosters — the
+          schedule the optimizer shipped never reacts them anyway, but
+          the worklist seed and the levelized fallback honor the same
+          set;
+        * **identity controls** are stripped (``wire.control = None``)
+          so those commits take the direct path; ``close()`` restores
+          them, since the design outlives the simulator.
+        """
+        from .compile_cache import wire_key
+        key_map = {wire_key(w): w for w in self._wires}
+        static = [key_map[tuple(k)] for k in block.get("static") or ()]
+        dead = [key_map[tuple(k)] for k in block.get("dead_wires") or ()]
+        dead_paths = set(block.get("dead_instances") or ())
+        self.opt_level = block.get("level", 1)
+        for wire in static:
+            wire.begin_step()  # const drives never notify the engine
+        parked = {id(w) for w in static}
+        parked.update(id(w) for w in dead)
+        if parked:
+            self._plain_wires = [w for w in self._plain_wires
+                                 if id(w) not in parked]
+            self._const_wires = [w for w in self._const_wires
+                                 if id(w) not in parked]
+            self._relax_wires = [w for w in self._wires
+                                 if id(w) not in parked]
+        dead_ids = {id(w) for w in dead}
+        if dead_ids:
+            self._transfer_wires = [w for w in self._transfer_wires
+                                    if id(w) not in dead_ids]
+            for wire in dead:
+                consts = ((wire.const_data is not None)
+                          + (wire.const_enable is not None)
+                          + (wire.const_ack is not None))
+                self._begin_unknown -= 3 - consts
+        if dead_paths:
+            self._react_instances = [i for i in self._instances
+                                     if i.path not in dead_paths]
+            self._updaters = [i for i in self._updaters
+                              if i.path not in dead_paths]
+        for key in block.get("controls") or ():
+            wire = key_map[tuple(key)]
+            self._stripped_controls.append((wire, wire.control))
+            wire.control = None
+
     def _force_next_unresolved(self) -> bool:
         """Force the lowest-numbered unresolved signal to its default.
 
@@ -296,7 +363,7 @@ class SimulatorBase:
         cursor never needs to back up.  Returns ``False`` when no
         unresolved signal exists.
         """
-        wires = self._wires
+        wires = self._relax_wires
         i = self._relax_cursor
         n = len(wires)
         while i < n:
@@ -454,9 +521,24 @@ def _transfer_possible(wire: Wire) -> bool:
 
 
 class Simulator(SimulatorBase):
-    """The reference worklist engine (dynamic reactive scheduling)."""
+    """The reference worklist engine (dynamic reactive scheduling).
 
-    def __init__(self, design: Design, **kw):
+    ``opt`` (default: the ``REPRO_OPT`` environment) routes the design
+    through :func:`repro.core.ir.compile_model` at that optimizer level
+    and applies the resulting opt block — the worklist has no static
+    schedule to fuse, but dead-instance parking, static wires and
+    control inlining all carry over.  At level 0 no compilation happens
+    at all, preserving the historical zero-dependency path.
+    """
+
+    def __init__(self, design: Design, *, opt: Optional[int] = None, **kw):
+        from .opt import resolve_opt_level
+        level = resolve_opt_level(opt)
+        if level > 0:
+            from .ir import compile_model
+            bound = compile_model(design, opt_level=level)
+            kw.setdefault("_partition", bound.partition)
+            kw.setdefault("_opt", bound.model.opt)
         super().__init__(design, **kw)
         self._queue: deque = deque()
         self._queued: Dict[int, bool] = {}
@@ -487,7 +569,7 @@ class Simulator(SimulatorBase):
         self._begin_step()
         queue = self._queue
         queued = self._queued
-        for inst in self._instances:
+        for inst in self._react_instances:
             queued[id(inst)] = True
             queue.append(inst)
 

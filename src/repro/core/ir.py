@@ -62,7 +62,8 @@ class CompiledModel:
 
     __slots__ = ("fingerprint", "schedule", "stepper_source", "code",
                  "design_name", "graph_edges", "const_keys",
-                 "transfer_keys", "begin_unknown", "deps", "controls")
+                 "transfer_keys", "begin_unknown", "deps", "controls",
+                 "opt")
 
     def __init__(self, fingerprint: str, schedule: List[Dict[str, Any]],
                  stepper_source: Optional[str] = None, code: Any = None, *,
@@ -72,7 +73,8 @@ class CompiledModel:
                  transfer_keys: Optional[List[List[Any]]] = None,
                  begin_unknown: Optional[int] = None,
                  deps: Optional[Dict[str, str]] = None,
-                 controls: Optional[Dict[str, str]] = None):
+                 controls: Optional[Dict[str, str]] = None,
+                 opt: Optional[Dict[str, Any]] = None):
         self.fingerprint = fingerprint
         self.schedule = schedule
         self.stepper_source = stepper_source
@@ -84,6 +86,7 @@ class CompiledModel:
         self.begin_unknown = begin_unknown
         self.deps = deps
         self.controls = controls
+        self.opt = opt
 
     def __repr__(self) -> str:
         return (f"<CompiledModel {self.design_name!r} "
@@ -104,7 +107,8 @@ class CompiledModel:
                     "transfer": self.transfer_keys,
                     "begin_unknown": self.begin_unknown},
                 "deps": self.deps,
-                "controls": self.controls}
+                "controls": self.controls,
+                "opt": self.opt}
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "CompiledModel":
@@ -117,7 +121,8 @@ class CompiledModel:
                    transfer_keys=part.get("transfer"),
                    begin_unknown=part.get("begin_unknown"),
                    deps=payload.get("deps"),
-                   controls=payload.get("controls"))
+                   controls=payload.get("controls"),
+                   opt=payload.get("opt"))
 
     # -- binding onto a concrete design ----------------------------------
     def bind(self, design: Design, *, from_cache: bool = True) \
@@ -242,8 +247,8 @@ def _attach_stepper(model: CompiledModel, schedule: List[Any]) -> None:
         source, f"<generated stepper {model.design_name!r}>", "exec")
 
 
-def compile_model(design: Design, *, need_stepper: bool = False) \
-        -> BoundModel:
+def compile_model(design: Design, *, need_stepper: bool = False,
+                  opt_level: int = 0) -> BoundModel:
     """The single Design → CompiledModel entry point (cache-aware).
 
     Fingerprints ``design``, returns a cached artifact bound onto it on
@@ -254,7 +259,20 @@ def compile_model(design: Design, *, need_stepper: bool = False) \
     walk is skipped entirely (``model.fingerprint`` is then ``""``) and
     every call compiles fresh, preserving the historical engine
     behavior.
+
+    ``opt_level > 0`` routes through the optimizer pipeline
+    (:mod:`repro.core.opt`): the optimized artifact — fused schedule
+    plus the ``opt`` block the engine applies at construction — is
+    cached under the composite ``fingerprint@opt{level}.{OPT_VERSION}``
+    key, so warm runs bind it directly and skip the pass pipeline
+    entirely.  The base (unoptimized) artifact is compiled and cached
+    under the bare fingerprint as usual; its partition summary is what
+    the optimized entry carries, since the wire partition itself is
+    untouched by optimization (dead/static wires are parked by the
+    engine, not removed from the design).
     """
+    if opt_level and opt_level > 0:
+        return _compile_optimized(design, opt_level, need_stepper)
     from .compile_cache import design_fingerprint, get_cache
     cache = get_cache()
     fingerprint = ""
@@ -294,3 +312,57 @@ def compile_model(design: Design, *, need_stepper: bool = False) \
     return BoundModel(model, design, schedule,
                       _cluster_wire_lists(schedule, design.wires),
                       partition, from_cache=False)
+
+
+def _compile_optimized(design: Design, level: int, need_stepper: bool) \
+        -> BoundModel:
+    """The ``opt_level > 0`` arm of :func:`compile_model`.
+
+    Cache-first: a warm ``(fingerprint, level, OPT_VERSION)`` entry is
+    bound without running a single pass.  On a miss the base artifact
+    (recursive :func:`compile_model`, which hits the bare-fingerprint
+    cache) supplies the signal graph, partition summary and metadata
+    tables; only the pass pipeline itself runs fresh.
+    """
+    from .compile_cache import design_fingerprint, get_cache
+    from .opt import opt_cache_key
+    cache = get_cache()
+    fingerprint = key = ""
+    if cache.enabled:
+        fingerprint = design_fingerprint(design)
+        key = opt_cache_key(fingerprint, level)
+        entry = cache.lookup(key)
+        if entry is not None:
+            try:
+                bound = entry.bind(design)
+            except Exception:
+                cache.evict(key)
+                cache.stats["misses"] += 1
+            else:
+                if need_stepper and entry.stepper_source is None:
+                    _attach_stepper(entry, bound.schedule)
+                    cache.store(entry)
+                return bound
+
+    base = compile_model(design)
+    from .compile_cache import portable_schedule
+    from .opt.pipeline import optimize_model
+    graph = base.model.signal_graph(design)
+    result = optimize_model(design, level=level, graph=graph,
+                            schedule=base.schedule)
+    model = CompiledModel(
+        key, portable_schedule(result.schedule, design),
+        design_name=design.name,
+        graph_edges=base.model.graph_edges,
+        const_keys=base.model.const_keys,
+        transfer_keys=base.model.transfer_keys,
+        begin_unknown=base.model.begin_unknown,
+        deps=base.model.deps, controls=base.model.controls,
+        opt=result.block)
+    if need_stepper:
+        _attach_stepper(model, result.schedule)
+    if cache.enabled:
+        cache.store(model)
+    return BoundModel(model, design, result.schedule,
+                      _cluster_wire_lists(result.schedule, design.wires),
+                      base.partition, from_cache=False)

@@ -1,0 +1,111 @@
+"""The IR optimizer pipeline: shrink compiled models before execution.
+
+The paper's construction-time argument (§2.3) is that a fixed model of
+computation lets the *system* analyze and optimize a specification
+before any engine animates it.  The analysis layer
+(:mod:`repro.analysis`) computes condensations, constant subgraphs and
+dead instances — but only to report them.  This package is the
+rewriting half: a pass manager (:mod:`repro.core.opt.pipeline`) over
+the compiled-model IR (:class:`repro.core.ir.CompiledModel`) whose
+passes (:mod:`repro.core.opt.passes`) produce a smaller schedule plus a
+portable *opt block* every engine applies at construction:
+
+``const-prop``
+    Propagates the constant wire partition: fully constant wires are
+    parked after a single drive, and constant signal groups are
+    credited to the scheduler so downstream passes treat them as
+    pre-resolved.
+``dead-code`` (``--opt 2`` only)
+    Eliminates instances that cannot reach a consuming endpoint —
+    the exact ``connectivity.dead-instance`` semantics of
+    :mod:`repro.analysis.connectivity` — restricted to *closed* dead
+    subgraphs so no surviving instance's environment changes.
+``level-fusion``
+    Re-levelizes the schedule with instance affinity: an instance-aware
+    topological order over the signal-graph condensation that collapses
+    single-consumer levels into one ``react`` call per run.
+``prune``
+    Removes schedule occurrences made redundant by fusion (every
+    dependency already resolved at the previous occurrence).
+``control-inline``
+    Specializes default control semantics (§2.1): full-identity
+    control functions are stripped so the wire commit path skips the
+    transform indirection entirely.
+
+Optimization levels: ``0`` skips the pipeline (historical behavior),
+``1`` runs the observation-equivalent passes, ``2`` adds dead-code
+elimination.  Optimized artifacts are cached by
+:func:`repro.core.ir.compile_model` under a
+``(fingerprint, opt_level, OPT_VERSION)`` key (:func:`opt_cache_key`)
+so warm constructions skip the pipeline entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from ..errors import SpecificationError
+
+#: Bump when a pass changes behavior; folded into the optimized-IR
+#: cache key so stale on-disk artifacts are never rebound.
+OPT_VERSION = 1
+
+#: Environment variable naming the default optimization level.
+OPT_ENV_VAR = "REPRO_OPT"
+
+#: Highest supported level.
+MAX_OPT_LEVEL = 2
+
+
+def resolve_opt_level(level: Union[int, str, None] = None) -> int:
+    """Validate ``level``, defaulting from the ``REPRO_OPT`` environment.
+
+    ``None`` consults ``REPRO_OPT`` and falls back to ``0`` — the
+    un-optimized historical behavior — when unset.  Accepts ints or
+    numeric strings; anything outside ``0..2`` raises
+    :class:`~repro.core.errors.SpecificationError`.
+    """
+    if level is None:
+        raw = os.environ.get(OPT_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        level = raw
+    try:
+        value = int(level)
+    except (TypeError, ValueError):
+        raise SpecificationError(
+            f"optimization level must be an integer in 0..{MAX_OPT_LEVEL}, "
+            f"got {level!r}") from None
+    if not 0 <= value <= MAX_OPT_LEVEL:
+        raise SpecificationError(
+            f"optimization level must be in 0..{MAX_OPT_LEVEL}, "
+            f"got {value}")
+    return value
+
+
+def opt_cache_key(fingerprint: str, level: int) -> str:
+    """The compile-cache key of one optimized artifact.
+
+    Composite over the structural fingerprint, the opt level and
+    :data:`OPT_VERSION`, so the same design caches its unoptimized and
+    per-level optimized forms side by side and a pass-behavior change
+    invalidates exactly the optimized entries.
+    """
+    return f"{fingerprint}@opt{level}.{OPT_VERSION}"
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: importing repro.core.opt for the level knobs
+    # must not pull networkx/the pipeline in.
+    if name in ("optimize_model", "OptResult", "explain_report",
+                "schedule_signature", "react_calls"):
+        from . import pipeline
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = ["OPT_VERSION", "OPT_ENV_VAR", "MAX_OPT_LEVEL",
+           "resolve_opt_level", "opt_cache_key", "optimize_model",
+           "OptResult", "explain_report", "schedule_signature",
+           "react_calls"]

@@ -1,0 +1,12 @@
+"""The optimizer passes, one module per pass.
+
+Each module exposes ``NAME`` (the pass's report name) and
+``run(ctx) -> dict`` — mutate the shared
+:class:`~repro.core.opt.pipeline.OptContext` and return pass-specific
+delta counts for the explain report.  Ordering and level gating live
+in :data:`repro.core.opt.pipeline.PASS_TABLE`.
+"""
+
+from . import const_prop, control, dead_code, fusion, prune
+
+__all__ = ["const_prop", "control", "dead_code", "fusion", "prune"]

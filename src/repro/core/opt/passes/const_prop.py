@@ -1,0 +1,42 @@
+"""Constant propagation through the const wire partition.
+
+The wire partition (:func:`repro.core.engine.partition_wires`) already
+classifies every wire by how many of its three signals are held
+constant by stub defaults.  This pass propagates that classification
+into the optimizer:
+
+* a **fully constant** wire (all three signals stub-driven — possible
+  for hand-built netlists, never produced by the constructor, which
+  stubs at most one side) is *parked static*: the engine drives it
+  once at construction and drops it from the per-step begin loop;
+* constant signal groups are credited to the scheduler — downstream
+  passes (fusion, prune) treat them as resolved before the step
+  starts, which is what lets affinity reordering begin runs at
+  instances whose remaining inputs are all constant.
+
+The pass is deliberately conservative: signals a live instance drives
+are never suppressed (a parked-but-driven wire would corrupt the
+engine's unknown-signal accounting), so its direct effect is the
+static set plus the scheduling credit; the measurable wins surface
+through the passes it feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+NAME = "const-prop"
+
+
+def run(ctx) -> Dict[str, Any]:
+    static = []
+    for wire in ctx.design.wires:
+        consts = ((wire.const_data is not None)
+                  + (wire.const_enable is not None)
+                  + (wire.const_ack is not None))
+        if consts == 3:
+            static.append(wire.wid)
+    ctx.static_wids.update(static)
+    const_groups = sum(1 for _, data in ctx.graph.nodes(data=True)
+                       if data["const"])
+    return {"static_wires": len(static), "const_groups": const_groups}

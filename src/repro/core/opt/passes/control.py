@@ -1,0 +1,37 @@
+"""Default-control specialization: strip full-identity control functions.
+
+§2.1's default control semantics are statically known — a connection
+with no control function commits each driven signal to the wire
+directly.  A :class:`~repro.core.control.ControlFunction` built with
+neither transform (``ControlFunction()``) re-implements exactly those
+defaults, yet still costs the commit path its indirection: the forward
+transform defers committing data/enable until *both* raw signals are
+driven, and every ack passes through the backward callable.
+
+This pass detects controls whose forward **and** backward transforms
+are the module-level identity functions and records their wires; the
+engine strips ``wire.control`` at construction (restoring it on
+``close()``, since the design outlives the simulator).  Stripping only
+lets signals commit *earlier* within a step — monotone resolution and
+confluence make the final fixpoint, and therefore transfers, probes
+and statistics, identical.  Partially-identity controls (a real
+forward with a default backward, or vice versa) are left untouched:
+the pair semantics are the user's contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...control import _identity_backward, _identity_forward
+
+NAME = "control-inline"
+
+
+def run(ctx) -> Dict[str, Any]:
+    wids = [wire.wid for wire in ctx.design.wires
+            if wire.control is not None
+            and wire.control.forward is _identity_forward
+            and wire.control.backward is _identity_backward]
+    ctx.control_wids.update(wids)
+    return {"controls": len(wids)}

@@ -1,0 +1,127 @@
+"""Schedule level fusion: affinity-ordered re-levelization.
+
+:func:`repro.core.optimize.build_schedule` topologically sorts the
+signal-graph condensation in an arbitrary (networkx-chosen) valid
+order and collapses *consecutive* entries of the same instance.  That
+order is correct but instance-oblivious: on fig2d's detailed backend
+it reacts instances ~100 times per step where ~45 suffice, because
+independent levels of different instances interleave and break up the
+runs the collapse step could have merged.
+
+This pass re-runs the topological sort as an **instance-affine Kahn's
+algorithm**: among the ready components it prefers one driven by the
+instance currently being scheduled, and when a run cannot be extended
+it starts the next run at the driver with the most ready components.
+Consecutive same-instance components then collapse into a single
+``react`` per run — the "single consumer level" fusion of ROADMAP
+item 5.  Any valid topological order yields the same fixpoint
+(reacts are monotone and idempotent; chaotic-iteration confluence), so
+the transform is semantics-preserving by the DEPS contracts alone;
+the cross-engine differential suite checks it bit-for-bit.
+
+Constant groups, parked static wires and dead wires (eliminated by the
+dead-code pass, whose closure guarantees no live group depends on
+them) are treated as pre-resolved and never scheduled.  Tie-breaks are
+sorted at every step, so the fused schedule is deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+import networkx as nx
+
+from ...optimize import ScheduleEntry
+
+NAME = "level-fusion"
+
+
+def _excluded(ctx, graph, group) -> bool:
+    return (graph.nodes[group]["const"]
+            or group[1] in ctx.dead_wids
+            or group[1] in ctx.static_wids)
+
+
+def fuse_schedule(ctx) -> List[ScheduleEntry]:
+    """Build the affinity-fused schedule for ``ctx``'s design."""
+    graph = ctx.graph
+    condensed = nx.condensation(graph)
+    indeg = {n: condensed.in_degree(n) for n in condensed.nodes}
+
+    def scc_key(n):
+        return min((g[1], g[0]) for g in condensed.nodes[n]["members"])
+
+    def scc_driver(n) -> Optional[str]:
+        drivers = set()
+        for group in condensed.nodes[n]["members"]:
+            if not _excluded(ctx, graph, group):
+                drivers.add(graph.nodes[group]["driver"].path)
+        if len(drivers) == 1:
+            return next(iter(drivers))
+        return None  # cluster, or nothing left to schedule
+
+    ready = sorted((n for n in condensed.nodes if indeg[n] == 0),
+                   key=scc_key)
+    order: List[int] = []
+    current: Optional[str] = None
+    while ready:
+        pick = None
+        if current is not None:
+            for i, n in enumerate(ready):
+                if scc_driver(n) == current:
+                    pick = i
+                    break
+        if pick is None:
+            # Start a new run at the driver with the most ready SCCs.
+            count: Counter = Counter()
+            for n in ready:
+                driver = scc_driver(n)
+                if driver:
+                    count[driver] += 1
+            best = (max(sorted(count), key=lambda d: count[d])
+                    if count else None)
+            for i, n in enumerate(ready):
+                if scc_driver(n) == best:
+                    pick = i
+                    break
+            if pick is None:
+                pick = 0
+        n = ready.pop(pick)
+        order.append(n)
+        driver = scc_driver(n)
+        if driver is not None:
+            current = driver
+        for succ in condensed.successors(n):
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+        ready.sort(key=scc_key)
+
+    entries: List[ScheduleEntry] = []
+    for scc_id in order:
+        members = set(condensed.nodes[scc_id]["members"])
+        drivers, seen = [], set()
+        groups = []
+        for group in sorted(members, key=lambda g: (g[1], g[0])):
+            if _excluded(ctx, graph, group):
+                continue
+            groups.append(group)
+            driver = graph.nodes[group]["driver"]
+            if id(driver) not in seen:
+                seen.add(id(driver))
+                drivers.append(driver)
+        if not drivers:
+            continue  # constant/parked groups resolve before the step
+        cluster = len(members) > 1
+        if not cluster and entries and not entries[-1].cluster \
+                and entries[-1].instances[0] is drivers[0]:
+            entries[-1].groups.extend(groups)
+            continue
+        entries.append(ScheduleEntry(drivers, cluster, groups))
+    return entries
+
+
+def run(ctx) -> Dict[str, Any]:
+    ctx.entries = fuse_schedule(ctx)
+    return {}

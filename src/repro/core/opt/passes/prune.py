@@ -1,0 +1,77 @@
+"""Prune redundant schedule occurrences left after fusion.
+
+An instance may legitimately appear several times in a levelized
+schedule: each occurrence resolves the signal groups whose
+dependencies became available since the previous one.  After affinity
+fusion, though, a later occurrence can be *redundant*: every
+dependency of every group it carries was already scheduled strictly
+before the instance's **previous** occurrence — meaning that earlier
+``react`` already saw all the inputs and, reacts being idempotent and
+monotone, already drove these groups.
+
+This pass merges such occurrences into their predecessor and repeats
+to a fixed point.  Constant, static and dead groups count as always
+available; cluster members are exempt (fixed-point iteration owns
+their ordering).  On well-fused schedules the pass usually finds
+nothing (fusion already builds maximal runs) — it exists to catch the
+stragglers interleaved cluster entries can leave behind.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict
+
+NAME = "prune"
+
+
+def run(ctx) -> Dict[str, Any]:
+    graph = ctx.graph
+    entries = ctx.entries
+    removed = 0
+    cluster_insts = set()
+    for entry in entries:
+        if entry.cluster:
+            for inst in entry.instances:
+                cluster_insts.add(inst.path)
+
+    def dep_available(dep) -> bool:
+        return (graph.nodes[dep]["const"]
+                or dep[1] in ctx.dead_wids
+                or dep[1] in ctx.static_wids)
+
+    changed = True
+    while changed:
+        changed = False
+        pos = {}
+        for idx, entry in enumerate(entries):
+            for group in entry.groups:
+                pos[group] = idx
+        occ = defaultdict(list)
+        for idx, entry in enumerate(entries):
+            if not entry.cluster:
+                occ[entry.instances[0].path].append(idx)
+        for path, idxs in occ.items():
+            if path in cluster_insts:
+                continue
+            for k in range(len(idxs) - 1, 0, -1):
+                j, prev = idxs[k], idxs[k - 1]
+                ok = True
+                for group in entries[j].groups:
+                    for dep in graph.predecessors(group):
+                        if dep_available(dep):
+                            continue
+                        if pos.get(dep, -1) >= prev:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if ok:
+                    entries[prev].groups.extend(entries[j].groups)
+                    del entries[j]
+                    removed += 1
+                    changed = True
+                    break
+            if changed:
+                break
+    return {"occurrences": removed}

@@ -1,0 +1,198 @@
+"""The optimizer pass manager: run passes, record deltas, emit the block.
+
+:func:`optimize_model` is the single entry point the IR compiler
+(:func:`repro.core.ir.compile_model`) calls on an optimized-cache miss.
+It owns the pass ordering (constant propagation feeds dead-code
+elimination feeds fusion feeds pruning feeds control inlining), runs
+each pass that the requested level enables over one shared
+:class:`OptContext`, and lowers the result to
+
+* a new live schedule (the fused/pruned ``ScheduleEntry`` list), and
+* a portable **opt block** — a JSON-able dict of wire keys and
+  instance paths every engine applies at construction time
+  (``SimulatorBase._apply_opt``) and that rides inside the cached
+  :class:`~repro.core.ir.CompiledModel`.
+
+Safety rests on the DEPS/PORTS contracts the fingerprint already
+covers: reacts are pure, idempotent and monotone, so any schedule that
+respects the declared signal-group dependencies reaches the same
+unique fixpoint (chaotic-iteration confluence), and transfers/probes
+are judged from final wire state only.  Every pass transforms within
+those contracts; the cross-engine differential tests arbitrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set
+
+from ..netlist import Design
+from ..optimize import ScheduleEntry, build_schedule, build_signal_graph
+from .passes import const_prop, control, dead_code, fusion, prune
+
+#: Total pipeline executions in this process.  Cache tests and the
+#: warm-skip benchmark assert this does NOT advance on a warm
+#: optimized-IR cache hit.
+PIPELINE_RUNS = 0
+
+#: (name, minimum level, pass module) in execution order.
+PASS_TABLE = (
+    (const_prop.NAME, 1, const_prop),
+    (dead_code.NAME, 2, dead_code),
+    (fusion.NAME, 1, fusion),
+    (prune.NAME, 1, prune),
+    (control.NAME, 1, control),
+)
+
+
+class OptContext:
+    """Mutable state shared by the passes of one pipeline run."""
+
+    __slots__ = ("design", "graph", "entries", "level", "static_wids",
+                 "dead_paths", "dead_wids", "control_wids")
+
+    def __init__(self, design: Design, graph, entries: List[ScheduleEntry],
+                 level: int):
+        self.design = design
+        self.graph = graph
+        self.entries = entries
+        self.level = level
+        #: Fully constant wires, parked after one drive.
+        self.static_wids: Set[int] = set()
+        #: Instances eliminated by dead-code (closed dead subgraphs).
+        self.dead_paths: Set[str] = set()
+        #: Wires of eliminated instances, parked entirely.
+        self.dead_wids: Set[int] = set()
+        #: Wires whose full-identity control function is stripped.
+        self.control_wids: Set[int] = set()
+
+
+class OptResult:
+    """One pipeline run's output: the new schedule plus the opt block."""
+
+    __slots__ = ("schedule", "block", "level")
+
+    def __init__(self, schedule: List[ScheduleEntry],
+                 block: Dict[str, Any], level: int):
+        self.schedule = schedule
+        self.block = block
+        self.level = level
+
+
+def react_calls(entries: List[ScheduleEntry]) -> int:
+    """``react()`` invocations one schedule walk costs (clusters count
+    one call per member; their fixed-point iterations are dynamic)."""
+    return sum(len(e.instances) if e.cluster else 1 for e in entries)
+
+
+def schedule_signature(entries: List[ScheduleEntry]) -> List[str]:
+    """Compact, comparison-friendly rendering of a schedule (golden
+    snapshot tests): one string per entry, ``path`` or
+    ``cluster:a+b``, suffixed with the group count."""
+    out: List[str] = []
+    for entry in entries:
+        if entry.cluster:
+            names = "+".join(sorted(i.path for i in entry.instances))
+            out.append(f"cluster:{names}({len(entry.groups)}g)")
+        else:
+            out.append(f"{entry.instances[0].path}({len(entry.groups)}g)")
+    return out
+
+
+def optimize_model(design: Design, *, level: int, graph=None,
+                   schedule: Optional[List[ScheduleEntry]] = None) \
+        -> OptResult:
+    """Run the pass pipeline over ``design`` at ``level``.
+
+    ``graph``/``schedule`` let the IR compiler hand over the signal
+    graph and base schedule it already has; both are rebuilt when
+    absent.  ``level`` must be ≥ 1 (level 0 means "pipeline skipped"
+    and is handled by the caller).
+    """
+    global PIPELINE_RUNS
+    PIPELINE_RUNS += 1
+    if graph is None:
+        graph = build_signal_graph(design)
+    if schedule is None:
+        schedule = build_schedule(design, graph=graph)
+    ctx = OptContext(design, graph, schedule, level)
+    records: List[Dict[str, Any]] = []
+    for name, min_level, module in PASS_TABLE:
+        if level < min_level:
+            continue
+        entries_before = len(ctx.entries)
+        reacts_before = react_calls(ctx.entries)
+        detail = module.run(ctx) or {}
+        record = {"name": name,
+                  "entries_before": entries_before,
+                  "entries_after": len(ctx.entries),
+                  "reacts_before": reacts_before,
+                  "reacts_after": react_calls(ctx.entries)}
+        record.update(detail)
+        records.append(record)
+    block = _lower_block(ctx, records)
+    return OptResult(ctx.entries, block, level)
+
+
+def _lower_block(ctx: OptContext,
+                 records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Lower the context's wid/path sets to the portable opt block."""
+    from . import OPT_VERSION
+    from ..compile_cache import wire_key
+    by_wid = {w.wid: w for w in ctx.design.wires}
+
+    def keys(wids: Set[int]) -> List[List[Any]]:
+        return sorted(list(wire_key(by_wid[wid])) for wid in wids)
+
+    return {"version": OPT_VERSION,
+            "level": ctx.level,
+            "static": keys(ctx.static_wids),
+            "dead_wires": keys(ctx.dead_wids),
+            "dead_instances": sorted(ctx.dead_paths),
+            "controls": keys(ctx.control_wids),
+            "passes": records}
+
+
+# ----------------------------------------------------------------------
+# Explain report (python -m repro opt --explain)
+# ----------------------------------------------------------------------
+def explain_report(design: Design, level: int) -> str:
+    """Human-readable per-pass delta report for one design at ``level``.
+
+    Runs the pipeline directly (never through the cache) so the report
+    always reflects the current pass behavior.
+    """
+    lines = [f"optimizer report for design {design.name!r} at --opt {level}"]
+    if level <= 0:
+        lines.append("  level 0: pipeline disabled, schedule unchanged")
+        return "\n".join(lines)
+    graph = build_signal_graph(design)
+    base = build_schedule(design, graph=graph)
+    result = optimize_model(design, level=level, graph=graph, schedule=base)
+    for rec in result.block["passes"]:
+        delta = []
+        if rec["entries_before"] != rec["entries_after"]:
+            delta.append(f"entries {rec['entries_before']}"
+                         f"->{rec['entries_after']}")
+        if rec["reacts_before"] != rec["reacts_after"]:
+            delta.append(f"reacts/step {rec['reacts_before']}"
+                         f"->{rec['reacts_after']}")
+        for key, value in rec.items():
+            if key in ("name", "entries_before", "entries_after",
+                       "reacts_before", "reacts_after"):
+                continue
+            delta.append(f"{key}={value}")
+        lines.append(f"  pass {rec['name']:<14} "
+                     + (", ".join(delta) if delta else "no change"))
+    block = result.block
+    lines.append(
+        f"  total: schedule {len(base)}->{len(result.schedule)} entries, "
+        f"react calls/step {react_calls(base)}->"
+        f"{react_calls(result.schedule)}")
+    lines.append(
+        f"  parked wires: {len(block['static'])} static, "
+        f"{len(block['dead_wires'])} dead; "
+        f"instances removed: {len(block['dead_instances'])}; "
+        f"controls inlined: {len(block['controls'])}")
+    if block["dead_instances"]:
+        lines.append("  eliminated: " + ", ".join(block["dead_instances"]))
+    return "\n".join(lines)

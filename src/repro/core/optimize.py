@@ -25,7 +25,7 @@ generated Python.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -262,15 +262,22 @@ class LevelizedSimulator(SimulatorBase):
     #: :func:`repro.core.ir.compile_model` attaches one up front.
     NEEDS_STEPPER = False
 
-    def __init__(self, design: Design, **kw):
+    def __init__(self, design: Design, *, opt: Optional[int] = None, **kw):
         # Construction-time compilation is content-addressed: the IR
         # compiler fingerprints the design and, on a cache hit, rebinds
         # the cached CompiledModel onto this design's instances and
         # wires — the signal graph, condensation and schedule
-        # construction are all skipped (see repro.core.ir).
+        # construction are all skipped (see repro.core.ir).  ``opt``
+        # (default: the REPRO_OPT environment) selects the optimizer
+        # level; optimized artifacts are cached under a composite key,
+        # so warm runs skip the pass pipeline too.
         from .ir import compile_model
-        bound = compile_model(design, need_stepper=type(self).NEEDS_STEPPER)
-        super().__init__(design, _partition=bound.partition, **kw)
+        from .opt import resolve_opt_level
+        level = resolve_opt_level(opt)
+        bound = compile_model(design, need_stepper=type(self).NEEDS_STEPPER,
+                              opt_level=level)
+        super().__init__(design, _partition=bound.partition,
+                         _opt=bound.model.opt, **kw)
         self.compiled = bound.model
         self.compile_fingerprint: str = bound.model.fingerprint
         self.compiled_from_cache = bound.from_cache
@@ -334,7 +341,7 @@ class LevelizedSimulator(SimulatorBase):
         while self._unknown > 0 and guard > 0:
             guard -= 1
             before = self._unknown
-            for inst in self._instances:
+            for inst in self._react_instances:
                 inst.react()
             if self._unknown == before:
                 if self.cycle_policy == "error":

@@ -87,6 +87,10 @@ def add_fabric_parsers(subparsers) -> None:
     work.add_argument("--idle-exit", type=int, default=None, metavar="N",
                       help="exit after N consecutive idle polls "
                            "(default: keep polling)")
+    work.add_argument("--lane-cap", type=int, default=None, metavar="N",
+                      help="largest lockstep batch this worker accepts "
+                           "per shard (default: the host's CPU count); "
+                           "the coordinator splits wider shards")
 
     submit = subparsers.add_parser(
         "submit", help="submit a sweep to a fabric coordinator",
@@ -108,6 +112,9 @@ def add_fabric_parsers(subparsers) -> None:
     from ..core.backends import engine_names
     submit.add_argument("--engine", default="levelized",
                         choices=engine_names())
+    submit.add_argument("--opt", type=int, choices=(0, 1, 2), default=None,
+                        help="IR optimization level for every shard "
+                             "(default: each worker's REPRO_OPT, else 0)")
     submit.add_argument("--seed", type=int, default=0,
                         help="campaign base seed (default 0)")
     submit.add_argument("--batch-max", type=int, default=16, metavar="N",
@@ -191,7 +198,8 @@ def run_work_command(args) -> int:
     host, port = _parse_connect(args.connect)
     stats = worker_main(host, port, worker_id=args.id,
                         cache_dir=args.cache_dir, poll=args.poll,
-                        idle_exit_after=args.idle_exit)
+                        idle_exit_after=args.idle_exit,
+                        lane_cap=args.lane_cap)
     print(f"# worker done: {stats['shards_done']} shard(s), "
           f"{stats['points']} point(s), "
           f"{stats['artifacts_installed']} artifact(s) installed")
@@ -214,7 +222,7 @@ def run_submit_command(args) -> int:
     else:
         with open(args.spec) as handle:
             job_kw.update(kind="lss", lss_text=handle.read())
-    job = job_from_sweep(name, sweep, engine=args.engine,
+    job = job_from_sweep(name, sweep, engine=args.engine, opt=args.opt,
                          cycles=args.cycles, batch_max=args.batch_max,
                          retries=args.retries, ledger_path=args.ledger,
                          **job_kw)

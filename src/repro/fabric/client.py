@@ -31,7 +31,8 @@ from .shards import JobSpec
 def job_from_sweep(name: str, sweep: Sweep, *, kind: str = "spec",
                    target: Optional[str] = None,
                    lss_text: Optional[str] = None,
-                   engine: str = "levelized", cycles: int = 1000,
+                   engine: str = "levelized", opt: Optional[int] = None,
+                   cycles: int = 1000,
                    seed_key: Optional[str] = "seed", batch_max: int = 16,
                    retries: int = 2,
                    ledger_path: Optional[str] = None) -> JobSpec:
@@ -40,7 +41,7 @@ def job_from_sweep(name: str, sweep: Sweep, *, kind: str = "spec",
                "params": p.params, "seed": p.seed}
               for p in sweep.points()]
     return JobSpec(name=name, kind=kind, points=points, target=target,
-                   lss_text=lss_text, engine=engine, cycles=cycles,
+                   lss_text=lss_text, engine=engine, opt=opt, cycles=cycles,
                    seed_key=seed_key, batch_max=batch_max, retries=retries,
                    ledger_path=ledger_path,
                    sweep_fingerprint=sweep.fingerprint()).validate()

@@ -323,6 +323,7 @@ class Coordinator:
             return {"type": "idle", "draining": self._stopping}
         shard = self.queue.popleft()
         job = self.jobs[shard.job_id]
+        shard = self._fit_shard(job, shard, message.get("caps") or {})
         shard.attempts += 1
         lease_id = f"L{next(self._ids)}"
         now = time.monotonic()
@@ -446,6 +447,40 @@ class Coordinator:
     def _gauges(self) -> None:
         self.metrics.gauge("fabric.queue_depth").set(len(self.queue))
         self.metrics.gauge("fabric.active_leases").set(len(self.leases))
+
+    def _fit_shard(self, job: JobState, shard: Shard,
+                   caps: Dict[str, Any]) -> Shard:
+        """Trim a batch shard to the leasing worker's lane capacity.
+
+        Workers report capability tags (:func:`~repro.fabric.worker.
+        worker_capabilities`) with every lease request.  When a batch
+        shard holds more lockstep lanes than the worker's ``lane_cap``,
+        the shard is split at the cap: the worker takes the head slice
+        (inheriting the parent's attempt count — it is the same work),
+        and the tail goes back on the queue as a fresh shard for the
+        next lease.  Both halves replace the parent in the job's shard
+        registry, so completion merging, retries and expiry all see the
+        derived shards and never the stale parent.  Serial shards and
+        workers without a positive cap pass through untouched.
+        """
+        try:
+            cap = int(caps.get("lane_cap") or 0)
+        except (TypeError, ValueError):
+            cap = 0
+        if shard.mode != "batch" or cap <= 0 or len(shard.points) <= cap:
+            return shard
+        head = Shard(f"{shard.shard_id}/a", shard.job_id, "batch",
+                     shard.points[:cap], fingerprint=shard.fingerprint,
+                     attempts=shard.attempts)
+        tail = Shard(f"{shard.shard_id}/b", shard.job_id, "batch",
+                     shard.points[cap:], fingerprint=shard.fingerprint,
+                     attempts=shard.attempts)
+        job.shards.pop(shard.shard_id, None)
+        job.shards[head.shard_id] = head
+        job.shards[tail.shard_id] = tail
+        self.queue.append(tail)
+        self.metrics.counter("fabric.shards_split").inc()
+        return head
 
     def _retire_shard(self, job: JobState, shard: Shard) -> None:
         """Drop a finished shard from the job and the queue/leases."""

@@ -49,6 +49,7 @@ class JobSpec:
     target: Optional[str] = None
     lss_text: Optional[str] = None
     engine: str = "levelized"
+    opt: Optional[int] = None
     cycles: int = 1000
     seed_key: Optional[str] = "seed"
     batch_max: int = 16
@@ -72,6 +73,8 @@ class JobSpec:
             raise FabricError(f"batch_max must be >= 1, got {self.batch_max}")
         if self.retries < 0:
             raise FabricError(f"retries must be >= 0, got {self.retries}")
+        if self.opt is not None and self.opt not in (0, 1, 2):
+            raise FabricError(f"opt must be 0, 1 or 2, got {self.opt!r}")
         seen: Set[str] = set()
         for point in self.points:
             rid = point.get("run_id")
@@ -85,7 +88,8 @@ class JobSpec:
     def to_payload(self) -> Dict[str, Any]:
         return {"name": self.name, "kind": self.kind, "points": self.points,
                 "target": self.target, "lss_text": self.lss_text,
-                "engine": self.engine, "cycles": self.cycles,
+                "engine": self.engine, "opt": self.opt,
+                "cycles": self.cycles,
                 "seed_key": self.seed_key, "batch_max": self.batch_max,
                 "retries": self.retries, "ledger_path": self.ledger_path,
                 "sweep_fingerprint": self.sweep_fingerprint}
@@ -99,6 +103,8 @@ class JobSpec:
                 target=payload.get("target"),
                 lss_text=payload.get("lss_text"),
                 engine=payload.get("engine", "levelized"),
+                opt=(None if payload.get("opt") is None
+                     else int(payload["opt"])),
                 cycles=int(payload.get("cycles", 1000)),
                 seed_key=payload.get("seed_key", "seed"),
                 batch_max=int(payload.get("batch_max", 16)),
@@ -194,8 +200,10 @@ def plan_shards(job: JobSpec, job_id: str,
             add("serial", todo[k:k + job.batch_max])
         return plan
 
-    groups, failures = fingerprint_groups(job.kind, job.target,
-                                          job.lss_text, todo)
+    from ..core.opt import resolve_opt_level
+    groups, failures = fingerprint_groups(
+        job.kind, job.target, job.lss_text, todo,
+        opt_level=resolve_opt_level(job.opt))
     for fingerprint, members in groups.items():
         plan.fingerprints.append(fingerprint)
         for k in range(0, len(members), job.batch_max):
@@ -214,8 +222,8 @@ def _single_task(job: JobSpec, point: Point) -> RunTask:
         params.setdefault(job.seed_key, point["seed"])
     return RunTask(run_id=point["run_id"], index=point.get("index", -1),
                    params=params, seed=point["seed"], target=job.target,
-                   kind=job.kind, engine=job.engine, cycles=job.cycles,
-                   lss_text=job.lss_text)
+                   kind=job.kind, engine=job.engine, opt=job.opt,
+                   cycles=job.cycles, lss_text=job.lss_text)
 
 
 def execute_shard(shard: Shard, job: JobSpec) -> Dict[str, Dict[str, Any]]:
@@ -231,7 +239,7 @@ def execute_shard(shard: Shard, job: JobSpec) -> Dict[str, Dict[str, Any]]:
         task = RunTask(run_id=shard.shard_id, index=-1, params={},
                        seed=shard.points[0]["seed"], target=job.target,
                        kind="batch", batch_kind=job.kind, engine=job.engine,
-                       cycles=job.cycles, lss_text=job.lss_text,
+                       opt=job.opt, cycles=job.cycles, lss_text=job.lss_text,
                        points=shard.points)
         lanes = execute_task(task).get("lanes") or {}
         out: Dict[str, Dict[str, Any]] = {}

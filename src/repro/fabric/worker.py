@@ -36,6 +36,28 @@ from .protocol import Channel, FabricError, one_shot
 from .shards import JobSpec, Shard, execute_shard
 
 
+def worker_capabilities(lane_cap: Optional[int] = None) -> Dict[str, Any]:
+    """The capability tags a worker reports with each lease request.
+
+    ``cpus`` is the host's logical CPU count, ``numpy`` whether the
+    vectorized lockstep backend can run here, and ``lane_cap`` the
+    largest lockstep batch this worker wants in one shard — explicit
+    ``lane_cap`` wins, else the CPU count (one lane per logical CPU is
+    the empirical knee for the scalar batched backend's dispatch walk).
+    The coordinator splits larger batch shards at lease time, so a
+    4-core box leased from a 64-lane sweep gets 4-lane slices while a
+    big host drains whole groups.
+    """
+    cpus = os.cpu_count() or 1
+    try:
+        import numpy  # noqa: F401 - availability probe only
+        has_numpy = True
+    except ImportError:  # pragma: no cover - numpy ships in the env
+        has_numpy = False
+    return {"cpus": cpus, "numpy": has_numpy,
+            "lane_cap": int(lane_cap) if lane_cap else cpus}
+
+
 class _Heartbeat:
     """Renew one lease on a background thread until stopped."""
 
@@ -77,12 +99,14 @@ class Worker:
     def __init__(self, host: str, port: int, *,
                  worker_id: Optional[str] = None,
                  poll: float = 0.2,
-                 heartbeat_interval: Optional[float] = None):
+                 heartbeat_interval: Optional[float] = None,
+                 lane_cap: Optional[int] = None):
         self.host = host
         self.port = port
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.poll = poll
         self.heartbeat_interval = heartbeat_interval
+        self.caps = worker_capabilities(lane_cap)
         self.stats = {"shards_done": 0, "shards_failed": 0, "points": 0,
                       "artifacts_installed": 0, "artifact_fallbacks": 0,
                       "idle_polls": 0}
@@ -155,7 +179,8 @@ class Worker:
         with Channel(self.host, self.port) as channel:
             while max_shards is None or executed < max_shards:
                 reply = channel.request({"type": "lease",
-                                         "worker": self.worker_id})
+                                         "worker": self.worker_id,
+                                         "caps": self.caps})
                 if reply.get("type") == "idle":
                     if stop_on_drain and reply.get("draining"):
                         break
@@ -181,7 +206,8 @@ def worker_main(host: str, port: int, *,
                 poll: float = 0.2,
                 heartbeat_interval: Optional[float] = None,
                 max_shards: Optional[int] = None,
-                idle_exit_after: Optional[int] = None) -> Dict[str, int]:
+                idle_exit_after: Optional[int] = None,
+                lane_cap: Optional[int] = None) -> Dict[str, int]:
     """Process entry point for a worker (CLI and spawned subprocesses).
 
     ``cache_dir`` points the worker's on-disk compile-cache layer
@@ -192,7 +218,8 @@ def worker_main(host: str, port: int, *,
         from ..core.compile_cache import configure
         configure(disk_dir=cache_dir)
     worker = Worker(host, port, worker_id=worker_id, poll=poll,
-                    heartbeat_interval=heartbeat_interval)
+                    heartbeat_interval=heartbeat_interval,
+                    lane_cap=lane_cap)
     try:
         return worker.run(max_shards=max_shards,
                           idle_exit_after=idle_exit_after)

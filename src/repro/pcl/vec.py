@@ -22,12 +22,14 @@ scalar lockstep path.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import List, Sequence
 
 import numpy as np
 
 from ..core.vec import VecModuleContext, register_vec_impl
+from .buffer import Buffer, BufferEntry, fifo_policy
 from .queue import Queue
 from .sink import Sink
 from .source import Source
@@ -282,4 +284,106 @@ class VecQueue:
                                for k in range(int(self.count[lane])))
 
 
-__all__: List[str] = ["VecSource", "VecSink", "VecQueue"]
+@register_vec_impl(Buffer)
+class VecBuffer:
+    """Array form of :class:`repro.pcl.buffer.Buffer`, FIFO discipline.
+
+    Only the plain router-buffer instantiation vectorizes: the stock
+    :func:`~repro.pcl.buffer.fifo_policy`, no update/insert handlers,
+    no custom ``emit``, a single output head and no ``upd`` port.
+    Algorithmic bindings (out-of-order windows, reorder buffers,
+    squash handlers) call arbitrary Python per entry and stay on the
+    scalar lockstep path.
+
+    The pool is a left-justified ``(lanes, max_depth)`` object array of
+    the instances' *live* :class:`~repro.pcl.buffer.BufferEntry`
+    objects, so ``born``/``seq``/``meta`` survive the array round trip
+    untouched.  Departures run before insertions, exactly as the scalar
+    ``update`` removes accepted heads before appending this cycle's
+    arrivals; residency samples are recorded per departing lane in
+    cycle order, preserving each lane's histogram stream.
+    """
+
+    @classmethod
+    def supports(cls, insts: Sequence) -> bool:
+        if insts[0].port("out").width != 1 \
+                or insts[0].port("upd").width != 0:
+            return False
+        return all(inst.p["select_policy"] is fifo_policy
+                   and inst.p["on_update"] is None
+                   and inst.p["on_insert"] is None
+                   and inst.p["emit"] is None for inst in insts)
+
+    def __init__(self, ctx: VecModuleContext):
+        self.ctx = ctx
+        self.inp = ctx.ports["in"]
+        self.out = ctx.ports["out"]
+
+    def gather(self) -> None:
+        insts = self.ctx.insts
+        lanes = self.ctx.lanes
+        self.depth = np.array([inst.p["depth"] for inst in insts], np.int64)
+        cap = int(self.depth.max())
+        self.buf = np.empty((lanes, cap), object)
+        self.buf.fill(None)
+        self.count = np.zeros(lanes, np.int64)
+        # One draw anchors each lane's live seq counter; sync_out
+        # reinstates it advanced by exactly the lane's insertions, the
+        # position a scalar run would have left it in.
+        self.next_seq = np.zeros(lanes, np.int64)
+        for lane, inst in enumerate(insts):
+            entries = list(inst.entries)
+            self.count[lane] = len(entries)
+            for k, entry in enumerate(entries):
+                self.buf[lane, k] = entry
+            self.next_seq[lane] = next(inst._seq)
+
+    def react(self) -> None:
+        free = self.depth - self.count
+        for i, port in enumerate(self.inp):
+            port.set_ack_masked(free > i)
+        has = self.count > 0
+        values = np.empty(self.ctx.lanes, object)
+        for lane in np.nonzero(has)[0]:
+            values[lane] = self.buf[lane, 0].value
+        self.out[0].send_masked(has, values)
+
+    def update(self, now: int) -> None:
+        stats = self.ctx.stats
+        path = self.ctx.path
+        insts = self.ctx.insts
+        # Departing heads leave (and record residency) before this
+        # cycle's insertions land, matching the scalar update order.
+        took_out = self.out[0].took_src() & (self.count > 0)
+        idx = np.nonzero(took_out)[0]
+        for lane in idx:
+            insts[lane].record(
+                "residency", float(now - self.buf[lane, 0].born))
+        if idx.size:
+            self.buf[idx, :-1] = self.buf[idx, 1:]
+            self.buf[idx, -1] = None
+            self.count[idx] -= 1
+        stats.add(path, "removed", took_out)
+        for i, port in enumerate(self.inp):
+            took = port.took_dst()
+            jdx = np.nonzero(took)[0]
+            if jdx.size:
+                values = port.values()
+                for lane in jdx:
+                    self.buf[lane, self.count[lane]] = BufferEntry(
+                        int(self.next_seq[lane]), values[lane], now)
+                    self.next_seq[lane] += 1
+                self.count[jdx] += 1
+            stats.add(path, "inserted", took)
+            stats.add(path, "full_stalls", port.present() & ~took)
+
+    def sync_out(self) -> None:
+        for lane, inst in enumerate(self.ctx.insts):
+            inst.entries = [self.buf[lane, k]
+                            for k in range(int(self.count[lane]))]
+            inst._seq = itertools.count(int(self.next_seq[lane]))
+            inst._offers = []
+            inst._offer_cycle = -1
+
+
+__all__: List[str] = ["VecSource", "VecSink", "VecQueue", "VecBuffer"]

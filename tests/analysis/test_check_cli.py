@@ -60,6 +60,18 @@ class TestExitCodes:
         out = capsys.readouterr().out
         assert "connectivity.dead-instance" in out
 
+    def test_dead_instance_notes_opt_removal(self, tmp_path, capsys):
+        # The optimizer can delete what the checker diagnoses: the
+        # dead-instance hint says so, and --format json carries it too.
+        assert main(["check", _write(tmp_path, WARNING_SPEC)]) == 1
+        assert "removable at --opt 2" in capsys.readouterr().out
+        main(["check", _write(tmp_path, WARNING_SPEC), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        dead = [f for f in payload["findings"]
+                if f["rule"] == "connectivity.dead-instance"]
+        assert dead and all("removable at --opt 2" in f["hint"]
+                            for f in dead)
+
     def test_fail_on_error_tolerates_warnings(self, tmp_path):
         assert main(["check", _write(tmp_path, WARNING_SPEC),
                      "--fail-on", "error"]) == 0

@@ -179,7 +179,9 @@ class TestDiskRobustness:
         with open(path, "w") as handle:
             handle.write("{corrupt json!")
         fresh = cc.configure(disk_dir=private_cache.disk_dir)
-        sim = build_simulator(pipe_spec(), engine="levelized")
+        # opt=0: this test corrupts the *base* entry; an optimized-IR
+        # entry (REPRO_OPT) lives under its own composite key.
+        sim = build_simulator(pipe_spec(), engine="levelized", opt=0)
         assert not sim.compiled_from_cache  # recompiled, no exception
         # ... and the recompilation re-stored a valid entry.
         with open(path) as handle:
@@ -194,7 +196,7 @@ class TestDiskRobustness:
         with open(path, "w") as handle:
             json.dump(payload, handle)
         cc.configure(disk_dir=private_cache.disk_dir)
-        sim = build_simulator(pipe_spec(), engine="levelized")
+        sim = build_simulator(pipe_spec(), engine="levelized", opt=0)
         assert not sim.compiled_from_cache
 
     def test_inapplicable_entry_is_evicted_on_materialize(self, private_cache):
@@ -215,7 +217,15 @@ class TestWarming:
     def test_warm_spec_precompiles(self, private_cache):
         fingerprint = cc.warm_spec(pipe_spec())
         assert private_cache.lookup(fingerprint) is not None
-        sim = build_simulator(pipe_spec(), engine="levelized")
+        sim = build_simulator(pipe_spec(), engine="levelized", opt=0)
+        assert sim.compiled_from_cache
+
+    def test_warm_spec_precompiles_optimized(self, private_cache):
+        from repro.core.opt import opt_cache_key
+        fingerprint = cc.warm_spec(pipe_spec(), opt_level=2)
+        assert private_cache.lookup(fingerprint) is not None
+        assert private_cache.lookup(opt_cache_key(fingerprint, 2)) is not None
+        sim = build_simulator(pipe_spec(), engine="levelized", opt=2)
         assert sim.compiled_from_cache
 
     def test_warm_design_is_idempotent(self, private_cache):
@@ -228,7 +238,9 @@ class TestWarming:
 
 class TestWorklistUnaffected:
     def test_worklist_engine_ignores_cache(self, private_cache):
-        sim = build_simulator(pipe_spec(), engine="worklist")
+        # Only at opt 0: optimizer levels compile (and cache) the IR the
+        # opt block is derived from, whatever the engine.
+        sim = build_simulator(pipe_spec(), engine="worklist", opt=0)
         sim.run(10)
         assert private_cache.stats["stores"] == 0
 

@@ -1,0 +1,437 @@
+"""Tests for the IR optimizer pipeline (repro.core.opt).
+
+Three layers of assurance:
+
+* **golden snapshots** — per-pass before/after schedule signatures on
+  small hand-built designs, plus headline numbers on the Figure 2(d)
+  system of systems;
+* **cross-engine differentials** — every shipped system builder must
+  simulate bit-identically at ``--opt 0/1/2`` under all five engines
+  (the acceptance bar: optimization is observationally invisible);
+* **cache keying** — optimized IR is cached under the composite
+  ``(fingerprint, opt_level, OPT_VERSION)`` key and warm constructions
+  skip the pass pipeline entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LSS, SpecificationError, build_design, build_simulator
+from repro.core import compile_cache as cc
+from repro.core.opt import (MAX_OPT_LEVEL, OPT_VERSION, opt_cache_key,
+                            resolve_opt_level)
+from repro.core.opt import pipeline as opt_pipeline
+from repro.core.opt.pipeline import (OptContext, explain_report,
+                                     optimize_model, react_calls,
+                                     schedule_signature)
+from repro.core.opt.passes import (const_prop, control, dead_code, fusion,
+                                   prune)
+from repro.core.optimize import build_schedule, build_signal_graph
+from repro.pcl import Queue, Sink, Source
+
+from ..conftest import simple_pipe_spec
+
+
+@pytest.fixture(autouse=True)
+def private_cache(tmp_path):
+    """Keep optimized-IR cache writes off the repo directory."""
+    cache = cc.configure(disk_dir=str(tmp_path / "cache"))
+    yield cache
+    cc.configure()
+
+
+def _cut_spec():
+    """src -> q with the queue's output cut and a floating sink.
+
+    The floating sink is an *isolated* instance (the analysis layer's
+    ``connectivity.dead-instance``); the cut queue output leaves const
+    signal groups in the wire partition.
+    """
+    spec = LSS("cut")
+    src = spec.instance("src", Source, pattern="counter")
+    q = spec.instance("q", Queue, depth=4)
+    spec.instance("snk", Sink)  # never connected: isolated
+    spec.connect(src.port("out"), q.port("in"))
+    return spec
+
+
+def _fig2d_design(backend="detailed"):
+    from repro.systems.fig2d import build_fig2d
+    spec, _info = build_fig2d(n_sensors=2, backend=backend)
+    return build_design(spec)
+
+
+class TestResolveOptLevel:
+    def test_default_is_unoptimized(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OPT", raising=False)
+        assert resolve_opt_level(None) == 0
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT", "2")
+        assert resolve_opt_level(None) == 2
+
+    def test_explicit_level_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT", "2")
+        assert resolve_opt_level(0) == 0
+        assert resolve_opt_level("1") == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(SpecificationError, match="0..2"):
+            resolve_opt_level(MAX_OPT_LEVEL + 1)
+        with pytest.raises(SpecificationError, match="integer"):
+            resolve_opt_level("fast")
+
+    def test_cache_key_is_composite(self):
+        key = opt_cache_key("abc123", 2)
+        assert "abc123" in key and "2" in key and str(OPT_VERSION) in key
+        assert opt_cache_key("abc123", 1) != key
+
+
+class TestGoldenPassSnapshots:
+    """Per-pass before/after IR snapshots on a hand-built design."""
+
+    def _context(self, spec, level=2):
+        design = build_design(spec)
+        graph = build_signal_graph(design)
+        entries = build_schedule(design, graph=graph)
+        return design, OptContext(design, graph, entries, level)
+
+    def test_cut_spec_pass_by_pass(self):
+        _design, ctx = self._context(_cut_spec())
+        assert schedule_signature(ctx.entries) \
+            == ["src(1g)", "q(2g)", "snk(1g)"]
+
+        detail = const_prop.run(ctx)
+        # The cut queue output contributes const groups; no wire is
+        # fully constant, so nothing parks.
+        assert detail == {"static_wires": 0, "const_groups": 2}
+        assert schedule_signature(ctx.entries) \
+            == ["src(1g)", "q(2g)", "snk(1g)"]
+
+        detail = dead_code.run(ctx)
+        assert detail == {"instances": 1, "wires": 1}
+        assert sorted(ctx.dead_paths) == ["snk"]
+
+        fusion.run(ctx)
+        # Fusion drops the dead sink's entry and collapses the queue's
+        # two groups into one instance-affine occurrence.
+        assert schedule_signature(ctx.entries) == ["q(2g)", "src(1g)"]
+
+        detail = prune.run(ctx)
+        assert detail == {"occurrences": 0}
+        detail = control.run(ctx)
+        assert detail == {"controls": 0}
+        assert schedule_signature(ctx.entries) == ["q(2g)", "src(1g)"]
+
+    def test_pipe_fusion_collapses_queue_levels(self):
+        _design, ctx = self._context(simple_pipe_spec())
+        assert schedule_signature(ctx.entries) \
+            == ["src(1g)", "q(2g)", "snk(1g)"]
+        const_prop.run(ctx)
+        dead_code.run(ctx)
+        fusion.run(ctx)
+        assert schedule_signature(ctx.entries) \
+            == ["q(2g)", "snk(1g)", "src(1g)"]
+        assert react_calls(ctx.entries) == 3
+
+    def test_level_1_skips_dead_code(self):
+        design = build_design(_cut_spec())
+        result = optimize_model(design, level=1)
+        assert result.block["dead_instances"] == []
+        names = [rec["name"] for rec in result.block["passes"]]
+        assert "dead-code" not in names
+        result2 = optimize_model(design, level=2)
+        assert result2.block["dead_instances"] == ["snk"]
+        assert [rec["name"] for rec in result2.block["passes"]] \
+            == ["const-prop", "dead-code", "level-fusion", "prune",
+                "control-inline"]
+
+    def test_fig2d_headline_numbers(self):
+        """The measured wins the README cites, pinned as goldens."""
+        design = _fig2d_design("detailed")
+        graph = build_signal_graph(design)
+        base = build_schedule(design, graph=graph)
+        assert react_calls(base) == 102
+        result = optimize_model(design, level=2, graph=graph, schedule=base)
+        assert react_calls(result.schedule) == 45
+        assert result.block["dead_instances"] == ["gateway/txstub"]
+        assert len(result.block["dead_wires"]) == 2
+
+        stat = _fig2d_design("statistical")
+        g2 = build_signal_graph(stat)
+        b2 = build_schedule(stat, graph=g2)
+        assert react_calls(b2) == 74
+        r2 = optimize_model(stat, level=2, graph=g2, schedule=b2)
+        assert react_calls(r2.schedule) == 34
+        assert r2.block["dead_instances"] == []
+
+    def test_block_is_json_portable(self):
+        import json
+        design = _fig2d_design("detailed")
+        block = optimize_model(design, level=2).block
+        clone = json.loads(json.dumps(block))
+        assert clone == block
+        assert clone["version"] == OPT_VERSION
+        assert clone["level"] == 2
+
+
+class TestEliminationMatchesAnalysis:
+    """Satellite: the rewriter eliminates exactly what the analysis
+    layer diagnoses — on Figure 2(d), the detached transmitter stub."""
+
+    def test_fig2d_eliminated_set_equals_analysis_findings(self):
+        from repro.analysis.connectivity import dead_instance_paths
+        from repro.core.opt.passes.dead_code import eliminable_instances
+        design = _fig2d_design("detailed")
+        isolated, unreachable = dead_instance_paths(design)
+        analysis = sorted(set(isolated) | set(unreachable))
+        assert analysis == ["gateway/txstub"]
+        removable, _wids = eliminable_instances(design)
+        assert sorted(removable) == analysis
+        result = optimize_model(design, level=2)
+        assert result.block["dead_instances"] == analysis
+
+    def test_cut_spec_isolated_sink(self):
+        from repro.analysis.connectivity import dead_instance_paths
+        design = build_design(_cut_spec())
+        isolated, unreachable = dead_instance_paths(design)
+        assert sorted(set(isolated) | set(unreachable)) == ["snk"]
+        assert optimize_model(design, level=2).block["dead_instances"] \
+            == ["snk"]
+
+
+# ----------------------------------------------------------------------
+# Cross-engine differentials: optimization is observationally invisible
+# ----------------------------------------------------------------------
+ALL_ENGINES = ("worklist", "levelized", "codegen", "batched", "batched-vec")
+
+
+def _fig2a_spec():
+    from repro.systems.fig2a import build_fig2a_cmp
+    return build_fig2a_cmp(2, 2)[0]
+
+
+def _fig2b_spec():
+    from repro.systems.fig2b import build_fig2b_sensors
+    return build_fig2b_sensors(n_nodes=3, loss=0.1, seed=2)[0]
+
+
+def _fig2c_spec():
+    from repro.systems.fig2c import build_fig2c_grid
+    return build_fig2c_grid(n_nodes=4, k_words=2)[0]
+
+
+def _fig2d_spec():
+    from repro.systems.fig2d import build_fig2d
+    return build_fig2d(n_sensors=2, backend="detailed")[0]
+
+
+def _refinement_spec():
+    from repro.systems.refinement import build_stage
+    return build_stage(3)[0]
+
+
+SYSTEMS = {"fig2a": _fig2a_spec, "fig2b": _fig2b_spec,
+           "fig2c": _fig2c_spec, "fig2d": _fig2d_spec,
+           "refinement": _refinement_spec}
+
+
+def _observe(sim):
+    return {"now": sim.now, "transfers": sim.transfers_total,
+            "relaxations": sim.relaxations_total,
+            "report": sim.stats.report(),
+            "wires": [w.transfers for w in sim.design.wires]}
+
+
+class TestCrossEngineDifferential:
+    """Every engine x every shipped system: opt 0/1/2 bit-identity."""
+
+    CYCLES = 60
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("system", sorted(SYSTEMS), ids=sorted(SYSTEMS))
+    def test_opt_levels_are_bit_identical(self, engine, system):
+        build = SYSTEMS[system]
+        baseline = None
+        for level in (0, 1, 2):
+            sim = build_simulator(build(), engine=engine, seed=7, opt=level)
+            sim.run(self.CYCLES)
+            assert sim.opt_level == level
+            observed = _observe(sim)
+            sim.close()
+            if baseline is None:
+                baseline = observed
+            else:
+                assert observed == baseline, (
+                    f"{system} under {engine} diverged at --opt {level}")
+
+    def test_dead_instance_never_reacts_at_opt_2(self):
+        sim = build_simulator(_fig2d_spec(), engine="levelized", seed=7,
+                              opt=2)
+        try:
+            assert "gateway/txstub" in {i.path for i in sim._instances}
+            assert "gateway/txstub" not in {i.path
+                                            for i in sim._react_instances}
+            assert "gateway/txstub" not in {i.path for i in sim._updaters}
+            sim.run(30)
+        finally:
+            sim.close()
+
+    def test_close_restores_stripped_controls(self):
+        # Whatever control-inline strips must come back on close: the
+        # design object is reusable after the simulator releases it.
+        spec = simple_pipe_spec()
+        design = build_design(spec)
+        before = [w.control for w in design.wires]
+        from repro.core.optimize import LevelizedSimulator
+        sim = LevelizedSimulator(design, seed=1, opt=2)
+        sim.run(10)
+        sim.close()
+        assert [w.control for w in design.wires] == before
+
+
+class TestStateDictRoundtrip:
+    """Checkpoints taken on optimized models restore everywhere."""
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES[:3])
+    def test_same_level_roundtrip_at_opt_2(self, engine):
+        # Interrupted-and-resumed at opt 2 must match the uninterrupted
+        # opt 2 run (the test_checkpoint contract, on optimized IR).
+        def pipe():
+            return simple_pipe_spec(rate=0.6, seed=3)
+
+        sim = build_simulator(pipe(), engine=engine, seed=5, opt=2)
+        sim.run(40)
+        snapshot = sim.state_dict()
+        sim.run(40)
+        final = (sim.now, sim.stats.report(),
+                 [w.transfers for w in sim.design.wires])
+        sim.close()
+
+        sim2 = build_simulator(pipe(), engine=engine, seed=5, opt=2)
+        sim2.load_state_dict(snapshot)
+        sim2.run(40)
+        assert (sim2.now, sim2.stats.report(),
+                [w.transfers for w in sim2.design.wires]) == final
+        sim2.close()
+
+    def test_cross_level_roundtrip(self):
+        # opt 2 -> opt 0 and back: the optimized schedule touches the
+        # same state space, so checkpoints cross levels freely.
+        def run(opt, snapshot=None, cycles=50):
+            sim = build_simulator(simple_pipe_spec(rate=0.6, seed=3),
+                                  engine="levelized", seed=9, opt=opt)
+            if snapshot is not None:
+                sim.load_state_dict(snapshot)
+            sim.run(cycles)
+            observed = _observe(sim)
+            snap = sim.state_dict()
+            sim.close()
+            return observed, snap
+
+        _obs, snap = run(2)
+        from_opt2, _ = run(0, snapshot=snap)
+        from_opt2_again, _ = run(2, snapshot=snap)
+        assert from_opt2 == from_opt2_again
+
+
+class TestOptimizedCache:
+    """Composite keying and the warm-construction pipeline skip."""
+
+    def test_opt_compile_stores_base_and_composite(self, private_cache):
+        spec = simple_pipe_spec()
+        sim = build_simulator(spec, engine="levelized", opt=2)
+        sim.close()
+        fingerprint = cc.design_fingerprint(build_design(simple_pipe_spec()))
+        assert private_cache.lookup(fingerprint) is not None
+        assert private_cache.lookup(opt_cache_key(fingerprint, 2)) \
+            is not None
+
+    def test_levels_cache_under_distinct_keys(self, private_cache):
+        for level in (1, 2):
+            build_simulator(simple_pipe_spec(), engine="levelized",
+                            opt=level).close()
+        fingerprint = cc.design_fingerprint(build_design(simple_pipe_spec()))
+        assert private_cache.lookup(opt_cache_key(fingerprint, 1)) \
+            is not None
+        assert private_cache.lookup(opt_cache_key(fingerprint, 2)) \
+            is not None
+
+    def test_warm_construction_skips_pipeline(self, private_cache):
+        build_simulator(simple_pipe_spec(), engine="levelized",
+                        opt=2).close()
+        runs = opt_pipeline.PIPELINE_RUNS
+        sim = build_simulator(simple_pipe_spec(), engine="levelized", opt=2)
+        assert sim.compiled_from_cache
+        assert sim.opt_level == 2
+        sim.close()
+        assert opt_pipeline.PIPELINE_RUNS == runs  # pipeline never ran
+
+    def test_disk_hit_skips_pipeline_in_new_process(self, private_cache):
+        build_simulator(simple_pipe_spec(), engine="levelized",
+                        opt=2).close()
+        cc.configure(disk_dir=private_cache.disk_dir)  # "new process"
+        runs = opt_pipeline.PIPELINE_RUNS
+        sim = build_simulator(simple_pipe_spec(), engine="levelized", opt=2)
+        assert sim.compiled_from_cache
+        sim.close()
+        assert opt_pipeline.PIPELINE_RUNS == runs
+
+    def test_warm_hit_reproduces_cold_run(self, private_cache):
+        def observe():
+            sim = build_simulator(_fig2d_spec(), engine="codegen", seed=7,
+                                  opt=2)
+            sim.run(60)
+            observed = _observe(sim)
+            from_cache = sim.compiled_from_cache
+            sim.close()
+            return observed, from_cache
+
+        cold, cold_hit = observe()
+        warm, warm_hit = observe()
+        assert not cold_hit and warm_hit
+        assert warm == cold
+
+    def test_disabled_cache_still_optimizes(self):
+        cc.configure(enabled=False)
+        sim = build_simulator(_fig2d_spec(), engine="levelized", opt=2)
+        try:
+            assert sim.opt_level == 2
+            assert not sim.compiled_from_cache
+            sim.run(20)
+        finally:
+            sim.close()
+
+
+class TestBuildSimulatorKnobs:
+    def test_opt_kwarg_reaches_every_engine(self):
+        for engine in ALL_ENGINES:
+            sim = build_simulator(simple_pipe_spec(), engine=engine, opt=1)
+            assert sim.opt_level == 1, engine
+            sim.close()
+
+    def test_env_default_applies_without_kwarg(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT", "2")
+        sim = build_simulator(simple_pipe_spec(), engine="levelized")
+        assert sim.opt_level == 2
+        sim.close()
+
+    def test_invalid_level_raises_before_construction(self):
+        with pytest.raises(SpecificationError, match="0..2"):
+            build_simulator(simple_pipe_spec(), engine="levelized", opt=9)
+
+
+class TestExplainReport:
+    def test_report_names_every_pass(self):
+        design = _fig2d_design("detailed")
+        text = explain_report(design, 2)
+        for name in ("const-prop", "dead-code", "level-fusion", "prune",
+                     "control-inline"):
+            assert name in text
+        assert "gateway/txstub" in text
+        assert "102->45" in text
+
+    def test_level_0_reports_disabled(self):
+        design = build_design(simple_pipe_spec())
+        assert "pipeline disabled" in explain_report(design, 0)

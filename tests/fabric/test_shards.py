@@ -61,6 +61,22 @@ class TestJobSpec:
         with pytest.raises(FabricError, match="malformed job payload"):
             JobSpec.from_payload({"name": "j"})
 
+    def test_opt_level_round_trips(self):
+        job = JobSpec(name="j", kind="spec", points=_points(2), target=PIPE,
+                      opt=2).validate()
+        clone = JobSpec.from_payload(job.to_payload())
+        assert clone.opt == 2
+        assert clone == job
+        # Unset stays unset (each worker's REPRO_OPT then decides).
+        bare = JobSpec(name="j", kind="spec", points=_points(2),
+                       target=PIPE).validate()
+        assert JobSpec.from_payload(bare.to_payload()).opt is None
+
+    def test_rejects_bad_opt_level(self):
+        with pytest.raises(FabricError, match="opt"):
+            JobSpec(name="j", kind="spec", points=_points(1), target=PIPE,
+                    opt=5).validate()
+
     def test_job_from_sweep_materializes_points(self):
         sweep = GridSweep({"depth": [1, 2], "rate": [0.5]}, base_seed=3)
         job = job_from_sweep("demo", sweep, kind="spec", target=PIPE)
@@ -166,6 +182,22 @@ class TestExecution:
         for lane in lanes.values():
             assert lane["ok"] is True
             assert lane["result"]["cycles"] == 60
+
+    def test_batch_shard_opt_is_observationally_invisible(self):
+        # An opt=2 job's lanes must be bit-identical to the same shard
+        # executed unoptimized — the fabric analogue of the engine
+        # differentials.
+        points = _points(3, values=[2, 2, 2])
+        for i, point in enumerate(points):
+            point["params"]["rate"] = 0.2 + 0.2 * i
+        results = {}
+        for opt in (None, 2):
+            job = JobSpec(name="j", kind="spec", points=points, target=PIPE,
+                          cycles=60, opt=opt).validate()
+            plan = plan_shards(job, "j1")
+            assert len(plan.shards) == 1
+            results[opt] = execute_shard(plan.shards[0], job)
+        assert results[2] == results[None]
 
     def test_unknown_mode(self):
         job = JobSpec(name="j", kind="fn", points=_points(1),

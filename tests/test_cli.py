@@ -250,3 +250,62 @@ class TestCampaignProfileFlag:
         assert main(["campaign", "--ledger", ledger, "--report"]) == 0
         out = capsys.readouterr().out
         assert "campaign hot spots across 2 profiled runs" in out
+
+class TestOptFlag:
+    def test_run_opt_2_matches_default_report(self, spec_file, capsys,
+                                              monkeypatch):
+        monkeypatch.delenv("REPRO_OPT", raising=False)
+        assert main(["run", spec_file, "--cycles", "20", "--opt", "0"]) == 0
+        base = capsys.readouterr().out
+        assert "opt=0" in base
+        assert main(["run", spec_file, "--cycles", "20", "--opt", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "opt=2" in out
+        # Optimization is observationally invisible: same stats block.
+        assert base.replace("opt=0", "opt=2") == out
+
+    def test_env_var_sets_default_level(self, spec_file, capsys,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_OPT", "1")
+        assert main(["run", spec_file, "--cycles", "10"]) == 0
+        assert "opt=1" in capsys.readouterr().out
+
+    def test_profile_accepts_opt(self, spec_file, capsys):
+        assert main(["profile", spec_file, "--cycles", "10",
+                     "--opt", "2"]) == 0
+        assert "hot instances" in capsys.readouterr().out
+
+
+class TestOptCommand:
+    def test_summary_line(self, spec_file, capsys):
+        assert main(["opt", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "--opt 2" in out
+        assert "schedule" in out and "react calls/step" in out
+
+    def test_level_0_reports_disabled(self, spec_file, capsys):
+        assert main(["opt", spec_file, "--level", "0"]) == 0
+        assert "pipeline disabled" in capsys.readouterr().out
+
+    def test_explain_prints_per_pass_deltas(self, spec_file, capsys):
+        assert main(["opt", spec_file, "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer report" in out
+        for name in ("const-prop", "dead-code", "level-fusion"):
+            assert name in out
+
+    def test_builder_target(self, capsys):
+        assert main(["opt", "--builder",
+                     "repro.systems.fig2d:build_fig2d",
+                     "--param", "n_sensors=2"]) == 0
+        out = capsys.readouterr().out
+        assert "102->45" in out or "instance(s) eliminated" in out
+
+    def test_env_var_supplies_level(self, spec_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_OPT", "1")
+        assert main(["opt", spec_file]) == 0
+        assert "--opt 1" in capsys.readouterr().out
+
+    def test_missing_spec_exits_2(self, capsys):
+        assert main(["opt"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
