@@ -10,9 +10,10 @@ implementation — and whose parameter bindings that implementation
 supports — run as one array-wide ``react``/``update`` per timestep,
 resolving each of their scheduled signals across **all lanes in a
 single array operation**; everything else (custom generators, callable
-payloads, probe-watched wires, Mealy modules, clusters) stays on the
-existing per-lane scalar path, interleaved at its exact schedule
-position so results remain bit-identical to solo levelized runs.
+payloads, probe-watched wires, Mealy templates without a ``MEALY``
+implementation, clusters) stays on the existing per-lane scalar path,
+interleaved at its exact schedule position so results remain
+bit-identical to solo levelized runs.
 
 The per-timestep walk is a *generated* vectorized stepper
 (:func:`repro.core.codegen.generate_vec_stepper_source`), mirroring the
@@ -164,11 +165,14 @@ class VectorizedBatchedSimulator(BatchedSimulator):
         self._saved_lane_state = saved
 
     def _teardown_plan(self) -> None:
-        if self._plan is None:
-            return
-        for lane, state in zip(self._lanes, self._saved_lane_state):
-            (lane._plain_wires, lane._transfer_wires,
-             lane._begin_unknown, lane._updaters) = state
+        # Keyed off the saved state, not the plan handle: restoring is
+        # then idempotent and safe against any partially-applied plan
+        # (repeated demotion triggers on the same wire, an exception
+        # between partition and first run), never double-carving lanes.
+        if self._saved_lane_state is not None:
+            for lane, state in zip(self._lanes, self._saved_lane_state):
+                (lane._plain_wires, lane._transfer_wires,
+                 lane._begin_unknown, lane._updaters) = state
         self._plan = None
         self._stepper = None
         self._saved_lane_state = None
@@ -182,19 +186,27 @@ class VectorizedBatchedSimulator(BatchedSimulator):
     def _vec_end(self) -> None:
         plan = self._plan
         lanes = self._lanes
-        # Scalar-side fallback: scatter the arrays' resolved state (and
-        # the vectorized instances' module state) onto the lanes first,
-        # so the fallback's blanket re-reacts are idempotent against
-        # what vectorized execution already drove and the relaxation
-        # scan sees every vectorized signal as resolved.
-        scattered = False
-        for lane in lanes:
-            if lane._unknown > 0:
-                if not scattered:
-                    plan.scatter_state()
-                    scattered = True
-                lane._fallback()
-        counts = plan.vw.end_step()
+        vw = plan.vw
+        # Scalar-side fallback: scatter the arrays' state (and the
+        # vectorized instances' module state) onto the lanes first, so
+        # the fallback's blanket re-reacts are idempotent against what
+        # vectorized execution already drove.  Plane signals a Mealy
+        # implementation had to leave unknown (an input of its own that
+        # only resolves through relaxation) join the lanes' unknown
+        # budget: the scattered wires report UNKNOWN, the re-reacts and
+        # relaxation scans resolve them on the wire objects — exactly
+        # as a scalar run would — and ``absorb`` brings the result back
+        # into the planes before the transfer scan.
+        if vw.any_unknown() or any(lane._unknown > 0 for lane in lanes):
+            plan.scatter_state()
+            plane_unknown = vw.unknown_by_lane()
+            for index, lane in enumerate(lanes):
+                lane._unknown += int(plane_unknown[index])
+                if lane._unknown > 0:
+                    lane._fallback()
+            if plane_unknown.any():
+                vw.absorb()
+        counts = vw.end_step()
         now = lanes[0].now
         for impl in plan.impls:
             impl.update(now)

@@ -78,11 +78,13 @@ def generate_vec_stepper_source(schedule, entry_ops, design_name: str) -> str:
     VectorizedBatchedSimulator` and ``vec_reacts`` the bound ``react``
     methods of its plan's vectorized implementations.  ``entry_ops``
     parallels ``schedule`` (see :class:`~repro.core.vec.VecPlan`): a
-    ``("vec", k)`` entry becomes one hoisted array-wide react call
-    covering every lane at once, ``("skip",)`` entries (later schedule
-    occurrences of an already-run vectorized instance) vanish from the
-    body entirely, ``("scalar",)`` entries iterate the owner's flat
-    per-lane react list, and clusters run per lane through
+    ``("vec", k)`` entry becomes a hoisted array-wide react call
+    covering every lane at once (a Mealy implementation's index repeats
+    at each of its schedule occurrences — one hoist, several re-entrant
+    calls), ``("skip",)`` entries (later schedule occurrences of an
+    already-run Moore vec instance) vanish from the body entirely,
+    ``("scalar",)`` entries iterate the owner's flat per-lane react
+    list, and clusters run per lane through
     ``owner._run_entry_cluster``.
     """
     buf = io.StringIO()
@@ -93,10 +95,13 @@ def generate_vec_stepper_source(schedule, entry_ops, design_name: str) -> str:
     lines: List[str] = []
     body: List[str] = []
     need_cluster = False
+    hoisted_vec: set = set()
     for i, (entry, op) in enumerate(zip(schedule, entry_ops)):
         kind = op[0]
         if kind == "vec":
-            lines.append(f"    v{op[1]} = vec_reacts[{op[1]}]")
+            if op[1] not in hoisted_vec:
+                hoisted_vec.add(op[1])
+                lines.append(f"    v{op[1]} = vec_reacts[{op[1]}]")
             body.append(f"        v{op[1]}()")
         elif kind == "skip":
             pass
@@ -135,17 +140,24 @@ class CodegenSimulator(LevelizedSimulator):
 
     def __init__(self, design: Design, **kw):
         super().__init__(design, **kw)
-        # The generated source depends only on the schedule shape, so on
-        # a compile-cache hit both the text and its compiled code object
-        # come straight off the CompiledModel (the code object via the
-        # in-memory layer only).
-        self.generated_source = self.compiled.stepper_source
-        self._stepper_code = self.compiled.code
-        self._build_stepper()
-        if self.compiled.code is None:
-            # Share the freshly compiled code object through the
-            # in-memory cache layer for later constructions.
-            self.compiled.code = self._stepper_code
+        try:
+            # The generated source depends only on the schedule shape,
+            # so on a compile-cache hit both the text and its compiled
+            # code object come straight off the CompiledModel (the code
+            # object via the in-memory layer only).
+            self.generated_source = self.compiled.stepper_source
+            self._stepper_code = self.compiled.code
+            self._build_stepper()
+            if self.compiled.code is None:
+                # Share the freshly compiled code object through the
+                # in-memory cache layer for later constructions.
+                self.compiled.code = self._stepper_code
+        except BaseException:
+            # Base construction succeeded, so the design is already
+            # bound and (possibly) opt-stripped; release it so a failed
+            # stepper build leaves the Design reusable.
+            self.close()
+            raise
 
     def _build_stepper(self) -> None:
         namespace: dict = {}

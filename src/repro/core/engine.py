@@ -99,64 +99,96 @@ class SimulatorBase:
                 f"simulator; use design.copy() for an independent duplicate "
                 f"or build a fresh one per simulator")
         design._owned = True
-        if cycle_policy not in ("relax", "error"):
-            raise SimulationError(
-                f"cycle_policy must be 'relax' or 'error', got {cycle_policy!r}")
-        self.design = design
-        self.cycle_policy = cycle_policy
-        self.now = 0
-        self.stats = StatsRegistry(keep_samples=keep_samples)
-        self.rng = np.random.default_rng(seed)
-        self.transfers_total = 0
-        self.relaxations_total = 0
-        self._probes: Dict[int, List[WireProbe]] = {}
-        self._observers: List = []
-        #: Attached :class:`repro.obs.Profiler`, or ``None``.  The only
-        #: profiler-off cost is one ``is not None`` test per timestep.
-        self.profiler = None
-        self._instances: List = list(design.leaves.values())
-        self._wires: List[Wire] = design.wires
-        self._unknown = 0
-        self._initialized = False
-        self._closed = False
-        for wire in self._wires:
-            wire.engine = self
-        for inst in self._instances:
-            inst.sim = self
-            # Pre-bind react into the instance dict.  A profiler swaps
-            # this value in place instead of inserting/deleting a key,
-            # so CPython's shared-key (split) instance dicts never
-            # degrade to combined layout from attach/detach cycles.
-            inst.react = inst.react
-        # Cache which instances override update() to skip no-op calls.
-        default_update = _find_base_method("update")
-        self._updaters = [i for i in self._instances
-                          if type(i).update is not default_update]
-        # Partition the wires once so the per-timestep loops touch only
-        # the wires that can actually do work (see WirePartition).  The
-        # static engines pass the partition carried by the compiled
-        # model so it is computed once per structure, not per animation.
-        partition = _partition or partition_wires(self._wires)
-        self._plain_wires: List[Wire] = partition.plain
-        self._const_wires: List[Wire] = partition.const
-        self._begin_unknown = partition.begin_unknown
-        self._transfer_wires = partition.transfer
-        #: Relaxation scan cursor: wires below it are fully resolved for
-        #: the current timestep (resolution is monotone, so the cursor
-        #: only ever advances between relaxations of one step).
-        self._relax_cursor = 0
-        #: Optimizer state (see :meth:`_apply_opt`): at ``--opt 0``
-        #: these alias the unfiltered lists and cost nothing.
-        self.opt_level = 0
-        self._react_instances = self._instances
-        self._relax_wires = self._wires
-        self._stripped_controls: List = []
-        if _opt:
-            self._apply_opt(_opt)
-        # Initialize every instance eagerly: ports are already bound and
-        # ``sim`` is set, so module state (memories, rings, FSMs) is
-        # inspectable before the first timestep runs.
-        self._do_init()
+        try:
+            if cycle_policy not in ("relax", "error"):
+                raise SimulationError(
+                    f"cycle_policy must be 'relax' or 'error', "
+                    f"got {cycle_policy!r}")
+            self.design = design
+            self.cycle_policy = cycle_policy
+            self.now = 0
+            self.stats = StatsRegistry(keep_samples=keep_samples)
+            self.rng = np.random.default_rng(seed)
+            self.transfers_total = 0
+            self.relaxations_total = 0
+            self._probes: Dict[int, List[WireProbe]] = {}
+            self._observers: List = []
+            #: Attached :class:`repro.obs.Profiler`, or ``None``.  The
+            #: only profiler-off cost is one ``is not None`` test per
+            #: timestep.
+            self.profiler = None
+            self._instances: List = list(design.leaves.values())
+            self._wires: List[Wire] = design.wires
+            self._unknown = 0
+            self._initialized = False
+            self._closed = False
+            for wire in self._wires:
+                wire.engine = self
+            for inst in self._instances:
+                inst.sim = self
+                # Pre-bind react into the instance dict.  A profiler
+                # swaps this value in place instead of inserting or
+                # deleting a key, so CPython's shared-key (split)
+                # instance dicts never degrade to combined layout from
+                # attach/detach cycles.
+                inst.react = inst.react
+            # Cache which instances override update() to skip no-ops.
+            default_update = _find_base_method("update")
+            self._updaters = [i for i in self._instances
+                              if type(i).update is not default_update]
+            # Partition the wires once so the per-timestep loops touch
+            # only the wires that can actually do work (see
+            # WirePartition).  The static engines pass the partition
+            # carried by the compiled model so it is computed once per
+            # structure, not per animation.
+            partition = _partition or partition_wires(self._wires)
+            self._plain_wires: List[Wire] = partition.plain
+            self._const_wires: List[Wire] = partition.const
+            self._begin_unknown = partition.begin_unknown
+            self._transfer_wires = partition.transfer
+            #: Relaxation scan cursor: wires below it are fully resolved
+            #: for the current timestep (resolution is monotone, so the
+            #: cursor only ever advances between relaxations of a step).
+            self._relax_cursor = 0
+            #: Optimizer state (see :meth:`_apply_opt`): at ``--opt 0``
+            #: these alias the unfiltered lists and cost nothing.
+            self.opt_level = 0
+            self._react_instances = self._instances
+            self._relax_wires = self._wires
+            self._stripped_controls: List = []
+            if _opt:
+                self._apply_opt(_opt)
+            # Initialize every instance eagerly: ports are already bound
+            # and ``sim`` is set, so module state (memories, rings,
+            # FSMs) is inspectable before the first timestep runs.
+            self._do_init()
+        except BaseException:
+            self._abandon_construction(design)
+            raise
+
+    def _abandon_construction(self, design: Design) -> None:
+        """Undo a partially-applied animation after ``__init__`` raised.
+
+        Construction mutates shared state the moment ownership is
+        taken: backrefs on wires and instances, pre-bound dispatch, and
+        optimizer control stripping.  A failed build — a bad parameter,
+        a module ``init()`` error, an optimizer pass that does not
+        apply — must leave the Design exactly as it was found, so the
+        caller can rebuild (e.g. retry at ``--opt 0`` after a failed
+        ``--opt 2``) without a stale ownership or a stripped control
+        corrupting the rerun.
+        """
+        for wire, control in getattr(self, "_stripped_controls", []):
+            wire.control = control
+        self._stripped_controls = []
+        for wire in design.wires:
+            if getattr(wire, "engine", None) is self:
+                wire.engine = None
+        for inst in design.leaves.values():
+            if getattr(inst, "sim", None) is self:
+                inst.sim = None
+                inst.react = type(inst).react.__get__(inst, type(inst))
+        design._owned = False
 
     # ------------------------------------------------------------------
     # Public API

@@ -33,11 +33,17 @@ turns that into numpy array operations:
 A wire is vectorizable iff both endpoints are vectorized instances, it
 carries no control function, and no lane watches it with a probe.  An
 instance is vectorizable iff its exact template class has a registered
-implementation that supports the lanes' parameter bindings, it is Moore
-(``deps() == {}``), it sits in no combinational cluster, and at least
-one of its wires vectorizes (an all-boundary instance would only add
-adapter overhead).  Everything else — and every lane, whenever a
-profiler or observer is attached — runs the existing scalar path.
+implementation that supports the lanes' parameter bindings, it sits in
+no combinational cluster, and at least one of its wires vectorizes (an
+all-boundary instance would only add adapter overhead).  Moore
+instances (``deps() == {}``) run their whole array react once per
+timestep; Mealy templates need an implementation declaring
+``MEALY = True``, whose react is *re-entrant*: it runs at every
+schedule occurrence of the instance, resolving incrementally exactly
+like the scalar react body it shadows (monotone, partial drives
+through the ``*_where`` port ops).  Everything else — and every lane,
+whenever a profiler or observer is attached — runs the existing scalar
+path.
 """
 
 from __future__ import annotations
@@ -194,6 +200,38 @@ class VecWires:
         self.ack.fill(C_UNKNOWN)
         self.value.fill(None)
 
+    def any_unknown(self) -> bool:
+        """True when any plane index is still unresolved."""
+        return bool((self.data == D_UNKNOWN).any()
+                    or (self.enable == C_UNKNOWN).any()
+                    or (self.ack == C_UNKNOWN).any())
+
+    def unknown_by_lane(self) -> np.ndarray:
+        """Per-lane count of unresolved plane signals (data/enable/ack
+        each count one, mirroring the scalar ``_unknown`` budget)."""
+        return ((self.data == D_UNKNOWN).astype(np.int64)
+                + (self.enable == C_UNKNOWN)
+                + (self.ack == C_UNKNOWN)).sum(axis=0)
+
+    def absorb(self) -> None:
+        """Read the lanes' wire signal state back into the planes — the
+        signal-plane inverse of :meth:`scatter` (transfer counters stay
+        array-side).  Used after a scalar fallback resolved signals a
+        Mealy implementation had to leave unknown: :meth:`scatter` hands
+        the planes to the lanes, the fallback's re-reacts and relaxation
+        finish the resolution on the wire objects, and absorb brings the
+        result home before the transfer scan."""
+        for row, wires in enumerate(self.lane_wires):
+            data = self.data[row]
+            enable = self.enable[row]
+            ack = self.ack[row]
+            value = self.value[row]
+            for lane, wire in enumerate(wires):
+                data[lane] = int(wire.data_status)
+                value[lane] = wire.data_value
+                enable[lane] = int(wire.enable)
+                ack[lane] = int(wire.ack)
+
     def end_step(self) -> np.ndarray:
         """Vectorized transfer scan; returns per-lane transfer counts.
 
@@ -276,6 +314,59 @@ class VecPortIndex:
                 wire.drive_data(DataStatus.NOTHING)
                 wire.drive_enable(False)
 
+    def send_where(self, mask: np.ndarray, values: np.ndarray) -> None:
+        """``send(value)`` on exactly the lanes in ``mask``; other lanes
+        stay untouched (unknown until some later react resolves them).
+        The partial-drive primitive Mealy implementations refine with."""
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            vw.data[row][mask] = D_SOMETHING
+            vw.value[row][mask] = values[mask]
+            vw.enable[row][mask] = C_ASSERTED
+            return
+        for lane in np.nonzero(mask)[0]:
+            wire = self.wires[lane]
+            wire.drive_data(DataStatus.SOMETHING, values[lane])
+            wire.drive_enable(True)
+
+    def send_nothing_where(self, mask: np.ndarray) -> None:
+        """``send_nothing()`` on exactly the lanes in ``mask``."""
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            vw.data[row][mask] = D_NOTHING
+            vw.enable[row][mask] = C_DEASSERTED
+            return
+        for lane in np.nonzero(mask)[0]:
+            wire = self.wires[lane]
+            wire.drive_data(DataStatus.NOTHING)
+            wire.drive_enable(False)
+
+    def drive_data_where(self, mask: np.ndarray,
+                         values: np.ndarray) -> None:
+        """Offer a datum without committing enable (Tee's atomic
+        broadcast idiom) on exactly the lanes in ``mask``."""
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            vw.data[row][mask] = D_SOMETHING
+            vw.value[row][mask] = values[mask]
+            return
+        for lane in np.nonzero(mask)[0]:
+            self.wires[lane].drive_data(DataStatus.SOMETHING, values[lane])
+
+    def drive_enable_where(self, mask: np.ndarray,
+                           asserted: np.ndarray) -> None:
+        """Drive enable per lane in ``mask``; ``asserted`` is a per-lane
+        bool array read only where the mask selects."""
+        if self.row is not None:
+            row = self.vw.enable[self.row]
+            row[mask] = np.where(asserted, C_ASSERTED, C_DEASSERTED)[mask]
+            return
+        for lane in np.nonzero(mask)[0]:
+            self.wires[lane].drive_enable(bool(asserted[lane]))
+
     # -- destination-side writes -------------------------------------------
     def set_ack_masked(self, mask: np.ndarray) -> None:
         if self.row is not None:
@@ -283,6 +374,22 @@ class VecPortIndex:
             return
         for lane, wire in enumerate(self.wires):
             wire.drive_ack(bool(mask[lane]))
+
+    def set_ack_where(self, mask: np.ndarray, accept) -> None:
+        """Drive ack on exactly the lanes in ``mask``.  ``accept`` is a
+        plain bool applied to every selected lane, or a per-lane bool
+        array read where the mask selects."""
+        if self.row is not None:
+            ack = self.vw.ack[self.row]
+            if isinstance(accept, np.ndarray):
+                ack[mask] = np.where(accept, C_ASSERTED, C_DEASSERTED)[mask]
+            else:
+                ack[mask] = C_ASSERTED if accept else C_DEASSERTED
+            return
+        scalar = not isinstance(accept, np.ndarray)
+        for lane in np.nonzero(mask)[0]:
+            self.wires[lane].drive_ack(
+                bool(accept) if scalar else bool(accept[lane]))
 
     # -- update-phase reads ------------------------------------------------
     def _took_vec(self) -> np.ndarray:
@@ -329,6 +436,38 @@ class VecPortIndex:
             out[lane] = wire.data_value
         return out
 
+    # -- react-phase handshake reads ---------------------------------------
+    def known(self) -> np.ndarray:
+        """Per-lane: data and enable both resolved (``InView.known``)."""
+        if self.row is not None:
+            vw = self.vw
+            row = self.row
+            return ((vw.data[row] != D_UNKNOWN)
+                    & (vw.enable[row] != C_UNKNOWN))
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = (wire.data_status is not DataStatus.UNKNOWN
+                         and wire.enable is not CtrlStatus.UNKNOWN)
+        return out
+
+    def ack_known(self) -> np.ndarray:
+        if self.row is not None:
+            return self.vw.ack[self.row] != C_UNKNOWN
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = wire.ack is not CtrlStatus.UNKNOWN
+        return out
+
+    def accepted(self) -> np.ndarray:
+        """Per-lane: ack asserted (False where unknown — pair with
+        :meth:`ack_known` exactly as the scalar views do)."""
+        if self.row is not None:
+            return self.vw.ack[self.row] == C_ASSERTED
+        out = np.empty(self.lanes, bool)
+        for lane, wire in enumerate(self.wires):
+            out[lane] = wire.ack is CtrlStatus.ASSERTED
+        return out
+
 
 class VecModuleContext:
     """What one vectorized instance's implementation gets to work with."""
@@ -346,6 +485,64 @@ class VecModuleContext:
     def lane_rng(self, attr: str = "rng") -> LaneRng:
         """A :class:`LaneRng` bank over the instances' own generators."""
         return LaneRng([getattr(inst, attr) for inst in self.insts])
+
+    @property
+    def now(self) -> int:
+        """The lockstep timestep (every lane shares it)."""
+        return self.insts[0].sim.now
+
+    def lane_param(self, key: str, dtype=np.float64) -> np.ndarray:
+        """Parameter ``key`` lifted across lanes as a ``(lanes,)`` array.
+
+        The per-lane parameter broadcast: lane-divergent numeric
+        bindings (rates, depths, latencies, periods) become one array
+        consumed through masked ops instead of demoting the group to
+        the scalar path."""
+        return np.array([inst.p[key] for inst in self.insts], dtype)
+
+
+_NUMERIC = (bool, int, float, np.bool_, np.integer, np.floating)
+
+
+def params_vectorize(insts: Sequence) -> bool:
+    """Generic parameter feature check driven by the scalar template's
+    introspection hooks:
+
+    * ``VEC_LANE_PARAMS`` — numeric parameters the vec implementation
+      consumes as per-lane arrays via :meth:`VecModuleContext.
+      lane_param`; every lane's binding must be a plain number, but the
+      values are free to diverge across lanes;
+    * ``VEC_UNIFORM_PARAMS`` — structural parameters that select the
+      implementation's code path; every lane must bind the same value.
+
+    Parameters outside both tuples are the implementation's own
+    responsibility to check (callables, payload specs, policies).
+    """
+    cls = type(insts[0])
+    first = insts[0]
+    for key in getattr(cls, "VEC_UNIFORM_PARAMS", ()):
+        ref = first.p[key]
+        if any(inst.p[key] != ref for inst in insts[1:]):
+            return False
+    for key in getattr(cls, "VEC_LANE_PARAMS", ()):
+        if any(not isinstance(inst.p[key], _NUMERIC) for inst in insts):
+            return False
+    return True
+
+
+def same_widths(insts: Sequence, *port_names: str) -> bool:
+    """True when every lane binds the named ports at lane 0's width.
+
+    Same-fingerprint lanes normally agree, but hand-built groups (and
+    future fingerprint relaxations) can diverge — a vec implementation
+    indexing by lane 0's width would then silently misaddress, so every
+    ``supports()`` validates the whole group."""
+    first = insts[0]
+    for name in port_names:
+        width = first.port(name).width
+        if any(inst.port(name).width != width for inst in insts[1:]):
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -458,7 +655,10 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
         insts = [lane.design.leaves[path] for lane in lanes]
         if any(type(inst) is not cls for inst in insts):
             continue
-        if any(inst.deps() != {} for inst in insts):
+        if not getattr(impl_cls, "MEALY", False) \
+                and any(inst.deps() != {} for inst in insts):
+            # A Moore-only implementation cannot shadow a template with
+            # input-dependent outputs; Mealy-capable impls opt in.
             continue
         if not impl_cls.supports(insts):
             continue
@@ -527,9 +727,13 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
         ctx = VecModuleContext(path, insts, ports, stats)
         impl_by_path[path] = candidates[path](ctx)
 
-    # Schedule mapping: a vec instance's whole react runs at its first
-    # schedule occurrence (Moore outputs never read inputs, so running
-    # the later groups early is monotone-safe); later entries no-op.
+    # Schedule mapping: a Moore vec instance's whole react runs at its
+    # first schedule occurrence (its outputs never read inputs, so
+    # running the later groups early is monotone-safe) and later entries
+    # no-op.  A Mealy implementation instead re-runs at *every*
+    # occurrence: its react is re-entrant and monotone, refining the
+    # lanes it can decide each time — the array translation of the
+    # scalar contract that react may be called several times per step.
     impls: List[Any] = []
     seen: Dict[str, int] = {}
     entry_ops: List[tuple] = []
@@ -541,7 +745,10 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
         if path not in vec_paths:
             entry_ops.append(("scalar",))
         elif path in seen:
-            entry_ops.append(("skip",))
+            if getattr(candidates[path], "MEALY", False):
+                entry_ops.append(("vec", seen[path]))
+            else:
+                entry_ops.append(("skip",))
         else:
             seen[path] = len(impls)
             entry_ops.append(("vec", len(impls)))

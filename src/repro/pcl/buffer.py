@@ -143,6 +143,8 @@ class Buffer(LeafModule):
         PortDecl("upd", INPUT, min_width=0),
     )
     DEPS = {}
+    #: Vectorization introspection: depth broadcasts per lane.
+    VEC_LANE_PARAMS = ("depth",)
 
     def init(self) -> None:
         self.entries: List[BufferEntry] = []

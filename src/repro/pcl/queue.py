@@ -42,6 +42,9 @@ class Queue(LeafModule):
         PortDecl("out", OUTPUT, min_width=1, doc="FIFO head(s)"),
     )
     DEPS = {}
+    #: Vectorization introspection (see repro.core.vec.params_vectorize):
+    #: depth may diverge per lane — the vec impl broadcasts it.
+    VEC_LANE_PARAMS = ("depth",)
 
     def init(self) -> None:
         self.items: Deque[Any] = deque()
@@ -155,6 +158,8 @@ class Delay(LeafModule):
         PortDecl("out", OUTPUT, min_width=1, max_width=1),
     )
     DEPS = {}
+    #: Both knobs broadcast per lane in the vectorized backend.
+    VEC_LANE_PARAMS = ("latency", "drop")
 
     def init(self) -> None:
         self._inflight: List = []  # (ready_cycle, value)

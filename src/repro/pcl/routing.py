@@ -26,6 +26,9 @@ class Tee(LeafModule):
     PARAMS = (
         Parameter("mode", "all", validate=lambda v: v in ("all", "any")),
     )
+    #: The broadcast discipline selects the vec impl's code path, so it
+    #: must be uniform across a lockstep group.
+    VEC_UNIFORM_PARAMS = ("mode",)
     PORTS = (
         PortDecl("in", INPUT, min_width=1, max_width=1),
         PortDecl("out", OUTPUT, min_width=1),

@@ -46,6 +46,10 @@ class Sink(LeafModule):
     )
     PORTS = (PortDecl("in", INPUT, min_width=1, doc="data to consume"),)
     DEPS = {}  # acks decided from per-cycle pre-drawn state only
+    #: Vectorization introspection: acceptance mode is structural
+    #: (uniform), the bernoulli rate broadcasts per lane.
+    VEC_UNIFORM_PARAMS = ("accept",)
+    VEC_LANE_PARAMS = ("rate",)
 
     def init(self) -> None:
         width = self.port("in").width

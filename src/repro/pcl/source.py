@@ -66,6 +66,12 @@ class Source(LeafModule):
     PORTS = (PortDecl("out", OUTPUT, min_width=1,
                       doc="produced data stream(s)"),)
     DEPS = {}  # Moore: outputs depend only on internal state
+    #: Vectorization introspection: the emission discipline selects the
+    #: vec impl's code path (uniform per lockstep group), while the
+    #: numeric knobs broadcast per lane — a random sweep over ``rate``
+    #: stays in one batch.
+    VEC_UNIFORM_PARAMS = ("pattern",)
+    VEC_LANE_PARAMS = ("rate", "period", "blocking")
 
     def init(self) -> None:
         width = self.port("out").width

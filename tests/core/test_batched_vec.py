@@ -266,6 +266,47 @@ class TestScalarFallbackPaths:
             assert probe.log == logs[i], f"lane {i} probe log diverged"
             sim.close()
 
+    def test_probe_same_wire_twice_is_idempotent(self):
+        # Satellite regression: a second probe on an already-demoted
+        # wire must not double-demote (n_wires drops by exactly one),
+        # must not strand additional instances, and both probes record
+        # the same transfer log as a solo run with two probes.
+        variants = (0.3, 0.7)
+        batch = VectorizedBatchedSimulator(
+            [build_design(_vec_pipe_spec(rate=r)) for r in variants],
+            seeds=[1, 2])
+        batch.run(40)
+        n_vec_before = batch.vec_plan.n_wires
+        first = [batch.lane(i).probe_between("src", "out", "q", "in")
+                 for i in range(2)]
+        batch.run(30)
+        plan_after_first = batch.vec_plan
+        assert plan_after_first.n_wires == n_vec_before - 1
+        paths_after_first = set(plan_after_first.vec_paths)
+        second = [batch.lane(i).probe_between("src", "out", "q", "in")
+                  for i in range(2)]
+        batch.run(50)
+        plan = batch.vec_plan
+        assert plan is not None
+        assert plan.n_wires == n_vec_before - 1
+        assert set(plan.vec_paths) == paths_after_first
+        lanes = [_observe(batch.lane(i)) for i in range(2)]
+        first_logs = [p.log for p in first]
+        second_logs = [p.log for p in second]
+        batch.close()
+        for i, rate in enumerate(variants):
+            sim = LevelizedSimulator(build_design(_vec_pipe_spec(rate=rate)),
+                                     seed=1 + i)
+            sim.run(40)
+            probe_a = sim.probe_between("src", "out", "q", "in")
+            sim.run(30)
+            probe_b = sim.probe_between("src", "out", "q", "in")
+            sim.run(50)
+            assert _observe(sim) == lanes[i]
+            assert probe_a.log == first_logs[i]
+            assert probe_b.log == second_logs[i]
+            sim.close()
+
     def test_probe_before_first_run(self):
         batch = VectorizedBatchedSimulator(
             [build_design(_vec_pipe_spec(rate=r)) for r in (0.3, 0.7)],

@@ -291,6 +291,104 @@ class TestCrossEngineDifferential:
         assert [w.control for w in design.wires] == before
 
 
+class TestFailedBuildRestore:
+    """Satellite regression: a build that raises *after* the optimizer
+    applied (controls stripped, backrefs installed) must leave the
+    Design exactly as found — ownership released, controls restored —
+    so a retry at ``--opt 0`` behaves like a fresh Design."""
+
+    @staticmethod
+    def _spec(flag):
+        from repro.core import INPUT, LeafModule, Parameter, PortDecl
+        from repro.core.control import ControlFunction
+
+        class FragileSink(LeafModule):
+            PARAMS = (Parameter("flag", None),)
+            PORTS = (PortDecl("in", INPUT, min_width=1),)
+            DEPS = {}
+
+            def init(self):
+                if self.p["flag"]["explode"]:
+                    raise RuntimeError("boom: fragile init")
+
+            def react(self):
+                inp = self.port("in")
+                for i in range(inp.width):
+                    inp.set_ack(i, True)
+
+            def update(self):
+                inp = self.port("in")
+                for i in range(inp.width):
+                    if inp.took(i):
+                        self.collect("consumed")
+
+        spec = LSS("fragile")
+        src = spec.instance("src", Source, pattern="counter")
+        q = spec.instance("q", Queue, depth=4)
+        snk = spec.instance("snk", FragileSink, flag=flag)
+        # Identity control: exactly what control-inline strips at opt 2.
+        spec.connect(src.port("out"), q.port("in"),
+                     control=ControlFunction())
+        spec.connect(q.port("out"), snk.port("in"))
+        return spec
+
+    def test_failed_opt2_build_leaves_design_reusable(self):
+        from repro.core.optimize import LevelizedSimulator
+
+        flag = {"explode": False}
+        # Premise check: this spec's identity control really is
+        # stripped by the opt-2 pipeline on a successful build.
+        probe_sim = LevelizedSimulator(build_design(self._spec(flag)),
+                                       seed=3, opt=2)
+        assert probe_sim._stripped_controls
+        probe_sim.close()
+
+        flag["explode"] = True
+        design = build_design(self._spec(flag))
+        before_controls = [w.control for w in design.wires]
+        assert any(c is not None for c in before_controls)
+        with pytest.raises(RuntimeError, match="boom"):
+            LevelizedSimulator(design, seed=3, opt=2)
+        # The failed build abandoned cleanly: no ownership, original
+        # controls back on the wires, no dangling engine backrefs.
+        assert design._owned is False
+        assert [w.control for w in design.wires] == before_controls
+        assert all(w.engine is None for w in design.wires)
+        assert all(inst.sim is None for inst in design.leaves.values())
+
+        # The same Design object reruns at --opt 0, bit-identical to a
+        # run on a freshly built Design.
+        flag["explode"] = False
+        sim = LevelizedSimulator(design, seed=3, opt=0)
+        sim.run(60)
+        reused = _observe(sim)
+        sim.close()
+        fresh_sim = LevelizedSimulator(
+            build_design(self._spec({"explode": False})), seed=3, opt=0)
+        fresh_sim.run(60)
+        assert _observe(fresh_sim) == reused
+        fresh_sim.close()
+
+    def test_failed_codegen_build_releases_design(self):
+        from repro.core.codegen import CodegenSimulator
+
+        flag = {"explode": True}
+        design = build_design(self._spec(flag))
+        with pytest.raises(RuntimeError, match="boom"):
+            CodegenSimulator(design, seed=3, opt=2)
+        assert design._owned is False
+        flag["explode"] = False
+        sim = CodegenSimulator(design, seed=3, opt=0)
+        sim.run(40)
+        reused = _observe(sim)
+        sim.close()
+        fresh = CodegenSimulator(
+            build_design(self._spec({"explode": False})), seed=3, opt=0)
+        fresh.run(40)
+        assert _observe(fresh) == reused
+        fresh.close()
+
+
 class TestStateDictRoundtrip:
     """Checkpoints taken on optimized models restore everywhere."""
 
