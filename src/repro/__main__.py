@@ -64,6 +64,7 @@ import sys
 from . import __version__, build_simulator, library_env, parse_lss
 from .core.backends import engine_names
 from .core.errors import LibertyError
+from .core.opt import opt_level_argument
 from .core.visualize import activity_report, design_to_dot
 
 _SUBCOMMANDS = ("run", "campaign", "profile", "check", "opt", "bench",
@@ -79,8 +80,9 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
     parser.add_argument("--engine", default="levelized", choices=_ENGINES)
-    parser.add_argument("--opt", type=int, default=None, choices=(0, 1, 2),
-                        help="IR optimizer level (default: REPRO_OPT "
+    parser.add_argument("--opt", type=opt_level_argument, default=None,
+                        metavar="LEVEL",
+                        help="IR optimizer level 0-2 (default: REPRO_OPT "
                              "environment, else 0)")
     parser.add_argument("--stats", default="",
                         help="only print statistics under this path prefix")
@@ -124,8 +126,9 @@ def _add_profile_parser(subparsers) -> None:
     parser.add_argument("--cycles", type=int, default=1000,
                         help="timesteps to simulate (default 1000)")
     parser.add_argument("--engine", default="levelized", choices=_ENGINES)
-    parser.add_argument("--opt", type=int, default=None, choices=(0, 1, 2),
-                        help="IR optimizer level (default: REPRO_OPT "
+    parser.add_argument("--opt", type=opt_level_argument, default=None,
+                        metavar="LEVEL",
+                        help="IR optimizer level 0-2 (default: REPRO_OPT "
                              "environment, else 0)")
     parser.add_argument("--seed", type=int, default=None,
                         help="engine RNG seed")
@@ -161,9 +164,11 @@ def _add_opt_parser(subparsers) -> None:
     parser.add_argument("--param", action="append", default=[],
                         metavar="NAME=VALUE",
                         help="keyword argument for --builder; repeatable")
-    parser.add_argument("--level", type=int, default=None, choices=(0, 1, 2),
-                        help="optimizer level to report (default: REPRO_OPT "
-                             "environment, else 2 — show the full pipeline)")
+    parser.add_argument("--level", type=opt_level_argument, default=None,
+                        metavar="LEVEL",
+                        help="optimizer level 0-2 to report (default: "
+                             "REPRO_OPT environment, else 2 — show the "
+                             "full pipeline)")
     parser.add_argument("--explain", action="store_true",
                         help="print the per-pass report instead of the "
                              "one-line summary")

@@ -23,7 +23,8 @@ from .sweep import Sweep, SweepPoint
 
 
 def fingerprint_groups(kind: str, target, lss_text: Optional[str],
-                       points: Sequence[Any], opt_level: int = 0):
+                       points: Sequence[Any], opt_level: int = 0,
+                       vec: bool = False):
     """Group sweep points by the structural fingerprint of their design.
 
     The shared shard-planning primitive: ``Campaign(batch=True)`` uses
@@ -36,10 +37,12 @@ def fingerprint_groups(kind: str, target, lss_text: Optional[str],
 
     ``points`` may be :class:`~repro.campaign.sweep.SweepPoint` objects
     or plain mappings with ``"run_id"``/``"params"`` keys (the fabric's
-    wire form).  Returns ``(groups, failures)``: ``groups`` maps each
-    fingerprint to its points in first-seen order; ``failures`` lists
-    the points whose spec failed to build (left for a worker to report
-    with full context).
+    wire form).  ``vec=True`` additionally warms the compile-time vec
+    plan (the lockstep batch executors then adopt it instead of
+    replanning per process/shard).  Returns ``(groups, failures)``:
+    ``groups`` maps each fingerprint to its points in first-seen order;
+    ``failures`` lists the points whose spec failed to build (left for
+    a worker to report with full context).
     """
     from ..core.compile_cache import (design_fingerprint, get_cache,
                                       warm_design)
@@ -56,8 +59,8 @@ def fingerprint_groups(kind: str, target, lss_text: Optional[str],
         try:
             spec = build_point_spec(kind, target, lss_text, params, run_id)
             design = build_design(spec)
-            fingerprint = (warm_design(design, opt_level=opt_level) if warm
-                           else design_fingerprint(design))
+            fingerprint = (warm_design(design, opt_level=opt_level, vec=vec)
+                           if warm else design_fingerprint(design))
         except Exception:
             failures.append(point)
             continue
@@ -201,10 +204,11 @@ class Campaign:
         ordinary per-point tasks (the worker then reports the build
         failure with full context).
         """
-        from ..core.opt import resolve_opt_level
+        from ..core.backends import compile_options_for, default_batch_engine
+        options = compile_options_for(default_batch_engine(), opt=self.opt)
         groups, singles = fingerprint_groups(
             self.kind, self.target, self.lss_text, todo,
-            opt_level=resolve_opt_level(self.opt))
+            opt_level=options.opt_level, vec=options.vec)
         tasks = []
         for fingerprint, members in groups.items():
             for k in range(0, len(members), self.batch_max):

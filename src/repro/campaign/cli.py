@@ -53,6 +53,11 @@ def add_campaign_parser(subparsers) -> argparse.ArgumentParser:
     from ..core.backends import engine_names
     parser.add_argument("--engine", default="levelized",
                         choices=engine_names())
+    from ..core.opt import opt_level_argument
+    parser.add_argument("--opt", type=opt_level_argument, default=None,
+                        metavar="LEVEL",
+                        help="IR optimizer level 0-2 applied to every run "
+                             "(default: REPRO_OPT environment, else 0)")
     parser.add_argument("--batch", action="store_true",
                         help="group structurally identical points and run "
                              "each group in one lockstep batched simulator")
@@ -172,7 +177,7 @@ def run_campaign_command(args) -> int:
         strict_preflight(_base_spec(args, campaign_kw))
 
     campaign = Campaign(
-        name, sweep, engine=args.engine, cycles=args.cycles,
+        name, sweep, engine=args.engine, opt=args.opt, cycles=args.cycles,
         workers=args.workers, timeout=args.timeout, retries=args.retries,
         backoff=args.backoff, checkpoint_every=args.checkpoint_every,
         checkpoint_dir=args.checkpoint_dir, ledger_path=ledger_path,

@@ -207,7 +207,8 @@ def _simulate_batch(task: RunTask) -> Dict[str, Any]:
     # Lockstep groups default to the vectorized backend (bit-identical
     # to "batched", which is bit-identical to solo levelized runs);
     # REPRO_BATCH_ENGINE selects any registered batch-capable engine.
-    engine = os.environ.get("REPRO_BATCH_ENGINE", "").strip() or "batched-vec"
+    from ..core.backends import default_batch_engine
+    engine = default_batch_engine()
     engine_kw: Dict[str, Any] = {}
     if task.opt is not None:
         engine_kw["opt"] = task.opt

@@ -24,6 +24,11 @@ class Link(Delay):
 
     Parameters: ``latency`` (cycles), ``drop`` — see ``Delay`` — plus
     ``length_mm`` recorded for the power model's per-length capacitance.
+
+    Under the ``batched-vec`` backend the link runs as
+    :class:`repro.pcl.vec.VecLink`, and because ``react`` is inherited
+    unchanged from ``Delay``, the optimizer's cross-instance
+    specialization pass folds it with ``Delay``'s hook as well.
     """
 
     PARAMS = Delay.PARAMS + (

@@ -33,16 +33,28 @@ from .errors import SpecificationError
 #: Environment variable naming the default engine.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
+#: Environment variable naming the engine lockstep batch tasks use.
+BATCH_ENGINE_ENV_VAR = "REPRO_BATCH_ENGINE"
+
 
 class Backend:
-    """One registered engine: a name bound to a lazily imported class."""
+    """One registered engine: a name bound to a lazily imported class.
 
-    __slots__ = ("name", "target", "doc", "_cls")
+    ``consumes`` tags the staged compile-time artifacts the engine
+    executes (see :func:`repro.core.ir.compile_model`): ``"stepper"``
+    for a generated Python stepper, ``"vec"`` for the compile-time vec
+    plan.  The tags live on the registration — not the class — so
+    cache warming can ask what an engine needs without importing it.
+    """
 
-    def __init__(self, name: str, target: str, doc: str = ""):
+    __slots__ = ("name", "target", "doc", "consumes", "_cls")
+
+    def __init__(self, name: str, target: str, doc: str = "",
+                 consumes: Tuple[str, ...] = ()):
         self.name = name
         self.target = target
         self.doc = doc
+        self.consumes = tuple(consumes)
         self._cls = None
 
     def cls(self):
@@ -60,18 +72,21 @@ _REGISTRY: Dict[str, Backend] = {}
 
 
 def register_backend(name: str, target: str, *, doc: str = "",
+                     consumes: Tuple[str, ...] = (),
                      replace: bool = False) -> Backend:
     """Register an engine class under ``name``.
 
     ``target`` is a ``"module:attr"`` string imported on first use.
-    Re-registering an existing name requires ``replace=True`` so typos
-    cannot silently shadow a built-in engine.
+    ``consumes`` tags the staged artifacts the engine executes (see
+    :class:`Backend`).  Re-registering an existing name requires
+    ``replace=True`` so typos cannot silently shadow a built-in
+    engine.
     """
     if name in _REGISTRY and not replace:
         raise SpecificationError(
             f"engine {name!r} is already registered "
             f"({_REGISTRY[name].target}); pass replace=True to override")
-    backend = Backend(name, target, doc)
+    backend = Backend(name, target, doc, consumes)
     _REGISTRY[name] = backend
     return backend
 
@@ -127,6 +142,37 @@ def default_opt_level() -> int:
     return resolve_opt_level(None)
 
 
+def default_batch_engine() -> str:
+    """The engine lockstep batch tasks run under.
+
+    Honours ``REPRO_BATCH_ENGINE`` (validated against the registry)
+    and falls back to ``"batched-vec"`` — bit-identical to
+    ``"batched"``, which is bit-identical to solo levelized runs.
+    """
+    name = os.environ.get(BATCH_ENGINE_ENV_VAR, "").strip()
+    if not name:
+        return "batched-vec"
+    get_backend(name)  # validate, with the helpful listing on a typo
+    return name
+
+
+def compile_options_for(name: str, *, opt: Optional[int] = None):
+    """The ``CompileOptions`` that warm the cache for engine ``name``.
+
+    Built from the registration's ``consumes`` tags, so campaign and
+    fabric cache priming ask the registry what an engine executes —
+    generated stepper, compile-time vec plan — instead of hard-coding
+    per-engine knowledge (and without importing the engine class).
+    ``opt=None`` resolves the level from ``REPRO_OPT``.
+    """
+    from .ir import CompileOptions
+    from .opt import resolve_opt_level
+    consumes = get_backend(name).consumes
+    return CompileOptions(opt_level=resolve_opt_level(opt),
+                          need_stepper="stepper" in consumes,
+                          vec="vec" in consumes)
+
+
 # -- built-in engines ------------------------------------------------------
 register_backend(
     "worklist", "repro.core.engine:Simulator",
@@ -136,11 +182,13 @@ register_backend(
     doc="static levelized schedule compiled at construction time")
 register_backend(
     "codegen", "repro.core.codegen:CodegenSimulator",
-    doc="generated per-design Python stepper over the static schedule")
+    doc="generated per-design Python stepper over the static schedule",
+    consumes=("stepper",))
 register_backend(
     "batched", "repro.core.batched:BatchedSimulator",
     doc="lockstep execution of N structurally identical designs")
 register_backend(
     "batched-vec", "repro.core.batched_vec:VectorizedBatchedSimulator",
     doc="lockstep execution with numpy structure-of-arrays lane state; "
-        "falls back per wire (and wholesale) to the scalar batched path")
+        "falls back per wire (and wholesale) to the scalar batched path",
+    consumes=("vec",))

@@ -52,7 +52,7 @@ from typing import List, Optional
 
 from .batched import BatchedSimulator
 from .codegen import generate_vec_stepper_source
-from .vec import VecPlan, build_vec_plan
+from .vec import VecPlan, VecPlanMismatch, adopt_vec_plan, build_vec_plan
 
 _DISABLE_VALUES = ("0", "off", "no", "false")
 
@@ -114,7 +114,7 @@ class VectorizedBatchedSimulator(BatchedSimulator):
                for lane in self._lanes):
             return
         try:
-            plan = build_vec_plan(self._lanes, self._lanes[0].schedule)
+            plan = self._fetch_or_build_plan(self._lanes[0].schedule)
             if plan is None:
                 return
             self._build_vec_stepper(plan)
@@ -128,9 +128,47 @@ class VectorizedBatchedSimulator(BatchedSimulator):
         self._plan = plan
         self._apply_partition(plan)
 
+    def _fetch_or_build_plan(self, schedule) -> Optional[VecPlan]:
+        """Adopt the compile-time vec plan, or plan live as a fallback.
+
+        The staged compiler (``CompileOptions(vec=True)``) caches the
+        portable planning payload under the composite vec key, so a
+        warm build — or a fabric worker that installed the shipped
+        artifact — materializes the plan here with **zero** optimizer
+        pass runs and **zero** plan builds
+        (:data:`repro.core.vec.PLAN_BUILDS` stays flat).  Adoption
+        re-validates the payload against the live lanes; anything it
+        cannot honor — a probe-watched wire, an impl registry or opt
+        drift — raises :class:`~repro.core.vec.VecPlanMismatch` and
+        falls back to a live :func:`~repro.core.vec.build_vec_plan`
+        with the lane's own opt block.
+        """
+        lane0 = self._lanes[0]
+        level = getattr(lane0, "compile_opt_level", 0)
+        payload = None
+        try:
+            from .ir import CompileOptions, compile_model
+            bound = compile_model(lane0.design,
+                                  CompileOptions(opt_level=level, vec=True))
+            payload = bound.model.vec
+        except Exception:
+            payload = None
+        if payload is not None:
+            try:
+                # None means the payload validated as "nothing
+                # vectorizes" for these lanes — an answer, not a miss.
+                return adopt_vec_plan(self._lanes, schedule, payload)
+            except VecPlanMismatch:
+                pass
+        return build_vec_plan(self._lanes, schedule,
+                              opt=getattr(lane0.compiled, "opt", None))
+
     def _build_vec_stepper(self, plan: VecPlan) -> None:
+        provenance = ("adopted from compiled artifact"
+                      if plan.origin == "adopted" else "planned live")
         source = generate_vec_stepper_source(
-            self._lanes[0].schedule, plan.entry_ops, self.design.name)
+            self._lanes[0].schedule, plan.entry_ops, self.design.name,
+            provenance=provenance)
         namespace: dict = {}
         code = compile(source,
                        f"<generated vec stepper {self.design.name!r}>",

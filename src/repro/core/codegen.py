@@ -17,7 +17,7 @@ codegen, slower simulation acceptable").
 from __future__ import annotations
 
 import io
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from .netlist import Design
 from .optimize import LevelizedSimulator
@@ -70,7 +70,8 @@ def generate_stepper_source(schedule, design_name: str) -> str:
     return buf.getvalue()
 
 
-def generate_vec_stepper_source(schedule, entry_ops, design_name: str) -> str:
+def generate_vec_stepper_source(schedule, entry_ops, design_name: str,
+                                provenance: Optional[str] = None) -> str:
     """Emit Python source for a *vectorized* lockstep stepper.
 
     The generated module defines ``make_vec_stepper(owner, vec_reacts)``
@@ -86,11 +87,17 @@ def generate_vec_stepper_source(schedule, entry_ops, design_name: str) -> str:
     ``("scalar",)`` entries iterate the owner's flat per-lane react
     list, and clusters run per lane through
     ``owner._run_entry_cluster``.
+
+    ``provenance`` — where the plan came from ("planned live" vs
+    "adopted from compiled artifact") — is stamped into the module
+    docstring so ``generated_vec_source`` shows whether this stepper
+    executed a shipped compile-time plan or a local replan.
     """
     buf = io.StringIO()
     w = buf.write
-    w(f'"""Generated vectorized stepper for design {design_name!r}. '
-      f'Do not edit."""\n\n')
+    tag = f" Plan {provenance}." if provenance else ""
+    w(f'"""Generated vectorized stepper for design {design_name!r}.'
+      f'{tag} Do not edit."""\n\n')
     w("def make_vec_stepper(owner, vec_reacts):\n")
     lines: List[str] = []
     body: List[str] = []

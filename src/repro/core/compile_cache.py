@@ -463,26 +463,32 @@ def configure(**kwargs) -> CompileCache:
     return _default_cache
 
 
-def warm_design(design: Design, opt_level: int = 0) -> str:
+def warm_design(design: Design, opt_level: int = 0, vec: bool = False) -> str:
     """Ensure ``design``'s compiled model is cached; returns the fingerprint.
 
     Used by the campaign orchestrator to compile each distinct topology
     once in the parent before worker processes fan out.  With
     ``opt_level > 0`` the optimized artifact is warmed too (under its
     composite ``fingerprint@opt{level}.{version}`` key), so workers
-    skip the optimizer pass pipeline as well as compilation.
+    skip the optimizer pass pipeline as well as compilation.  With
+    ``vec=True`` the vec-planned artifact is also warmed (composite
+    ``fingerprint@opt{level}+vec{class}`` key), so lockstep batch
+    workers adopt the plan instead of rebuilding it per process.
     """
     fingerprint = design_fingerprint(design)
     cache = get_cache()
     if cache.enabled:
-        from .ir import compile_model
+        from .ir import CompileOptions, compile_model
         compile_model(design)
-        if opt_level and opt_level > 0:
-            compile_model(design, opt_level=opt_level)
+        level = opt_level or 0
+        if level > 0:
+            compile_model(design, opt_level=level)
+        if vec:
+            compile_model(design, CompileOptions(opt_level=level, vec=True))
     return fingerprint
 
 
-def warm_spec(spec, opt_level: int = 0) -> str:
+def warm_spec(spec, opt_level: int = 0, vec: bool = False) -> str:
     """Build ``spec``'s design and warm the cache for it."""
     from .constructor import build_design
-    return warm_design(build_design(spec), opt_level=opt_level)
+    return warm_design(build_design(spec), opt_level=opt_level, vec=vec)

@@ -347,7 +347,13 @@ class SimulatorBase:
           set;
         * **identity controls** are stripped (``wire.control = None``)
           so those commits take the direct path; ``close()`` restores
-          them, since the design outlives the simulator.
+          them, since the design outlives the simulator;
+        * **specialized** instances get their react folded per constant
+          binding: the template's ``specialize_react`` hook rebuilds the
+          closure against *this* design's bound ports and replaces the
+          pre-bound dispatch entry, so every engine's react tables pick
+          it up.  ``close()`` restores the plain class react (it rebinds
+          ``type(inst).react`` unconditionally).
         """
         from .compile_cache import wire_key
         key_map = {wire_key(w): w for w in self._wires}
@@ -384,6 +390,13 @@ class SimulatorBase:
             wire = key_map[tuple(key)]
             self._stripped_controls.append((wire, wire.control))
             wire.control = None
+        for path in block.get("specialized") or ():
+            inst = self.design.leaves.get(path)
+            hook = (None if inst is None
+                    else getattr(type(inst), "specialize_react", None))
+            folded = hook(inst) if hook is not None else None
+            if folded is not None:
+                inst.react = folded
 
     def _force_next_unresolved(self) -> bool:
         """Force the lowest-numbered unresolved signal to its default.

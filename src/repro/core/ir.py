@@ -34,6 +34,7 @@ another process from the on-disk cache layer.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from .engine import WirePartition, partition_wires
@@ -41,6 +42,32 @@ from .netlist import Design
 
 #: A portable signal group: ``[kind, wire_key-as-list]``.
 PortableGroup = List[Any]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """What one staged compilation should produce.
+
+    The staged driver (:func:`compile_model`) runs up to three stages —
+    base (graph → schedule → partition), optimizer pipeline
+    (``opt_level > 0``) and vec planning (``vec=True``) — each cached
+    under its own composite key, so any warm prefix is skipped:
+
+    * ``opt_level``: optimizer pipeline level (see
+      :mod:`repro.core.opt`); the resulting artifact caches under
+      ``fingerprint@opt{level}.{OPT_VERSION}``;
+    * ``need_stepper``: attach the generated stepper source/code;
+    * ``vec``: additionally run vec planning as a compile-time pass and
+      store the portable plan payload on the artifact, cached under
+      ``fingerprint@opt{level}+vec{lanes_class}.{OPT_VERSION}/{VEC_VERSION}``;
+    * ``lanes_class``: the lane-shape class of the vec plan (``"any"``
+      today — payloads are lane-count independent).
+    """
+
+    opt_level: int = 0
+    need_stepper: bool = False
+    vec: bool = False
+    lanes_class: str = "any"
 
 
 class CompiledModel:
@@ -63,7 +90,7 @@ class CompiledModel:
     __slots__ = ("fingerprint", "schedule", "stepper_source", "code",
                  "design_name", "graph_edges", "const_keys",
                  "transfer_keys", "begin_unknown", "deps", "controls",
-                 "opt")
+                 "opt", "vec")
 
     def __init__(self, fingerprint: str, schedule: List[Dict[str, Any]],
                  stepper_source: Optional[str] = None, code: Any = None, *,
@@ -74,7 +101,8 @@ class CompiledModel:
                  begin_unknown: Optional[int] = None,
                  deps: Optional[Dict[str, str]] = None,
                  controls: Optional[Dict[str, str]] = None,
-                 opt: Optional[Dict[str, Any]] = None):
+                 opt: Optional[Dict[str, Any]] = None,
+                 vec: Optional[Dict[str, Any]] = None):
         self.fingerprint = fingerprint
         self.schedule = schedule
         self.stepper_source = stepper_source
@@ -87,6 +115,7 @@ class CompiledModel:
         self.deps = deps
         self.controls = controls
         self.opt = opt
+        self.vec = vec
 
     def __repr__(self) -> str:
         return (f"<CompiledModel {self.design_name!r} "
@@ -108,7 +137,8 @@ class CompiledModel:
                     "begin_unknown": self.begin_unknown},
                 "deps": self.deps,
                 "controls": self.controls,
-                "opt": self.opt}
+                "opt": self.opt,
+                "vec": self.vec}
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "CompiledModel":
@@ -122,7 +152,8 @@ class CompiledModel:
                    begin_unknown=part.get("begin_unknown"),
                    deps=payload.get("deps"),
                    controls=payload.get("controls"),
-                   opt=payload.get("opt"))
+                   opt=payload.get("opt"),
+                   vec=payload.get("vec"))
 
     # -- binding onto a concrete design ----------------------------------
     def bind(self, design: Design, *, from_cache: bool = True) \
@@ -247,32 +278,51 @@ def _attach_stepper(model: CompiledModel, schedule: List[Any]) -> None:
         source, f"<generated stepper {model.design_name!r}>", "exec")
 
 
-def compile_model(design: Design, *, need_stepper: bool = False,
+def compile_model(design: Design,
+                  options: Optional[CompileOptions] = None, *,
+                  need_stepper: bool = False,
                   opt_level: int = 0) -> BoundModel:
-    """The single Design → CompiledModel entry point (cache-aware).
+    """The staged Design → CompiledModel driver (cache-aware).
 
     Fingerprints ``design``, returns a cached artifact bound onto it on
-    a hit, compiles (signal graph → schedule → partition → optional
-    stepper) and stores on a miss.  An entry that fails to bind —
+    a hit, compiles on a miss and stores.  An entry that fails to bind —
     fingerprint collision, stale format drift — is evicted and
     recompiled, never fatal.  With the cache disabled the fingerprint
     walk is skipped entirely (``model.fingerprint`` is then ``""``) and
     every call compiles fresh, preserving the historical engine
     behavior.
 
-    ``opt_level > 0`` routes through the optimizer pipeline
-    (:mod:`repro.core.opt`): the optimized artifact — fused schedule
-    plus the ``opt`` block the engine applies at construction — is
-    cached under the composite ``fingerprint@opt{level}.{OPT_VERSION}``
-    key, so warm runs bind it directly and skip the pass pipeline
-    entirely.  The base (unoptimized) artifact is compiled and cached
-    under the bare fingerprint as usual; its partition summary is what
-    the optimized entry carries, since the wire partition itself is
-    untouched by optimization (dead/static wires are parked by the
-    engine, not removed from the design).
+    ``options`` (a :class:`CompileOptions`; the ``need_stepper``/
+    ``opt_level`` keywords are back-compat shorthand) selects the
+    stages, innermost first:
+
+    1. **base**: signal graph → schedule → partition → optional
+       stepper, cached under the bare fingerprint;
+    2. **opt** (``opt_level > 0``): the optimizer pipeline
+       (:mod:`repro.core.opt`) — the fused schedule plus the ``opt``
+       block the engine applies at construction — cached under the
+       composite ``fingerprint@opt{level}.{OPT_VERSION}`` key, so warm
+       runs bind it directly and skip the pass pipeline entirely.  The
+       base artifact's partition summary is what the optimized entry
+       carries, since the wire partition itself is untouched by
+       optimization (dead/static wires are parked by the engine, not
+       removed from the design);
+    3. **vec** (``vec=True``): vec planning
+       (:func:`repro.core.vec.plan_vec_structure`) over the
+       (optimized) schedule and opt block, stored as the artifact's
+       portable ``vec`` payload and cached under the composite
+       ``fingerprint@opt{level}+vec{class}.{OPT_VERSION}/{VEC_VERSION}``
+       key, so warm batched-vec builds — and fabric workers receiving
+       the artifact — skip both the pass pipeline *and* planning.
     """
-    if opt_level and opt_level > 0:
-        return _compile_optimized(design, opt_level, need_stepper)
+    if options is None:
+        options = CompileOptions(opt_level=opt_level or 0,
+                                 need_stepper=need_stepper)
+    if options.vec:
+        return _compile_vec(design, options)
+    need_stepper = options.need_stepper
+    if options.opt_level and options.opt_level > 0:
+        return _compile_optimized(design, options.opt_level, need_stepper)
     from .compile_cache import design_fingerprint, get_cache
     cache = get_cache()
     fingerprint = ""
@@ -365,4 +415,59 @@ def _compile_optimized(design: Design, level: int, need_stepper: bool) \
         cache.store(model)
     return BoundModel(model, design, result.schedule,
                       _cluster_wire_lists(result.schedule, design.wires),
+                      base.partition, from_cache=False)
+
+
+def _compile_vec(design: Design, options: CompileOptions) -> BoundModel:
+    """The ``vec=True`` arm of :func:`compile_model`.
+
+    Cache-first: a warm composite vec-key entry binds without running a
+    single optimizer pass or plan analysis.  On a miss the inner stages
+    (recursive :func:`compile_model`, which hits their own caches)
+    supply the schedule and opt block; only
+    :func:`~repro.core.vec.plan_vec_structure` runs fresh, and the
+    resulting portable payload rides the stored artifact — the form
+    fabric ships to workers so shards adopt the plan instead of
+    replanning.
+    """
+    from .compile_cache import design_fingerprint, get_cache
+    from .vec import vec_cache_key
+    cache = get_cache()
+    fingerprint = key = ""
+    if cache.enabled:
+        fingerprint = design_fingerprint(design)
+        key = vec_cache_key(fingerprint, options.opt_level,
+                            options.lanes_class)
+        entry = cache.lookup(key)
+        if entry is not None:
+            try:
+                bound = entry.bind(design)
+            except Exception:
+                cache.evict(key)
+                cache.stats["misses"] += 1
+            else:
+                if options.need_stepper and entry.stepper_source is None:
+                    _attach_stepper(entry, bound.schedule)
+                    cache.store(entry)
+                return bound
+
+    base = compile_model(design, need_stepper=options.need_stepper,
+                         opt_level=options.opt_level)
+    from .compile_cache import portable_schedule
+    from .vec import plan_vec_structure
+    payload = plan_vec_structure(design, base.schedule,
+                                 opt=base.model.opt)
+    model = CompiledModel(
+        key, portable_schedule(base.schedule, design),
+        base.model.stepper_source, base.model.code,
+        design_name=design.name,
+        graph_edges=base.model.graph_edges,
+        const_keys=base.model.const_keys,
+        transfer_keys=base.model.transfer_keys,
+        begin_unknown=base.model.begin_unknown,
+        deps=base.model.deps, controls=base.model.controls,
+        opt=base.model.opt, vec=payload)
+    if cache.enabled:
+        cache.store(model)
+    return BoundModel(model, design, base.schedule, base.cluster_wires,
                       base.partition, from_cache=False)

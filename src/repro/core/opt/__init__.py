@@ -27,6 +27,13 @@ portable *opt block* every engine applies at construction:
 ``prune``
     Removes schedule occurrences made redundant by fusion (every
     dependency already resolved at the previous occurrence).
+``group-merge`` (``--opt 2`` only)
+    Merges sibling cluster entries whose dependencies allow a joint
+    fixpoint — replicated subsystems share one iteration scaffold.
+``specialize`` (``--opt 2`` only)
+    Cross-instance specialization: templates publishing a
+    ``specialize_react`` hook get their react folded per constant
+    parameter binding at construction time.
 ``control-inline``
     Specializes default control semantics (§2.1): full-identity
     control functions are stripped so the wire commit path skips the
@@ -49,7 +56,8 @@ from ..errors import SpecificationError
 
 #: Bump when a pass changes behavior; folded into the optimized-IR
 #: cache key so stale on-disk artifacts are never rebound.
-OPT_VERSION = 1
+#: 2: specialize + group-merge passes, ``specialized`` block key.
+OPT_VERSION = 2
 
 #: Environment variable naming the default optimization level.
 OPT_ENV_VAR = "REPRO_OPT"
@@ -95,6 +103,22 @@ def opt_cache_key(fingerprint: str, level: int) -> str:
     return f"{fingerprint}@opt{level}.{OPT_VERSION}"
 
 
+def opt_level_argument(text: str) -> int:
+    """``argparse`` type for ``--opt`` flags: uniform CLI validation.
+
+    Every CLI accepting an optimization level (``run``, ``profile``,
+    ``campaign``, fabric ``submit``, ``opt``) shares this converter so
+    garbage and out-of-range levels fail identically — exit 2 with a
+    message naming the valid range, mirroring how engine-name typos
+    are reported for ``REPRO_ENGINE``.
+    """
+    import argparse
+    try:
+        return resolve_opt_level(text)
+    except SpecificationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def __getattr__(name: str):
     # Lazy re-exports: importing repro.core.opt for the level knobs
     # must not pull networkx/the pipeline in.
@@ -106,6 +130,6 @@ def __getattr__(name: str):
 
 
 __all__ = ["OPT_VERSION", "OPT_ENV_VAR", "MAX_OPT_LEVEL",
-           "resolve_opt_level", "opt_cache_key", "optimize_model",
-           "OptResult", "explain_report", "schedule_signature",
-           "react_calls"]
+           "resolve_opt_level", "opt_cache_key", "opt_level_argument",
+           "optimize_model", "OptResult", "explain_report",
+           "schedule_signature", "react_calls"]

@@ -1,0 +1,84 @@
+"""Schedule-level common-group merging across sibling subsystems.
+
+Replicated subsystems (the paper's §2.1 "interconnection and
+customization of instances") levelize into *separate* cluster entries
+even when their strongly-connected components are structurally
+identical and mutually independent — e.g. four CPU/cache arms each
+contributing one round-trip-ack cluster.  Each cluster entry pays its
+own fixed-point iteration scaffold per timestep.
+
+This pass merges a later cluster entry into an earlier one whenever
+doing so cannot starve a dependency: every predecessor of every group
+the later cluster carries must be either
+
+* inside the merged group union (resolved by the joint fixpoint),
+* constant / parked static / dead (pre-resolved before the step), or
+* scheduled strictly before the earlier entry.
+
+Moving resolution *earlier* is always safe — reacts are monotone and
+idempotent, so any schedule respecting the declared dependencies
+reaches the same unique fixpoint (chaotic-iteration confluence), and
+every consumer originally after the later entry remains after the
+merged one.  The merged entry's fixed-point guard scales with its
+group count (``LevelizedSimulator._run_cluster``), so the safety bound
+survives the merge.  Greedy pairwise in schedule order, repeated to a
+fixed point; on cluster-free designs the pass is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+NAME = "group-merge"
+
+
+def run(ctx) -> Dict[str, Any]:
+    graph = ctx.graph
+    entries = ctx.entries
+    merged = 0
+
+    def pre_resolved(dep) -> bool:
+        return (graph.nodes[dep]["const"]
+                or dep[1] in ctx.dead_wids
+                or dep[1] in ctx.static_wids)
+
+    changed = True
+    while changed:
+        changed = False
+        pos = {}
+        for idx, entry in enumerate(entries):
+            for group in entry.groups:
+                pos[group] = idx
+        cluster_idxs = [i for i, e in enumerate(entries) if e.cluster]
+        for ai in range(len(cluster_idxs) - 1):
+            a = cluster_idxs[ai]
+            for bi in range(ai + 1, len(cluster_idxs)):
+                b = cluster_idxs[bi]
+                union = set(entries[a].groups)
+                union.update(entries[b].groups)
+                ok = True
+                for group in entries[b].groups:
+                    for dep in graph.predecessors(group):
+                        if dep in union or pre_resolved(dep):
+                            continue
+                        if pos.get(dep, -1) >= a:
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if not ok:
+                    continue
+                target = entries[a]
+                seen = {id(inst) for inst in target.instances}
+                for inst in entries[b].instances:
+                    if id(inst) not in seen:
+                        seen.add(id(inst))
+                        target.instances.append(inst)
+                target.groups.extend(entries[b].groups)
+                del entries[b]
+                merged += 1
+                changed = True
+                break
+            if changed:
+                break
+    return {"clusters_merged": merged}

@@ -1,0 +1,66 @@
+"""Cross-instance specialization: fold reacts per constant binding.
+
+ROADMAP item 5's "clone a template per constant parameter binding and
+fold its react".  A template may publish a ``specialize_react``
+classmethod::
+
+    @classmethod
+    def specialize_react(cls, inst) -> Optional[Callable[[], None]]
+
+returning a zero-argument replacement for ``inst.react`` — a closure
+over the instance's bound port views and *constant* parameter values —
+or ``None`` when the fold does not apply (typically because a subclass
+overrides ``react``, so the generic fold would shadow the override's
+semantics; every hook must guard its own class identity).
+
+The pass itself only *decides*: it calls each live instance's hook to
+learn whether a fold exists and records the instance paths in the
+portable opt block (``"specialized"``).  The closure built here is
+discarded — engines rebuild it against their own design at
+construction time (``SimulatorBase._apply_opt``), because the opt
+block must stay portable across same-fingerprint design copies.  The
+decision is deterministic from fingerprint-covered structure alone
+(template class, resolved parameters, port widths), so a cached block
+applies to any design it binds to.
+
+Instances sharing a template and a parameter binding share one clone
+in the report (the "cross-instance" half: N sources at rate 0.3 are
+one specialization, not N); the hooks themselves branch on the bound
+constants (a Sink folds ``accept='always'`` to an unconditional ack
+loop, a Queue folds its ``depth`` into the free-space computation).
+
+Closures may capture ports and parameters — both bound before
+compilation — but must read ``init()``-created state (backlogs,
+occupancy deques) through the instance at call time: module ``init``
+runs *after* ``_apply_opt`` installs the folds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+NAME = "specialize"
+
+
+def binding_signature(inst) -> tuple:
+    """Canonical hashable rendering of an instance's constant binding."""
+    return tuple(sorted((k, repr(v)) for k, v in inst.p.items()))
+
+
+def run(ctx) -> Dict[str, Any]:
+    specialized = []
+    clones: Dict[Any, int] = {}
+    for path in sorted(ctx.design.leaves):
+        if path in ctx.dead_paths:
+            continue  # dead instances never react; nothing to fold
+        inst = ctx.design.leaves[path]
+        hook = getattr(type(inst), "specialize_react", None)
+        if hook is None:
+            continue
+        if hook(inst) is None:
+            continue
+        specialized.append(path)
+        sig = (type(inst).template_name(), binding_signature(inst))
+        clones[sig] = clones.get(sig, 0) + 1
+    ctx.specialized = specialized
+    return {"instances": len(specialized), "clones": len(clones)}

@@ -27,7 +27,8 @@ from typing import Any, Dict, List, Optional, Set
 
 from ..netlist import Design
 from ..optimize import ScheduleEntry, build_schedule, build_signal_graph
-from .passes import const_prop, control, dead_code, fusion, prune
+from .passes import (const_prop, control, dead_code, fusion, group_merge,
+                     prune, specialize)
 
 #: Total pipeline executions in this process.  Cache tests and the
 #: warm-skip benchmark assert this does NOT advance on a warm
@@ -40,6 +41,8 @@ PASS_TABLE = (
     (dead_code.NAME, 2, dead_code),
     (fusion.NAME, 1, fusion),
     (prune.NAME, 1, prune),
+    (group_merge.NAME, 2, group_merge),
+    (specialize.NAME, 2, specialize),
     (control.NAME, 1, control),
 )
 
@@ -48,7 +51,7 @@ class OptContext:
     """Mutable state shared by the passes of one pipeline run."""
 
     __slots__ = ("design", "graph", "entries", "level", "static_wids",
-                 "dead_paths", "dead_wids", "control_wids")
+                 "dead_paths", "dead_wids", "control_wids", "specialized")
 
     def __init__(self, design: Design, graph, entries: List[ScheduleEntry],
                  level: int):
@@ -64,6 +67,8 @@ class OptContext:
         self.dead_wids: Set[int] = set()
         #: Wires whose full-identity control function is stripped.
         self.control_wids: Set[int] = set()
+        #: Instance paths whose react is folded per constant binding.
+        self.specialized: List[str] = []
 
 
 class OptResult:
@@ -149,6 +154,7 @@ def _lower_block(ctx: OptContext,
             "dead_wires": keys(ctx.dead_wids),
             "dead_instances": sorted(ctx.dead_paths),
             "controls": keys(ctx.control_wids),
+            "specialized": sorted(ctx.specialized),
             "passes": records}
 
 
@@ -192,7 +198,41 @@ def explain_report(design: Design, level: int) -> str:
         f"  parked wires: {len(block['static'])} static, "
         f"{len(block['dead_wires'])} dead; "
         f"instances removed: {len(block['dead_instances'])}; "
-        f"controls inlined: {len(block['controls'])}")
+        f"controls inlined: {len(block['controls'])}; "
+        f"reacts specialized: {len(block.get('specialized') or ())}")
     if block["dead_instances"]:
         lines.append("  eliminated: " + ", ".join(block["dead_instances"]))
+    lines.extend(_vec_coverage_lines(design, level, base, result))
     return "\n".join(lines)
+
+
+def _vec_coverage_lines(design: Design, level: int, base, result) -> List[str]:
+    """Per-level vec-planning preview for the explain report.
+
+    Plans the single-lane vec structure at opt 0 and at every enabled
+    level so the report shows how many wires each level vectorizes,
+    demotes, or parks — the opt/vec interaction the staged compiler
+    exploits (wires the optimizer parks never demote a lane).
+    """
+    from ..vec import plan_vec_structure
+    lines = ["  vec planning preview (wires vectorized/demoted/parked):"]
+    for lvl in range(level + 1):
+        if lvl == 0:
+            payload = plan_vec_structure(design, base, opt=None)
+        elif lvl == level:
+            payload = plan_vec_structure(design, result.schedule,
+                                         opt=result.block)
+        else:
+            mid = optimize_model(design, level=lvl)
+            payload = plan_vec_structure(design, mid.schedule, opt=mid.block)
+        counts = payload["counts"]
+        reasons: Dict[str, int] = {}
+        for _key, reason in payload["demotions"]:
+            reasons[reason] = reasons.get(reason, 0) + 1
+        detail = ("" if not reasons else " (" + ", ".join(
+            f"{name}: {n}" for name, n in sorted(reasons.items())) + ")")
+        lines.append(
+            f"    opt {lvl}: {counts['vectorized']}/{counts['total']} "
+            f"vectorized, {counts['demoted']} demoted, "
+            f"{counts['parked']} parked{detail}")
+    return lines

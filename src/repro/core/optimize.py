@@ -271,16 +271,19 @@ class LevelizedSimulator(SimulatorBase):
         # (default: the REPRO_OPT environment) selects the optimizer
         # level; optimized artifacts are cached under a composite key,
         # so warm runs skip the pass pipeline too.
-        from .ir import compile_model
+        from .ir import CompileOptions, compile_model
         from .opt import resolve_opt_level
         level = resolve_opt_level(opt)
-        bound = compile_model(design, need_stepper=type(self).NEEDS_STEPPER,
-                              opt_level=level)
+        bound = compile_model(design, CompileOptions(
+            opt_level=level, need_stepper=type(self).NEEDS_STEPPER))
         super().__init__(design, _partition=bound.partition,
                          _opt=bound.model.opt, **kw)
         self.compiled = bound.model
         self.compile_fingerprint: str = bound.model.fingerprint
         self.compiled_from_cache = bound.from_cache
+        #: The resolved optimization level this simulator compiled at;
+        #: the vectorized batched backend keys its plan fetch off it.
+        self.compile_opt_level = level
         self.schedule = bound.schedule
         self.fallback_steps = 0
         # Per-entry wire sets the cluster fixed-point iteration checks.

@@ -56,6 +56,33 @@ import numpy as np
 from .errors import SimulationError
 from .signals import CtrlStatus, DataStatus
 
+#: Bump when plan semantics change (what vectorizes, the portable
+#: payload shape); folded into the composite vec cache key so stale
+#: on-disk plans are never adopted.
+VEC_VERSION = 1
+
+#: Total plan analyses in this process — advanced by both
+#: :func:`plan_vec_structure` (compile-time) and :func:`build_vec_plan`
+#: (live), but *not* by :func:`adopt_vec_plan`.  The staged-compilation
+#: tests assert this stays flat across warm builds and shipped-plan
+#: adoption.
+PLAN_BUILDS = 0
+
+
+def vec_cache_key(fingerprint: str, opt_level: int,
+                  lanes_class: str = "any") -> str:
+    """The compile-cache key of one vec-planned artifact.
+
+    Composite over the structural fingerprint, the opt level the plan
+    was computed against, the lane-shape class (``"any"`` today: the
+    portable payload is lane-count independent, lane-specific checks
+    run at adoption) and both stage versions, so a pass- or
+    plan-behavior change invalidates exactly the stale entries.
+    """
+    from .opt import OPT_VERSION
+    return (f"{fingerprint}@opt{opt_level}+vec{lanes_class}"
+            f".{OPT_VERSION}/{VEC_VERSION}")
+
 #: int8 signal codes; identical to the IntEnum values so a round-trip
 #: ``DataStatus(int(code))`` lands on the enum singleton the scalar
 #: engine's ``is`` comparisons expect.
@@ -127,10 +154,11 @@ class LaneRng:
 class VecStats:
     """Per-lane integer counter accumulators, flushed commutatively."""
 
-    __slots__ = ("_counts", "lanes")
+    __slots__ = ("_counts", "_touched", "lanes")
 
     def __init__(self, lanes: int):
         self._counts: Dict[tuple, np.ndarray] = {}
+        self._touched: Dict[tuple, np.ndarray] = {}
         self.lanes = lanes
 
     def add(self, path: str, name: str, amounts: np.ndarray) -> None:
@@ -140,17 +168,41 @@ class VecStats:
             acc = self._counts[key] = np.zeros(self.lanes, np.int64)
         acc += amounts
 
+    def touch(self, path: str, name: str, mask: np.ndarray) -> None:
+        """Mark the counter as *touched* on the masked lanes.
+
+        The scalar ``StatsRegistry.add`` creates its key even for a
+        zero amount, so a template that collects a zero-valued sample
+        (e.g. a Link forwarding a zero-size packet) leaves a visible
+        ``0`` entry.  Flushing skips zero deltas for dict-equality
+        parity with lanes that never collected at all — ``touch`` is
+        how a vec implementation distinguishes "collected zero" from
+        "never collected" per lane."""
+        key = (path, name)
+        touched = self._touched.get(key)
+        if touched is None:
+            touched = self._touched[key] = np.zeros(self.lanes, bool)
+        touched |= mask
+
     def flush(self, lane_sims: Sequence) -> None:
         """Add the accumulated deltas into each lane's registry.
 
-        Zero deltas are skipped so a counter a scalar run never touched
-        stays absent from the registry (dict-equality parity)."""
+        Zero deltas are skipped — unless the lane was explicitly
+        touched — so a counter a scalar run never touched stays absent
+        from the registry (dict-equality parity)."""
         for (path, name), acc in self._counts.items():
+            touched = self._touched.get((path, name))
             for lane, sim in enumerate(lane_sims):
                 n = int(acc[lane])
-                if n:
+                if n or (touched is not None and touched[lane]):
                     sim.stats.add(path, name, n)
             acc.fill(0)
+        for (path, name), touched in self._touched.items():
+            if (path, name) not in self._counts:
+                for lane, sim in enumerate(lane_sims):
+                    if touched[lane]:
+                        sim.stats.add(path, name, 0)
+            touched.fill(False)
 
 
 class VecWires:
@@ -583,6 +635,17 @@ def vec_impl_for(module_cls: type) -> Optional[type]:
 # ----------------------------------------------------------------------
 # The compile-time plan
 # ----------------------------------------------------------------------
+class VecPlanMismatch(Exception):
+    """A shipped vec payload does not apply to these lanes as planned.
+
+    Raised by :func:`adopt_vec_plan` when a lane-level property the
+    compile-time planner cannot see (a probe on a planned wire, a
+    lane-divergent parameter binding the single-instance proxy
+    accepted, a registry drift) invalidates the payload.  The caller
+    falls back to a live :func:`build_vec_plan`.
+    """
+
+
 class VecPlan:
     """The feature-detected vectorization plan for one batch.
 
@@ -590,20 +653,31 @@ class VecPlan:
     vectorized react, ``("skip",)`` is a later entry of an already-run
     vec instance, ``("cluster",)`` iterates the per-lane cluster, and
     ``("scalar",)`` runs the lanes' flat react list for the entry.
+
+    ``demotions`` is the per-wire demotion log — ``(wire_key, reason)``
+    pairs for every live wire that did *not* vectorize (opt-parked
+    wires are excluded from planning entirely and never appear: parked
+    is not demoted).  ``origin`` records how the plan came to be:
+    ``"live"`` (feature-detected against these lanes) or ``"adopted"``
+    (instantiated from a cached compile-time payload).
     """
 
     __slots__ = ("vw", "impls", "stats", "entry_ops", "vec_paths",
-                 "wire_positions")
+                 "wire_positions", "demotions", "origin")
 
     def __init__(self, vw: VecWires, impls: List[Any], stats: VecStats,
                  entry_ops: List[tuple], vec_paths: set,
-                 wire_positions: List[int]):
+                 wire_positions: List[int],
+                 demotions: Optional[List[tuple]] = None,
+                 origin: str = "live"):
         self.vw = vw
         self.impls = impls
         self.stats = stats
         self.entry_ops = entry_ops
         self.vec_paths = vec_paths
         self.wire_positions = wire_positions
+        self.demotions = list(demotions or ())
+        self.origin = origin
 
     @property
     def n_wires(self) -> int:
@@ -629,43 +703,85 @@ class VecPlan:
         self.stats.flush(lane_sims)
 
 
-def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
-    """Feature-detect what vectorizes for this batch; None if nothing.
+def _opt_sets(opt: Optional[Dict[str, Any]]):
+    """Normalize a lowered opt block into the sets planning consults:
+    ``(parked wire keys, inlined-control wire keys, dead paths)``.
 
-    ``lanes`` are the batch's per-lane simulators, ``schedule`` the
-    shared-shape static schedule (lane 0's copy).  Purely structural +
-    parameter checks — no simulation state is read, so the plan can be
-    rebuilt whenever instrumentation changes.
+    Keys arrive as JSON lists after a cache round-trip; they are
+    re-tupled here, mirroring ``SimulatorBase._apply_opt``.
     """
-    n_lanes = len(lanes)
-    design0 = lanes[0].design
+    if not opt:
+        return frozenset(), frozenset(), frozenset()
+    parked = {tuple(k) for k in opt.get("static") or ()}
+    parked.update(tuple(k) for k in opt.get("dead_wires") or ())
+    controls = frozenset(tuple(k) for k in opt.get("controls") or ())
+    dead = frozenset(opt.get("dead_instances") or ())
+    return frozenset(parked), controls, dead
 
-    cluster_paths = set()
+
+def _candidate_ok(impl_cls: type, cls: type, insts: Sequence, path: str,
+                  cluster_paths: set) -> bool:
+    """The per-instance vectorization test, shared by planning and
+    adoption so a shipped plan is validated by exactly the rules that
+    produced it."""
+    if path in cluster_paths:
+        return False
+    if any(type(inst) is not cls for inst in insts):
+        return False
+    if not getattr(impl_cls, "MEALY", False) \
+            and any(inst.deps() != {} for inst in insts):
+        # A Moore-only implementation cannot shadow a template with
+        # input-dependent outputs; Mealy-capable impls opt in.
+        return False
+    return bool(impl_cls.supports(insts))
+
+
+def _cluster_paths(schedule: Sequence) -> set:
+    paths = set()
     for entry in schedule:
         if entry.cluster:
             for inst in entry.instances:
-                cluster_paths.add(inst.path)
+                paths.add(inst.path)
+    return paths
+
+
+def _analyze(designs: Sequence, schedule: Sequence,
+             opt: Optional[Dict[str, Any]], *,
+             check_watched: bool) -> Dict[str, Any]:
+    """The shared planning core: feature-detect per instance and wire.
+
+    ``designs`` is one design for compile-time planning (instance
+    checks then use the single binding as a proxy; adoption re-runs
+    them against the real lanes) or every lane's design for live
+    planning.  ``opt`` is the optimizer block the schedule was produced
+    under: wires it parks (static/dead) are excluded from planning
+    *silently* — the engine already resolved them outside the per-step
+    loops, so they are neither vectorizable nor demoted — and controls
+    it inlines are treated as control-free.  ``check_watched`` is off
+    for compile-time planning (probes are a lane property; adoption
+    validates them) and on for live planning.
+    """
+    from .compile_cache import wire_key
+    design0 = designs[0]
+    parked_keys, control_keys, dead_paths = _opt_sets(opt)
+    cluster_paths = _cluster_paths(schedule)
+    keys = [wire_key(w) for w in design0.wires]
+    parked = {pos for pos, key in enumerate(keys) if key in parked_keys}
 
     candidates: Dict[str, type] = {}
+    rejected: set = set()
     for path, inst0 in design0.leaves.items():
+        if path in dead_paths:
+            continue  # eliminated: nothing reacts, its wires are parked
         cls = type(inst0)
         impl_cls = vec_impl_for(cls)
-        if impl_cls is None or path in cluster_paths:
+        if impl_cls is None:
             continue
-        insts = [lane.design.leaves[path] for lane in lanes]
-        if any(type(inst) is not cls for inst in insts):
-            continue
-        if not getattr(impl_cls, "MEALY", False) \
-                and any(inst.deps() != {} for inst in insts):
-            # A Moore-only implementation cannot shadow a template with
-            # input-dependent outputs; Mealy-capable impls opt in.
-            continue
-        if not impl_cls.supports(insts):
-            continue
-        candidates[path] = impl_cls
-
-    if not candidates:
-        return None
+        insts = [d.leaves[path] for d in designs]
+        if _candidate_ok(impl_cls, cls, insts, path, cluster_paths):
+            candidates[path] = impl_cls
+        else:
+            rejected.add(path)
 
     # Wires each instance touches, by structural position.
     touching: Dict[str, List[int]] = {}
@@ -674,21 +790,27 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
             if endpoint is not None:
                 touching.setdefault(endpoint.instance.path, []).append(pos)
 
-    def wire_vectorizes(pos: int, vec_paths: set) -> bool:
+    def wire_status(pos: int, vec_paths: set) -> Optional[str]:
+        """None when the wire vectorizes, else its demotion reason."""
         wire = design0.wires[pos]
-        if wire.src is None or wire.dst is None or wire.control is not None:
-            return False
+        if wire.src is None or wire.dst is None:
+            return "unconnected"
+        if wire.control is not None and keys[pos] not in control_keys:
+            return "control"
         if wire.src.instance.path not in vec_paths \
                 or wire.dst.instance.path not in vec_paths:
-            return False
-        return not any(lane.design.wires[pos].watched for lane in lanes)
+            return "endpoint-not-vectorized"
+        if check_watched and any(d.wires[pos].watched for d in designs):
+            return "watched"
+        return None
 
     # Fixed point: demoting an all-boundary instance turns its wires
     # scalar, which can strand a neighbour with no vec wires either.
     vec_paths = set(candidates)
     while True:
-        vec_positions = {pos for pos in range(len(design0.wires))
-                         if wire_vectorizes(pos, vec_paths)}
+        vec_positions = {pos for pos in range(len(keys))
+                         if pos not in parked
+                         and wire_status(pos, vec_paths) is None}
         stranded = {path for path in vec_paths
                     if not any(pos in vec_positions
                                for pos in touching.get(path, ()))}
@@ -696,10 +818,27 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
             break
         vec_paths -= stranded
 
-    if not vec_paths or not vec_positions:
-        return None
+    demotions: List[tuple] = []
+    for pos in range(len(keys)):
+        if pos in parked or pos in vec_positions:
+            continue
+        demotions.append(
+            (keys[pos], wire_status(pos, vec_paths)
+             or "endpoint-not-vectorized"))
 
-    wire_positions = sorted(vec_positions)
+    return {"candidates": candidates, "rejected": rejected,
+            "vec_paths": vec_paths, "positions": sorted(vec_positions),
+            "keys": keys, "demotions": demotions, "parked": len(parked)}
+
+
+def _materialize(lanes: Sequence, schedule: Sequence, vec_paths: set,
+                 wire_positions: List[int], candidates: Dict[str, type],
+                 demotions: Optional[List[tuple]] = None,
+                 origin: str = "live") -> VecPlan:
+    """Instantiate a :class:`VecPlan` over live lanes from a decided
+    ``(vec_paths, wire_positions)`` structure."""
+    n_lanes = len(lanes)
+    design0 = lanes[0].design
     lane_wires = [[lane.design.wires[pos] for lane in lanes]
                   for pos in wire_positions]
     vw = VecWires(lane_wires)
@@ -754,4 +893,142 @@ def build_vec_plan(lanes: Sequence, schedule: Sequence) -> Optional[VecPlan]:
             entry_ops.append(("vec", len(impls)))
             impls.append(impl_by_path[path])
 
-    return VecPlan(vw, impls, stats, entry_ops, vec_paths, wire_positions)
+    return VecPlan(vw, impls, stats, entry_ops, vec_paths,
+                   list(wire_positions), demotions, origin)
+
+
+def plan_vec_structure(design, schedule: Sequence,
+                       opt: Optional[Dict[str, Any]] = None) \
+        -> Dict[str, Any]:
+    """Compile-time vec planning: one design, a portable payload.
+
+    The staged compilation driver (:func:`repro.core.ir.compile_model`
+    with ``CompileOptions(vec=True)``) runs this as the pass after the
+    optimizer pipeline and caches the result on the
+    :class:`~repro.core.ir.CompiledModel`, so warm builds — and fabric
+    workers receiving the artifact — skip planning entirely.
+
+    The payload is canonical for the *structure*: instance acceptance
+    uses the design's single binding as a parameter proxy and probes
+    are ignored; :func:`adopt_vec_plan` re-validates both against the
+    real lanes and signals a live replan when they diverge.  An empty
+    ``paths`` list is still a meaningful (cached) result: nothing
+    vectorizes, and adoption returns ``None`` without replanning.
+    """
+    global PLAN_BUILDS
+    PLAN_BUILDS += 1
+    analysis = _analyze([design], schedule, opt, check_watched=False)
+    return {
+        "version": VEC_VERSION,
+        "paths": sorted(analysis["vec_paths"]),
+        "rejected": sorted(analysis["rejected"]),
+        "wires": [list(analysis["keys"][pos])
+                  for pos in analysis["positions"]],
+        "demotions": [[list(key), reason]
+                      for key, reason in analysis["demotions"]],
+        "counts": {"total": len(design.wires),
+                   "vectorized": len(analysis["positions"]),
+                   "demoted": len(analysis["demotions"]),
+                   "parked": analysis["parked"]},
+    }
+
+
+def adopt_vec_plan(lanes: Sequence, schedule: Sequence,
+                   payload: Dict[str, Any]) -> Optional[VecPlan]:
+    """Instantiate a compile-time payload over live lanes, validating
+    every lane-level property the planner could not see.
+
+    Returns ``None`` when the payload says nothing vectorizes (a
+    validated scalar outcome, not a failure).  Raises
+    :class:`VecPlanMismatch` when the payload does not apply — the
+    caller then falls back to :func:`build_vec_plan`.  Does **not**
+    advance :data:`PLAN_BUILDS`: adoption is the warm path.
+    """
+    from .compile_cache import wire_key
+    if not payload or payload.get("version") != VEC_VERSION:
+        raise VecPlanMismatch("missing or version-skewed vec payload")
+    design0 = lanes[0].design
+    cluster_paths = _cluster_paths(schedule)
+
+    def lane_group(path: str) -> Optional[tuple]:
+        inst0 = design0.leaves.get(path)
+        if inst0 is None:
+            return None
+        cls = type(inst0)
+        impl_cls = vec_impl_for(cls)
+        if impl_cls is None:
+            return None
+        return impl_cls, cls, [lane.design.leaves[path] for lane in lanes]
+
+    vec_paths = set(payload.get("paths") or ())
+    candidates: Dict[str, type] = {}
+    for path in sorted(vec_paths):
+        group = lane_group(path)
+        if group is None:
+            raise VecPlanMismatch(
+                f"planned instance {path!r} has no vec implementation "
+                f"in this process")
+        impl_cls, cls, insts = group
+        if not _candidate_ok(impl_cls, cls, insts, path, cluster_paths):
+            raise VecPlanMismatch(
+                f"lanes do not support planned instance {path!r}")
+        candidates[path] = impl_cls
+    # The compile-time proxy may also have *rejected* an instance whose
+    # live lane group is in fact supportable (registry drift).  Adopting
+    # would then silently narrow coverage below a live plan — replan.
+    for path in payload.get("rejected") or ():
+        group = lane_group(path)
+        if group is None:
+            continue
+        impl_cls, cls, insts = group
+        if _candidate_ok(impl_cls, cls, insts, path, cluster_paths):
+            raise VecPlanMismatch(
+                f"rejected instance {path!r} is vectorizable live")
+
+    key_to_pos = {wire_key(w): pos
+                  for pos, w in enumerate(design0.wires)}
+    positions: List[int] = []
+    for key in payload.get("wires") or ():
+        pos = key_to_pos.get(tuple(key))
+        if pos is None:
+            raise VecPlanMismatch(f"planned wire {key!r} not in design")
+        for lane in lanes:
+            wire = lane.design.wires[pos]
+            if wire.watched:
+                raise VecPlanMismatch(f"planned wire {key!r} is probed")
+            if wire.control is not None:
+                # The plan assumed this control inlined away; these
+                # lanes still carry it (opt-level mismatch).
+                raise VecPlanMismatch(
+                    f"planned wire {key!r} carries a control function")
+        positions.append(pos)
+
+    if not positions or not vec_paths:
+        return None
+    demotions = [(tuple(key), reason)
+                 for key, reason in payload.get("demotions") or ()]
+    return _materialize(lanes, schedule, vec_paths, sorted(positions),
+                        candidates, demotions, origin="adopted")
+
+
+def build_vec_plan(lanes: Sequence, schedule: Sequence,
+                   opt: Optional[Dict[str, Any]] = None) \
+        -> Optional[VecPlan]:
+    """Feature-detect what vectorizes for this batch; None if nothing.
+
+    ``lanes`` are the batch's per-lane simulators, ``schedule`` the
+    shared-shape static schedule (lane 0's copy) and ``opt`` the
+    optimizer block the lanes were constructed under (its parked wires
+    are excluded from planning rather than demoted).  Purely structural
+    + parameter checks — no simulation state is read, so the plan can
+    be rebuilt whenever instrumentation changes.
+    """
+    global PLAN_BUILDS
+    PLAN_BUILDS += 1
+    designs = [lane.design for lane in lanes]
+    analysis = _analyze(designs, schedule, opt, check_watched=True)
+    if not analysis["vec_paths"] or not analysis["positions"]:
+        return None
+    return _materialize(lanes, schedule, analysis["vec_paths"],
+                        analysis["positions"], analysis["candidates"],
+                        analysis["demotions"])

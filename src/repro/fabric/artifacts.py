@@ -123,3 +123,27 @@ def have_artifact(fingerprint: str) -> bool:
     """Does the local compile cache already hold this fingerprint?"""
     cache = get_cache()
     return cache.enabled and cache.lookup(fingerprint) is not None
+
+
+def composite_artifact_keys(fingerprint: str, opt_level: int = 0,
+                            vec: bool = False) -> tuple:
+    """Every cache key one topology's staged artifacts live under.
+
+    The staged compiler caches one entry per stage — the base artifact
+    under the bare fingerprint, the optimized IR under
+    ``fingerprint@opt{level}.{OPT_VERSION}``, the vec-planned artifact
+    under ``fingerprint@opt{level}+vec{class}.{OPT_VERSION}/{VEC_VERSION}``
+    — and every entry is independently exportable/installable (its
+    embedded ``fingerprint`` field *is* its composite key, so the blob
+    digest checks pass unchanged).  Shipping the full set lets a worker
+    skip compilation, the optimizer pipeline *and* vec planning.
+    """
+    keys = [fingerprint]
+    level = opt_level or 0
+    if level > 0:
+        from ..core.opt import opt_cache_key
+        keys.append(opt_cache_key(fingerprint, level))
+    if vec:
+        from ..core.vec import vec_cache_key
+        keys.append(vec_cache_key(fingerprint, level))
+    return tuple(keys)

@@ -112,8 +112,10 @@ def add_fabric_parsers(subparsers) -> None:
     from ..core.backends import engine_names
     submit.add_argument("--engine", default="levelized",
                         choices=engine_names())
-    submit.add_argument("--opt", type=int, choices=(0, 1, 2), default=None,
-                        help="IR optimization level for every shard "
+    from ..core.opt import opt_level_argument
+    submit.add_argument("--opt", type=opt_level_argument, default=None,
+                        metavar="LEVEL",
+                        help="IR optimization level 0-2 for every shard "
                              "(default: each worker's REPRO_OPT, else 0)")
     submit.add_argument("--seed", type=int, default=0,
                         help="campaign base seed (default 0)")

@@ -52,7 +52,7 @@ from ..campaign.ledger import Ledger
 from ..obs.metrics import MetricsRegistry
 from .artifacts import export_artifact
 from .protocol import FabricError, read_message, send_message
-from .shards import JobSpec, Shard, plan_shards
+from .shards import JobSpec, Shard, plan_shards, shard_fingerprints
 
 
 @dataclass
@@ -343,8 +343,7 @@ class Coordinator:
         return {"type": "lease", "lease_id": lease_id,
                 "lease_timeout": self.lease_timeout,
                 "shard": shard.to_payload(), "job": envelope,
-                "artifacts": [shard.fingerprint] if shard.fingerprint
-                else []}
+                "artifacts": list(shard_fingerprints(shard, job.spec))}
 
     def _msg_artifact(self, message) -> Dict[str, Any]:
         fingerprint = message.get("fingerprint")

@@ -73,8 +73,13 @@ class JobSpec:
             raise FabricError(f"batch_max must be >= 1, got {self.batch_max}")
         if self.retries < 0:
             raise FabricError(f"retries must be >= 0, got {self.retries}")
-        if self.opt is not None and self.opt not in (0, 1, 2):
-            raise FabricError(f"opt must be 0, 1 or 2, got {self.opt!r}")
+        if self.opt is not None:
+            from ..core.errors import SpecificationError
+            from ..core.opt import resolve_opt_level
+            try:
+                resolve_opt_level(self.opt)
+            except SpecificationError as exc:
+                raise FabricError(str(exc)) from None
         seen: Set[str] = set()
         for point in self.points:
             rid = point.get("run_id")
@@ -201,11 +206,17 @@ def plan_shards(job: JobSpec, job_id: str,
         return plan
 
     from ..core.opt import resolve_opt_level
+    from .artifacts import composite_artifact_keys
+    opt_level = resolve_opt_level(job.opt)
     groups, failures = fingerprint_groups(
         job.kind, job.target, job.lss_text, todo,
-        opt_level=resolve_opt_level(job.opt))
+        opt_level=opt_level, vec=True)
     for fingerprint, members in groups.items():
-        plan.fingerprints.append(fingerprint)
+        # Base + optimized + vec-planned artifacts: the planner just
+        # warmed all three, and the coordinator exports the full set so
+        # workers adopt the shipped vec plan instead of replanning.
+        plan.fingerprints.extend(
+            composite_artifact_keys(fingerprint, opt_level, vec=True))
         for k in range(0, len(members), job.batch_max):
             add("batch", members[k:k + job.batch_max], fingerprint)
     for point in failures:
@@ -265,6 +276,21 @@ def execute_shard(shard: Shard, job: JobSpec) -> Dict[str, Dict[str, Any]]:
     raise FabricError(f"unknown shard mode {shard.mode!r}")
 
 
-def shard_fingerprints(shard: Shard) -> Tuple[str, ...]:
-    """The artifact fingerprints a worker needs before executing."""
-    return (shard.fingerprint,) if shard.fingerprint else ()
+def shard_fingerprints(shard: Shard,
+                       job: Optional[JobSpec] = None) -> Tuple[str, ...]:
+    """The artifact keys a worker needs before executing ``shard``.
+
+    With ``job`` the composite staged keys are included — the optimized
+    IR for the job's opt level and, for batch shards, the vec-planned
+    artifact — so a worker installs the whole staged set and executes
+    the shipped plan with zero local pass runs and zero plan builds.
+    """
+    if not shard.fingerprint:
+        return ()
+    if job is None:
+        return (shard.fingerprint,)
+    from ..core.opt import resolve_opt_level
+    from .artifacts import composite_artifact_keys
+    return composite_artifact_keys(shard.fingerprint,
+                                   resolve_opt_level(job.opt),
+                                   vec=shard.mode == "batch")

@@ -54,8 +54,14 @@ def worker_capabilities(lane_cap: Optional[int] = None) -> Dict[str, Any]:
         has_numpy = True
     except ImportError:  # pragma: no cover - numpy ships in the env
         has_numpy = False
+    from ..core.opt import OPT_VERSION
+    from ..core.vec import VEC_VERSION
     return {"cpus": cpus, "numpy": has_numpy,
-            "lane_cap": int(lane_cap) if lane_cap else cpus}
+            "lane_cap": int(lane_cap) if lane_cap else cpus,
+            # Staged-artifact format versions: a coordinator can tell
+            # whether the composite opt/vec blobs it exports will
+            # install on this worker or degrade to a local recompile.
+            "opt_version": OPT_VERSION, "vec_version": VEC_VERSION}
 
 
 class _Heartbeat:

@@ -77,6 +77,31 @@ class Sink(LeafModule):
         for i in range(inp.width):
             inp.set_ack(i, self._accepts[i])
 
+    @classmethod
+    def specialize_react(cls, inst: "Sink"):
+        """Optimizer fold (``--opt 2``): the constant ``accept`` binding
+        selects the clone — ``'always'``/``'never'`` drop the per-cycle
+        ``_accepts`` read entirely, the stochastic modes keep it (drawn
+        in ``update()``) but skip the port lookup."""
+        if cls.react is not Sink.react:
+            return None
+        inp = inst.port("in")
+        set_ack = inp.set_ack
+        indices = tuple(range(inp.width))
+        mode = inst.p["accept"]
+        if mode in ("always", "never"):
+            constant = mode == "always"
+
+            def specialized_react() -> None:
+                for i in indices:
+                    set_ack(i, constant)
+        else:
+            def specialized_react() -> None:
+                accepts = inst._accepts
+                for i in indices:
+                    set_ack(i, accepts[i])
+        return specialized_react
+
     def update(self) -> None:
         inp = self.port("in")
         callback = self.p["on_consume"]

@@ -131,6 +131,27 @@ class Source(LeafModule):
             else:
                 out.send(i, value)
 
+    @classmethod
+    def specialize_react(cls, inst: "Source"):
+        """Optimizer fold (``--opt 2``): port views and the output width
+        are baked into a closure; ``_pending`` is read at call time
+        (``init()`` runs after the fold is installed)."""
+        if cls.react is not Source.react:
+            return None
+        out = inst.port("out")
+        send, send_nothing = out.send, out.send_nothing
+        indices = tuple(range(out.width))
+
+        def specialized_react() -> None:
+            pending = inst._pending
+            for i in indices:
+                value = pending[i]
+                if value is None:
+                    send_nothing(i)
+                else:
+                    send(i, value)
+        return specialized_react
+
     def update(self) -> None:
         out = self.port("out")
         for i in range(out.width):

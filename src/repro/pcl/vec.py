@@ -28,6 +28,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..ccl.link import Link
 from ..core.vec import (VecModuleContext, params_vectorize,
                         register_vec_impl, same_widths)
 from .arbiter import Arbiter, fixed_priority, round_robin
@@ -880,7 +881,35 @@ class VecArbiter:
         pass
 
 
+@register_vec_impl(Link)
+class VecLink(VecDelay):
+    """Array form of :class:`repro.ccl.link.Link` (Moore).
+
+    Extends :class:`VecDelay` with the link's accounting: per-lane
+    ``packet.hops`` increments for payloads that track hops, and the
+    ``flits`` statistic (sum of carried packet sizes).  Both happen
+    before the inherited delay bookkeeping — the scalar ``update``
+    order — and ``touch`` keeps zero-size flit samples visible, like
+    the scalar ``collect`` of a zero amount.
+    """
+
+    def update(self, now: int) -> None:
+        inp = self.inp[0]
+        took = inp.took_dst()
+        if took.any():
+            values = inp.values()
+            sizes = np.zeros(self.ctx.lanes, np.int64)
+            for lane in np.nonzero(took)[0]:
+                packet = values[lane]
+                if hasattr(packet, "hops"):
+                    packet.hops += 1
+                sizes[lane] = getattr(packet, "size", 1)
+            self.ctx.stats.add(self.ctx.path, "flits", sizes)
+            self.ctx.stats.touch(self.ctx.path, "flits", took)
+        super().update(now)
+
+
 __all__: List[str] = [
     "VecSource", "VecSink", "VecQueue", "VecBuffer", "VecPipelineReg",
-    "VecDelay", "VecTee", "VecMux", "VecDemux", "VecArbiter",
+    "VecDelay", "VecLink", "VecTee", "VecMux", "VecDemux", "VecArbiter",
 ]

@@ -145,7 +145,7 @@ class TestGoldenPassSnapshots:
         assert result2.block["dead_instances"] == ["snk"]
         assert [rec["name"] for rec in result2.block["passes"]] \
             == ["const-prop", "dead-code", "level-fusion", "prune",
-                "control-inline"]
+                "group-merge", "specialize", "control-inline"]
 
     def test_fig2d_headline_numbers(self):
         """The measured wins the README cites, pinned as goldens."""

@@ -22,6 +22,8 @@ import pytest
 from repro.campaign import Campaign, Ledger
 from repro.campaign.sweep import GridSweep
 from repro.core import compile_cache as cc
+from repro.core.opt import resolve_opt_level
+from repro.fabric.artifacts import composite_artifact_keys
 from repro.fabric import (Coordinator, CoordinatorThread, FabricClient,
                           Worker, job_from_sweep, worker_main)
 from repro.fabric.protocol import Channel
@@ -115,7 +117,11 @@ class TestLoopbackFabric:
             client = FabricClient(coordinator.host, coordinator.port)
             reply = client.submit(job)
             assert reply["points"] == 4
-            assert reply["artifacts"] == 2  # one per topology
+            # Per topology: base model + vec plan, plus an optimized-IR
+            # blob when REPRO_OPT raises the ambient level above 0.
+            per_topology = len(composite_artifact_keys(
+                "f" * 16, resolve_opt_level(None), vec=True))
+            assert reply["artifacts"] == 2 * per_topology
             # Private cache dirs force the compiled models over the wire.
             workers = [
                 _spawn_worker(coordinator.host, coordinator.port,

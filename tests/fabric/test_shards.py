@@ -93,20 +93,29 @@ class TestPlanning:
         # chunks the four same-structure points into two shards each.
         points = _points(8, param="stages",
                          values=[1, 1, 1, 1, 3, 3, 3, 3])
+        # opt pinned to 0 so an ambient REPRO_OPT can't grow the
+        # artifact list with optimized-IR composite keys.
         job = JobSpec(name="j", kind="spec", points=points, target=CHAIN,
-                      batch_max=2).validate()
+                      batch_max=2, opt=0).validate()
         for point in job.points:
             point["params"]["rate"] = 0.5
         plan = plan_shards(job, "j1")
-        assert len(plan.fingerprints) == 2
+        # Two topologies, each with a base artifact plus its vec-planned
+        # composite entry (opt level 0 adds no opt key).
+        assert len(plan.fingerprints) == 4
+        bases = [key for key in plan.fingerprints if "@" not in key]
+        assert len(bases) == 2
         assert len(plan.shards) == 4
         assert all(s.mode == "batch" for s in plan.shards)
         assert sorted(len(s.points) for s in plan.shards) == [2, 2, 2, 2]
         # Every shard is structure-pure and ids are unique.
         assert len({s.shard_id for s in plan.shards}) == 4
         for shard in plan.shards:
-            assert shard.fingerprint in plan.fingerprints
+            assert shard.fingerprint in bases
             assert shard_fingerprints(shard) == (shard.fingerprint,)
+            staged = shard_fingerprints(shard, job)
+            assert staged[0] == shard.fingerprint
+            assert all(key in plan.fingerprints for key in staged)
 
     def test_skip_ids_removes_resumed_points(self):
         points = _points(4, values=[2, 2, 2, 2])
